@@ -1,0 +1,430 @@
+package indoorq
+
+// One benchmark per panel of the paper's evaluation figures (§V, Figures
+// 12–15). Every benchmark resolves its workload through the shared fixture
+// cache in internal/bench, so `go test -bench=.` regenerates the paper's
+// series; cmd/benchfig prints the same data as labelled tables.
+//
+// Absolute times differ from the paper's 2013 C++/Windows testbed; the
+// shapes (growth with |O|, r, k and uncertainty; decrease with partition
+// count; pruning and skeleton effects; update-vs-precomputation gap) are
+// the reproduction target. EXPERIMENTS.md records measured-vs-paper.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/index"
+	"repro/internal/object"
+	"repro/internal/query"
+)
+
+func mustFixture(b *testing.B, cfg bench.Config) *bench.F {
+	b.Helper()
+	f, err := bench.Fixture(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// runIRQ rotates through the fixture's query pool, one query per iteration.
+func runIRQ(b *testing.B, f *bench.F, r float64, opts query.Options) {
+	p := f.Processor(opts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := f.Queries[i%len(f.Queries)]
+		if _, _, err := p.RangeQuery(q, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func runKNN(b *testing.B, f *bench.F, k int, opts query.Options) {
+	p := f.Processor(opts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := f.Queries[i%len(f.Queries)]
+		if _, _, err := p.KNNQuery(q, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIRQVsObjects is Fig 12(a): iRQ time vs |O| ∈ {10K, 20K, 30K} for
+// r ∈ {50, 100, 150}.
+func BenchmarkIRQVsObjects(b *testing.B) {
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		for _, r := range bench.RangePoints {
+			b.Run(fmt.Sprintf("objs=%d/r=%g", n, r), func(b *testing.B) {
+				runIRQ(b, mustFixture(b, cfg), r, query.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkIRQBreakdown is Fig 12(b): per-phase time of iRQ at defaults,
+// reported as custom metrics (ns per phase per query).
+func BenchmarkIRQBreakdown(b *testing.B) {
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		b.Run(fmt.Sprintf("objs=%d", n), func(b *testing.B) {
+			f := mustFixture(b, cfg)
+			b.ResetTimer()
+			var pt bench.Point
+			for i := 0; i < b.N; i++ {
+				var err error
+				pt, err = bench.RunIRQ(f, bench.DefaultRange, 0, query.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(pt.Filtering.Nanoseconds()), "filter-ns/query")
+			b.ReportMetric(float64(pt.Subgraph.Nanoseconds()), "subgraph-ns/query")
+			b.ReportMetric(float64(pt.Pruning.Nanoseconds()), "prune-ns/query")
+			b.ReportMetric(float64(pt.Refinement.Nanoseconds()), "refine-ns/query")
+		})
+	}
+}
+
+// BenchmarkIRQVsUncertainty is Fig 12(c): iRQ time vs uncertainty region
+// (radius 5/10/15, figure axis shows diameters 10/20/30).
+func BenchmarkIRQVsUncertainty(b *testing.B) {
+	for _, rad := range bench.RadiusPoints {
+		cfg := bench.Default()
+		cfg.Radius = rad
+		for _, r := range bench.RangePoints {
+			b.Run(fmt.Sprintf("diam=%g/r=%g", 2*rad, r), func(b *testing.B) {
+				runIRQ(b, mustFixture(b, cfg), r, query.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkIRQVsPartitions is Fig 12(d): iRQ time vs partition count
+// (floors 10/20/30 ≈ 1K/2K/3K partitions) at 20K objects.
+func BenchmarkIRQVsPartitions(b *testing.B) {
+	for _, fl := range bench.FloorPoints {
+		cfg := bench.Default()
+		cfg.Floors = fl
+		for _, r := range bench.RangePoints {
+			b.Run(fmt.Sprintf("floors=%d/r=%g", fl, r), func(b *testing.B) {
+				runIRQ(b, mustFixture(b, cfg), r, query.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkIKNNVsObjects is Fig 13(a): ikNNQ time vs |O| for k ∈ {50, 100,
+// 150}.
+func BenchmarkIKNNVsObjects(b *testing.B) {
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		for _, k := range bench.KPoints {
+			b.Run(fmt.Sprintf("objs=%d/k=%d", n, k), func(b *testing.B) {
+				runKNN(b, mustFixture(b, cfg), k, query.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkIKNNBreakdown is Fig 13(b): per-phase ikNNQ time.
+func BenchmarkIKNNBreakdown(b *testing.B) {
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		b.Run(fmt.Sprintf("objs=%d", n), func(b *testing.B) {
+			f := mustFixture(b, cfg)
+			b.ResetTimer()
+			var pt bench.Point
+			for i := 0; i < b.N; i++ {
+				var err error
+				pt, err = bench.RunKNN(f, bench.DefaultK, 0, query.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(pt.Filtering.Nanoseconds()), "filter-ns/query")
+			b.ReportMetric(float64(pt.Subgraph.Nanoseconds()), "subgraph-ns/query")
+			b.ReportMetric(float64(pt.Pruning.Nanoseconds()), "prune-ns/query")
+			b.ReportMetric(float64(pt.Refinement.Nanoseconds()), "refine-ns/query")
+		})
+	}
+}
+
+// BenchmarkIKNNVsUncertainty is Fig 13(c).
+func BenchmarkIKNNVsUncertainty(b *testing.B) {
+	for _, rad := range bench.RadiusPoints {
+		cfg := bench.Default()
+		cfg.Radius = rad
+		for _, k := range bench.KPoints {
+			b.Run(fmt.Sprintf("diam=%g/k=%d", 2*rad, k), func(b *testing.B) {
+				runKNN(b, mustFixture(b, cfg), k, query.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkIKNNVsPartitions is Fig 13(d).
+func BenchmarkIKNNVsPartitions(b *testing.B) {
+	for _, fl := range bench.FloorPoints {
+		cfg := bench.Default()
+		cfg.Floors = fl
+		for _, k := range bench.KPoints {
+			b.Run(fmt.Sprintf("floors=%d/k=%d", fl, k), func(b *testing.B) {
+				runKNN(b, mustFixture(b, cfg), k, query.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkIRQPruningRatio is Fig 14(a): filtering and pruning ratios of
+// iRQ, reported as metrics (percent).
+func BenchmarkIRQPruningRatio(b *testing.B) {
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		b.Run(fmt.Sprintf("objs=%d", n), func(b *testing.B) {
+			f := mustFixture(b, cfg)
+			b.ResetTimer()
+			var pt bench.Point
+			for i := 0; i < b.N; i++ {
+				var err error
+				pt, err = bench.RunIRQ(f, bench.DefaultRange, 0, query.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*pt.FilterRatio, "filter-%")
+			b.ReportMetric(100*pt.PruneRatio, "prune-%")
+		})
+	}
+}
+
+// BenchmarkIRQNoPruning is Fig 14(b): iRQ with vs without the pruning
+// phase.
+func BenchmarkIRQNoPruning(b *testing.B) {
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		b.Run(fmt.Sprintf("objs=%d/withPruning", n), func(b *testing.B) {
+			runIRQ(b, mustFixture(b, cfg), bench.DefaultRange, query.Options{})
+		})
+		b.Run(fmt.Sprintf("objs=%d/withoutPruning", n), func(b *testing.B) {
+			runIRQ(b, mustFixture(b, cfg), bench.DefaultRange, query.Options{DisablePruning: true})
+		})
+	}
+}
+
+// BenchmarkIKNNPruningRatio is Fig 14(c).
+func BenchmarkIKNNPruningRatio(b *testing.B) {
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		b.Run(fmt.Sprintf("objs=%d", n), func(b *testing.B) {
+			f := mustFixture(b, cfg)
+			b.ResetTimer()
+			var pt bench.Point
+			for i := 0; i < b.N; i++ {
+				var err error
+				pt, err = bench.RunKNN(f, bench.DefaultK, 0, query.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*pt.FilterRatio, "filter-%")
+			b.ReportMetric(100*pt.PruneRatio, "prune-%")
+		})
+	}
+}
+
+// BenchmarkIKNNNoPruning is Fig 14(d): the paper reports ≥4× slowdown
+// without the pruning phase.
+func BenchmarkIKNNNoPruning(b *testing.B) {
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		b.Run(fmt.Sprintf("objs=%d/withPruning", n), func(b *testing.B) {
+			runKNN(b, mustFixture(b, cfg), bench.DefaultK, query.Options{})
+		})
+		b.Run(fmt.Sprintf("objs=%d/withoutPruning", n), func(b *testing.B) {
+			runKNN(b, mustFixture(b, cfg), bench.DefaultK, query.Options{DisablePruning: true})
+		})
+	}
+}
+
+// BenchmarkSkeletonEffect is Fig 15(a): index units retrieved by the
+// filtering phase with and without the skeleton tier, vs query range.
+func BenchmarkSkeletonEffect(b *testing.B) {
+	cfg := bench.Default()
+	for _, r := range bench.RangePoints {
+		for name, opts := range map[string]query.Options{
+			"withSkeleton":    {},
+			"withoutSkeleton": {DisableSkeleton: true},
+		} {
+			b.Run(fmt.Sprintf("r=%g/%s", r, name), func(b *testing.B) {
+				f := mustFixture(b, cfg)
+				b.ResetTimer()
+				var pt bench.Point
+				for i := 0; i < b.N; i++ {
+					var err error
+					pt, err = bench.RunIRQ(f, r, 0, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(pt.Units, "units/query")
+			})
+		}
+	}
+}
+
+// BenchmarkIndexConstruction is Fig 15(b): composite index construction
+// time per layer vs partition count.
+func BenchmarkIndexConstruction(b *testing.B) {
+	for _, fl := range bench.FloorPoints {
+		b.Run(fmt.Sprintf("floors=%d", fl), func(b *testing.B) {
+			building, err := gen.Mall(gen.MallSpec{Floors: fl})
+			if err != nil {
+				b.Fatal(err)
+			}
+			objs := gen.Objects(building, gen.ObjectSpec{
+				N: bench.DefaultObjects, Radius: bench.DefaultRadius,
+				Instances: bench.DefaultInstances, Seed: 1,
+			})
+			b.ResetTimer()
+			var stats index.BuildStats
+			for i := 0; i < b.N; i++ {
+				_, stats, err = index.Build(building, objs, index.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.TreeTier.Nanoseconds()), "tree-ns")
+			b.ReportMetric(float64(stats.TopoLayer.Nanoseconds()), "topo-ns")
+			b.ReportMetric(float64(stats.ObjectLayer.Nanoseconds()), "object-ns")
+			b.ReportMetric(float64(stats.SkeletonTier.Nanoseconds()), "skeleton-ns")
+		})
+	}
+}
+
+// BenchmarkIndexUpdates is Fig 15(c): dynamic operation cost on the
+// composite index — object insert/delete and partition insert/delete.
+func BenchmarkIndexUpdates(b *testing.B) {
+	cfg := bench.Default()
+	b.Run("insertObj", func(b *testing.B) {
+		f := mustFixture(b, cfg)
+		qs := gen.QueryPoints(f.B, 256, 99)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := object.PointObject(object.ID(1_000_000+i), qs[i%len(qs)])
+			if err := f.Idx.InsertObject(o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		for i := 0; i < b.N; i++ {
+			_ = f.Idx.DeleteObject(object.ID(1_000_000 + i))
+		}
+	})
+	b.Run("deleteObj", func(b *testing.B) {
+		f := mustFixture(b, cfg)
+		qs := gen.QueryPoints(f.B, 256, 99)
+		for i := 0; i < b.N; i++ {
+			o := object.PointObject(object.ID(2_000_000+i), qs[i%len(qs)])
+			if err := f.Idx.InsertObject(o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := f.Idx.DeleteObject(object.ID(2_000_000 + i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("insertPartition", func(b *testing.B) {
+		f := mustFixture(b, cfg)
+		// Cycle one room: remove it once, then time (re-)insertions.
+		var room PartitionID
+		for _, p := range f.B.Partitions() {
+			if p.Kind == 0 {
+				room = p.ID
+				break
+			}
+		}
+		rect := f.B.Partition(room).Bounds()
+		if err := f.Idx.RemovePartition(room); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := f.B.AddRoom(0, rect)
+			if err := f.Idx.AddPartition(p.ID); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := f.Idx.RemovePartition(p.ID); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+	b.Run("deletePartition", func(b *testing.B) {
+		f := mustFixture(b, cfg)
+		var room PartitionID
+		for _, p := range f.B.Partitions() {
+			if p.Kind == 0 {
+				room = p.ID
+				break
+			}
+		}
+		rect := f.B.Partition(room).Bounds()
+		if err := f.Idx.RemovePartition(room); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := f.B.AddRoom(0, rect)
+			if err := f.Idx.AddPartition(p.ID); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := f.Idx.RemovePartition(p.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPrecomputation is Fig 15(d): the door-to-door pre-computation
+// cost of the baseline alternative, vs partition count. The per-op time is
+// the measured per-source Dijkstra; the extrapolated all-pairs total is
+// reported as a metric in seconds (the paper measures >0.5 h at 2K
+// partitions on its testbed).
+func BenchmarkPrecomputation(b *testing.B) {
+	for _, fl := range bench.FloorPoints {
+		cfg := bench.Default()
+		cfg.Floors = fl
+		b.Run(fmt.Sprintf("floors=%d", fl), func(b *testing.B) {
+			f := mustFixture(b, cfg)
+			b.ResetTimer()
+			var total float64
+			for i := 0; i < b.N; i++ {
+				_, t, _ := baseline.EstimatePrecomputeTime(f.Idx, 16)
+				total = t.Seconds()
+			}
+			b.ReportMetric(total, "allpairs-sec")
+		})
+	}
+}

@@ -1,0 +1,489 @@
+// Command benchfig regenerates the series behind every figure of the
+// paper's evaluation section (Figures 12–15) and prints them as labelled
+// text tables, one per panel.
+//
+// Usage:
+//
+//	benchfig [-fig 12a,13b,...|all] [-queries N] [-full-precompute]
+//
+// With -fig all (the default) every panel runs; expect several minutes at
+// the paper's default workload sizes. -queries controls how many query
+// points each data point averages over (the paper uses 50). EXPERIMENTS.md
+// records one full run next to the paper's reported shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/object"
+	"repro/internal/query"
+)
+
+var (
+	figFlag   = flag.String("fig", "all", "comma-separated figure panels (12a..15d) or 'all'")
+	queries   = flag.Int("queries", bench.DefaultQueries, "queries averaged per data point")
+	fullPre   = flag.Bool("full-precompute", false, "run the true all-pairs pre-computation for Fig 15(d) instead of extrapolating")
+	updateOps = flag.Int("update-ops", 100, "dynamic operations per class for Fig 15(c)")
+)
+
+func main() {
+	flag.Parse()
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(f))] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	type panel struct {
+		name string
+		run  func() error
+	}
+	panels := []panel{
+		{"12a", fig12a}, {"12b", fig12b}, {"12c", fig12c}, {"12d", fig12d},
+		{"13a", fig13a}, {"13b", fig13b}, {"13c", fig13c}, {"13d", fig13d},
+		{"14a", fig14a}, {"14b", fig14b}, {"14c", fig14c}, {"14d", fig14d},
+		{"15a", fig15a}, {"15b", fig15b}, {"15c", fig15c}, {"15d", fig15d},
+	}
+	ran := 0
+	for _, p := range panels {
+		if !sel(p.name) {
+			continue
+		}
+		ran++
+		// Fresh caches per panel: with several multi-hundred-megabyte
+		// fixtures resident, later panels measure heap pressure instead of
+		// query cost. Rebuilds are deterministic, so results are
+		// unaffected.
+		bench.DropFixtures()
+		runtime.GC()
+		if err := p.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "fig %s: %v\n", p.name, err)
+			os.Exit(1)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no figure selected; use -fig all or e.g. -fig 12a,15d")
+		os.Exit(2)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%8.3f", float64(d.Microseconds())/1000) }
+
+// --- Figure 12: iRQ ---
+
+func fig12a() error {
+	header("Fig 12(a) — iRQ query time Tq (ms) vs |O|, per query range r")
+	fmt.Printf("%-8s %10s %10s %10s\n", "|O|", "r=50", "r=100", "r=150")
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		f, err := bench.Fixture(cfg)
+		if err != nil {
+			return err
+		}
+		row := fmt.Sprintf("%-8d", n)
+		for _, r := range bench.RangePoints {
+			pt, err := bench.RunIRQ(f, r, *queries, query.Options{})
+			if err != nil {
+				return err
+			}
+			row += " " + ms(pt.MeanTotal)
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func fig12b() error {
+	header("Fig 12(b) — iRQ phase breakdown (ms) at r=100")
+	fmt.Printf("%-8s %10s %10s %10s %10s\n", "|O|", "filter", "subgraph", "prune", "refine")
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		f, err := bench.Fixture(cfg)
+		if err != nil {
+			return err
+		}
+		pt, err := bench.RunIRQ(f, bench.DefaultRange, *queries, query.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %s %s %s %s\n", n,
+			ms(pt.Filtering), ms(pt.Subgraph), ms(pt.Pruning), ms(pt.Refinement))
+	}
+	return nil
+}
+
+func fig12c() error {
+	header("Fig 12(c) — iRQ query time Tq (ms) vs uncertainty region diameter")
+	fmt.Printf("%-8s %10s %10s %10s\n", "diam", "r=50", "r=100", "r=150")
+	for _, rad := range bench.RadiusPoints {
+		cfg := bench.Default()
+		cfg.Radius = rad
+		f, err := bench.Fixture(cfg)
+		if err != nil {
+			return err
+		}
+		row := fmt.Sprintf("%-8g", 2*rad)
+		for _, r := range bench.RangePoints {
+			pt, err := bench.RunIRQ(f, r, *queries, query.Options{})
+			if err != nil {
+				return err
+			}
+			row += " " + ms(pt.MeanTotal)
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func fig12d() error {
+	header("Fig 12(d) — iRQ query time Tq (ms) vs # partitions (floors)")
+	fmt.Printf("%-16s %10s %10s %10s\n", "partitions", "r=50", "r=100", "r=150")
+	for _, fl := range bench.FloorPoints {
+		cfg := bench.Default()
+		cfg.Floors = fl
+		f, err := bench.Fixture(cfg)
+		if err != nil {
+			return err
+		}
+		row := fmt.Sprintf("%-16s", fmt.Sprintf("%d (%d fl)", f.B.NumPartitions(), fl))
+		for _, r := range bench.RangePoints {
+			pt, err := bench.RunIRQ(f, r, *queries, query.Options{})
+			if err != nil {
+				return err
+			}
+			row += " " + ms(pt.MeanTotal)
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+// --- Figure 13: ikNNQ ---
+
+func fig13a() error {
+	header("Fig 13(a) — ikNNQ query time Tq (ms) vs |O|, per k")
+	fmt.Printf("%-8s %10s %10s %10s\n", "|O|", "k=50", "k=100", "k=150")
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		f, err := bench.Fixture(cfg)
+		if err != nil {
+			return err
+		}
+		row := fmt.Sprintf("%-8d", n)
+		for _, k := range bench.KPoints {
+			pt, err := bench.RunKNN(f, k, *queries, query.Options{})
+			if err != nil {
+				return err
+			}
+			row += " " + ms(pt.MeanTotal)
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func fig13b() error {
+	header("Fig 13(b) — ikNNQ phase breakdown (ms) at k=100")
+	fmt.Printf("%-8s %10s %10s %10s %10s\n", "|O|", "filter", "subgraph", "prune", "refine")
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		f, err := bench.Fixture(cfg)
+		if err != nil {
+			return err
+		}
+		pt, err := bench.RunKNN(f, bench.DefaultK, *queries, query.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %s %s %s %s\n", n,
+			ms(pt.Filtering), ms(pt.Subgraph), ms(pt.Pruning), ms(pt.Refinement))
+	}
+	return nil
+}
+
+func fig13c() error {
+	header("Fig 13(c) — ikNNQ query time Tq (ms) vs uncertainty region diameter")
+	fmt.Printf("%-8s %10s %10s %10s\n", "diam", "k=50", "k=100", "k=150")
+	for _, rad := range bench.RadiusPoints {
+		cfg := bench.Default()
+		cfg.Radius = rad
+		f, err := bench.Fixture(cfg)
+		if err != nil {
+			return err
+		}
+		row := fmt.Sprintf("%-8g", 2*rad)
+		for _, k := range bench.KPoints {
+			pt, err := bench.RunKNN(f, k, *queries, query.Options{})
+			if err != nil {
+				return err
+			}
+			row += " " + ms(pt.MeanTotal)
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func fig13d() error {
+	header("Fig 13(d) — ikNNQ query time Tq (ms) vs # partitions (floors)")
+	fmt.Printf("%-16s %10s %10s %10s\n", "partitions", "k=50", "k=100", "k=150")
+	for _, fl := range bench.FloorPoints {
+		cfg := bench.Default()
+		cfg.Floors = fl
+		f, err := bench.Fixture(cfg)
+		if err != nil {
+			return err
+		}
+		row := fmt.Sprintf("%-16s", fmt.Sprintf("%d (%d fl)", f.B.NumPartitions(), fl))
+		for _, k := range bench.KPoints {
+			pt, err := bench.RunKNN(f, k, *queries, query.Options{})
+			if err != nil {
+				return err
+			}
+			row += " " + ms(pt.MeanTotal)
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+// --- Figure 14: bound effectiveness ---
+
+func fig14a() error {
+	header("Fig 14(a) — iRQ filtering & pruning ratios (%) at r=100")
+	fmt.Printf("%-8s %10s %10s\n", "|O|", "filter", "prune")
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		f, err := bench.Fixture(cfg)
+		if err != nil {
+			return err
+		}
+		pt, err := bench.RunIRQ(f, bench.DefaultRange, *queries, query.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %10.2f %10.2f\n", n, 100*pt.FilterRatio, 100*pt.PruneRatio)
+	}
+	return nil
+}
+
+func fig14b() error {
+	header("Fig 14(b) — iRQ time (ms) with vs without pruning phase, r=100")
+	fmt.Printf("%-8s %12s %15s\n", "|O|", "withPruning", "withoutPruning")
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		f, err := bench.Fixture(cfg)
+		if err != nil {
+			return err
+		}
+		with, err := bench.RunIRQ(f, bench.DefaultRange, *queries, query.Options{})
+		if err != nil {
+			return err
+		}
+		without, err := bench.RunIRQ(f, bench.DefaultRange, *queries, query.Options{DisablePruning: true})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %12s %15s\n", n, ms(with.MeanTotal), ms(without.MeanTotal))
+	}
+	return nil
+}
+
+func fig14c() error {
+	header("Fig 14(c) — ikNNQ filtering & pruning ratios (%) at k=100")
+	fmt.Printf("%-8s %10s %10s\n", "|O|", "filter", "prune")
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		f, err := bench.Fixture(cfg)
+		if err != nil {
+			return err
+		}
+		pt, err := bench.RunKNN(f, bench.DefaultK, *queries, query.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %10.2f %10.2f\n", n, 100*pt.FilterRatio, 100*pt.PruneRatio)
+	}
+	return nil
+}
+
+func fig14d() error {
+	header("Fig 14(d) — ikNNQ time (ms) with vs without pruning phase, k=100")
+	fmt.Printf("%-8s %12s %15s\n", "|O|", "withPruning", "withoutPruning")
+	for _, n := range bench.ObjectPoints {
+		cfg := bench.Default()
+		cfg.Objects = n
+		f, err := bench.Fixture(cfg)
+		if err != nil {
+			return err
+		}
+		with, err := bench.RunKNN(f, bench.DefaultK, *queries, query.Options{})
+		if err != nil {
+			return err
+		}
+		without, err := bench.RunKNN(f, bench.DefaultK, *queries, query.Options{DisablePruning: true})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %12s %15s\n", n, ms(with.MeanTotal), ms(without.MeanTotal))
+	}
+	return nil
+}
+
+// --- Figure 15: composite index ---
+
+func fig15a() error {
+	header("Fig 15(a) — index units retrieved with vs without skeleton tier")
+	fmt.Printf("%-8s %14s %17s\n", "range", "withSkeleton", "withoutSkeleton")
+	cfg := bench.Default()
+	f, err := bench.Fixture(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range bench.RangePoints {
+		with, err := bench.RunIRQ(f, r, *queries, query.Options{})
+		if err != nil {
+			return err
+		}
+		without, err := bench.RunIRQ(f, r, *queries, query.Options{DisableSkeleton: true})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8g %14.0f %17.0f\n", r, with.Units, without.Units)
+	}
+	return nil
+}
+
+func fig15b() error {
+	header("Fig 15(b) — index construction time per layer (ms) vs partitions")
+	fmt.Printf("%-16s %10s %10s %10s %10s\n", "partitions", "tree", "topo", "object", "skeleton")
+	for _, fl := range bench.FloorPoints {
+		b, err := gen.Mall(gen.MallSpec{Floors: fl})
+		if err != nil {
+			return err
+		}
+		objs := gen.Objects(b, gen.ObjectSpec{
+			N: bench.DefaultObjects, Radius: bench.DefaultRadius,
+			Instances: bench.DefaultInstances, Seed: 1,
+		})
+		_, stats, err := index.Build(b, objs, index.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %s %s %s %s\n",
+			fmt.Sprintf("%d (%d fl)", b.NumPartitions(), fl),
+			ms(stats.TreeTier), ms(stats.TopoLayer), ms(stats.ObjectLayer), ms(stats.SkeletonTier))
+	}
+	return nil
+}
+
+func fig15c() error {
+	header(fmt.Sprintf("Fig 15(c) — dynamic operation cost (ms per op, %d ops)", *updateOps))
+	cfg := bench.Default()
+	f, err := bench.Fixture(cfg)
+	if err != nil {
+		return err
+	}
+	n := *updateOps
+
+	qs := gen.QueryPoints(f.B, n, 99)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := f.Idx.InsertObject(object.PointObject(object.ID(3_000_000+i), qs[i])); err != nil {
+			return err
+		}
+	}
+	insObj := time.Since(start)
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		if err := f.Idx.DeleteObject(object.ID(3_000_000 + i)); err != nil {
+			return err
+		}
+	}
+	delObj := time.Since(start)
+
+	var room indoor.PartitionID
+	for _, p := range f.B.Partitions() {
+		if p.Kind == indoor.Room {
+			room = p.ID
+			break
+		}
+	}
+	rect := f.B.Partition(room).Bounds()
+	if err := f.Idx.RemovePartition(room); err != nil {
+		return err
+	}
+	var insPart, delPart time.Duration
+	for i := 0; i < n; i++ {
+		start = time.Now()
+		p := f.B.AddRoom(0, rect)
+		if err := f.Idx.AddPartition(p.ID); err != nil {
+			return err
+		}
+		insPart += time.Since(start)
+		start = time.Now()
+		if err := f.Idx.RemovePartition(p.ID); err != nil {
+			return err
+		}
+		delPart += time.Since(start)
+	}
+	// Restore the room for later panels.
+	p := f.B.AddRoom(0, rect)
+	if err := f.Idx.AddPartition(p.ID); err != nil {
+		return err
+	}
+
+	fmt.Printf("%-18s %10s\n", "operation", "ms/op")
+	fmt.Printf("%-18s %s\n", "insertObject", ms(insObj/time.Duration(n)))
+	fmt.Printf("%-18s %s\n", "deleteObject", ms(delObj/time.Duration(n)))
+	fmt.Printf("%-18s %s\n", "insertPartition", ms(insPart/time.Duration(n)))
+	fmt.Printf("%-18s %s\n", "deletePartition", ms(delPart/time.Duration(n)))
+	return nil
+}
+
+func fig15d() error {
+	header("Fig 15(d) — door-to-door pre-computation time vs partitions")
+	fmt.Printf("%-16s %8s %14s %16s\n", "partitions", "doors", "per-source", "all-pairs")
+	for _, fl := range bench.FloorPoints {
+		cfg := bench.Default()
+		cfg.Floors = fl
+		f, err := bench.Fixture(cfg)
+		if err != nil {
+			return err
+		}
+		if *fullPre {
+			pre := baseline.Precompute(f.Idx)
+			fmt.Printf("%-16s %8d %14s %16s\n",
+				fmt.Sprintf("%d (%d fl)", f.B.NumPartitions(), fl),
+				pre.NDoors, "-", pre.Elapsed.Round(time.Millisecond))
+			continue
+		}
+		per, total, doors := baseline.EstimatePrecomputeTime(f.Idx, 32)
+		fmt.Printf("%-16s %8d %14s %16s (extrapolated)\n",
+			fmt.Sprintf("%d (%d fl)", f.B.NumPartitions(), fl),
+			doors, per.Round(time.Microsecond), total.Round(time.Millisecond))
+	}
+	return nil
+}

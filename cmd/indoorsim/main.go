@@ -1,0 +1,170 @@
+// Command indoorsim builds a synthetic mall, indexes it, and runs
+// distance-aware queries from the command line — a quick way to poke at the
+// system without writing code.
+//
+// Usage:
+//
+//	indoorsim [-floors N] [-objects N] [-radius M] [-seed S]
+//	          [-q "x,y,floor"] [-range R] [-k K] [-stats]
+//
+// Without -q a random query point is drawn. The tool prints the workload
+// summary, the iRQ and ikNNQ answers, and with -stats the per-phase cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro"
+)
+
+var (
+	floors   = flag.Int("floors", 3, "mall floors")
+	objects  = flag.Int("objects", 2000, "uncertain objects")
+	radius   = flag.Float64("radius", 10, "uncertainty radius (m)")
+	seed     = flag.Int64("seed", 1, "workload seed")
+	qFlag    = flag.String("q", "", "query point as x,y,floor (random when empty)")
+	rng      = flag.Float64("range", 100, "iRQ range (m)")
+	k        = flag.Int("k", 10, "ikNNQ k")
+	stats    = flag.Bool("stats", false, "print per-phase query statistics")
+	load     = flag.String("load", "", "load building+objects from a JSON file instead of generating")
+	save     = flag.String("save", "", "save the workload to a JSON file after building")
+	estimate = flag.Bool("estimate", false, "also print the selectivity estimate for the iRQ")
+	svg      = flag.String("svg", "", "render the query's floor (objects, range, index units) to an SVG file")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "indoorsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var b *indoorq.Building
+	var objs []*indoorq.Object
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if b, objs, err = indoorq.LoadBuilding(f); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		b, err = indoorq.GenerateMall(indoorq.MallSpec{Floors: *floors})
+		if err != nil {
+			return err
+		}
+		objs = indoorq.GenerateObjects(b, indoorq.ObjectSpec{
+			N: *objects, Radius: *radius, Seed: *seed,
+		})
+	}
+	db, bs, err := indoorq.Open(b, objs, indoorq.Options{})
+	if err != nil {
+		return err
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		if err := db.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved workload to %s\n", *save)
+	}
+	fmt.Printf("mall: %d floors, %d partitions, %d doors; %d objects (r=%gm)\n",
+		b.Floors(), b.NumPartitions(), b.NumDoors(), len(objs), *radius)
+	fmt.Printf("index built in %v (tree %v, topo %v, objects %v, skeleton %v)\n",
+		bs.Total().Round(1e6), bs.TreeTier.Round(1e6), bs.TopoLayer.Round(1e6),
+		bs.ObjectLayer.Round(1e6), bs.SkeletonTier.Round(1e6))
+
+	var q indoorq.Position
+	if *qFlag == "" {
+		q = indoorq.GenerateQueryPoints(b, 1, *seed+1)[0]
+	} else {
+		var x, y float64
+		var f int
+		if _, err := fmt.Sscanf(*qFlag, "%f,%f,%d", &x, &y, &f); err != nil {
+			return fmt.Errorf("bad -q %q: want x,y,floor", *qFlag)
+		}
+		q = indoorq.Pos(x, y, f)
+	}
+	fmt.Printf("query point: %v (partition %d)\n", q, db.LocatePartition(q))
+
+	rs, rst, err := db.RangeQuery(q, *rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\niRQ(r=%gm): %d objects\n", *rng, len(rs))
+	if *estimate {
+		fmt.Printf("  selectivity estimate: %.1f objects\n", db.NewEstimator().EstimateRange(q, *rng))
+	}
+	for i, res := range rs {
+		if i == 10 {
+			fmt.Printf("  ... %d more\n", len(rs)-10)
+			break
+		}
+		if math.IsNaN(res.Distance) {
+			fmt.Printf("  object %-6d (accepted by bounds)\n", res.ID)
+		} else {
+			fmt.Printf("  object %-6d E[dist] = %.1f m\n", res.ID, res.Distance)
+		}
+	}
+	if *stats {
+		fmt.Printf("  phases: filter %v, subgraph %v, prune %v, refine %v; filtered %.1f%%\n",
+			rst.Filtering.Round(1e3), rst.Subgraph.Round(1e3),
+			rst.Pruning.Round(1e3), rst.Refinement.Round(1e3), 100*rst.FilteringRatio())
+	}
+
+	if *svg != "" {
+		highlight := make(map[indoorq.ObjectID]bool, len(rs))
+		for _, res := range rs {
+			highlight[res.ID] = true
+		}
+		f, err := os.Create(*svg)
+		if err != nil {
+			return err
+		}
+		err = db.RenderSVG(f, indoorq.RenderOptions{
+			Floor: q.Floor, Objects: objs, Query: &q, Range: *rng,
+			Highlight: highlight,
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rendered floor %d to %s\n", q.Floor, *svg)
+	}
+
+	ks, kst, err := db.KNNQuery(q, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nikNNQ(k=%d): %d objects\n", *k, len(ks))
+	for _, res := range ks {
+		if math.IsNaN(res.Distance) {
+			fmt.Printf("  object %-6d (accepted by bounds)\n", res.ID)
+		} else {
+			fmt.Printf("  object %-6d E[dist] = %.1f m\n", res.ID, res.Distance)
+		}
+	}
+	if *stats {
+		fmt.Printf("  phases: filter %v, subgraph %v, prune %v, refine %v\n",
+			kst.Filtering.Round(1e3), kst.Subgraph.Round(1e3),
+			kst.Pruning.Round(1e3), kst.Refinement.Round(1e3))
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package indoorq_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Two rooms joined by a door: the indoor distance walks through the door,
+// not through the wall.
+func ExampleOpen() {
+	b := indoorq.NewBuilding(4)
+	roomA := b.AddRoom(0, indoorq.R(0, 0, 10, 10))
+	roomB := b.AddRoom(0, indoorq.R(10, 0, 20, 10))
+	if _, err := b.AddDoor(indoorq.Point{X: 10, Y: 5}, 0, roomA.ID, roomB.ID); err != nil {
+		log.Fatal(err)
+	}
+	objs := []*indoorq.Object{{ID: 1, Instances: []indoorq.Instance{
+		{Pos: indoorq.Pos(15, 5, 0), P: 1},
+	}}}
+	db, _, err := indoorq.Open(b, objs, indoorq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, _, err := db.KNNQuery(indoorq.Pos(5, 5, 0), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("object %d at %.0f m\n", results[0].ID, results[0].Distance)
+	// Output: object 1 at 10 m
+}
+
+// A door closure takes effect immediately, with no index maintenance.
+func ExampleDB_SetDoorClosed() {
+	b := indoorq.NewBuilding(4)
+	roomA := b.AddRoom(0, indoorq.R(0, 0, 10, 10))
+	roomB := b.AddRoom(0, indoorq.R(10, 0, 20, 10))
+	door, err := b.AddDoor(indoorq.Point{X: 10, Y: 5}, 0, roomA.ID, roomB.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	objs := []*indoorq.Object{{ID: 1, Instances: []indoorq.Instance{
+		{Pos: indoorq.Pos(15, 5, 0), P: 1},
+	}}}
+	db, _, err := indoorq.Open(b, objs, indoorq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := indoorq.Pos(5, 5, 0)
+	before, _, _ := db.RangeQuery(q, 50)
+	if err := db.SetDoorClosed(door.ID, true); err != nil {
+		log.Fatal(err)
+	}
+	after, _, _ := db.RangeQuery(q, 50)
+	fmt.Printf("before: %d, after closing: %d\n", len(before), len(after))
+	// Output: before: 1, after closing: 0
+}
+
+// Uncertain objects are weighted instance sets; the query uses the
+// expected indoor distance.
+func ExampleDB_RangeQuery() {
+	b := indoorq.NewBuilding(4)
+	room := b.AddRoom(0, indoorq.R(0, 0, 30, 10))
+	_ = room
+	objs := []*indoorq.Object{{ID: 7, Instances: []indoorq.Instance{
+		{Pos: indoorq.Pos(10, 5, 0), P: 0.5},
+		{Pos: indoorq.Pos(20, 5, 0), P: 0.5},
+	}}}
+	db, _, err := indoorq.Open(b, objs, indoorq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Expected distance from (0,5): 0.5·10 + 0.5·20 = 15.
+	hit, _, _ := db.RangeQuery(indoorq.Pos(0, 5, 0), 15)
+	miss, _, _ := db.RangeQuery(indoorq.Pos(0, 5, 0), 14)
+	fmt.Printf("r=15: %d, r=14: %d\n", len(hit), len(miss))
+	// Output: r=15: 1, r=14: 0
+}

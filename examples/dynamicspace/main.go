@@ -1,0 +1,95 @@
+// Dynamic space: the paper's Figure 1 temporal-variation scenario. A
+// conference hall (room 21) is reconfigured by a sliding wall: banquet
+// style is one big partition; meeting style splits it in two, so the wall
+// blocks the direct path between s and t and the distance between them must
+// be recomputed through doors d41 and d42 — which the composite index does
+// on the fly, with no pre-computed distances to invalidate.
+//
+//	go run ./examples/dynamicspace
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	// A lobby to the west of a 30×20 m conference hall with two doors in
+	// the shared wall (d41 south, d42 north).
+	b := indoorq.NewBuilding(4)
+	lobby := b.AddRoom(0, indoorq.R(-15, 0, 0, 20))
+	hall := b.AddRoom(0, indoorq.R(0, 0, 30, 20))
+	if _, err := b.AddDoor(indoorq.Point{X: 0, Y: 4}, 0, lobby.ID, hall.ID); err != nil {
+		log.Fatal(err) // d41
+	}
+	if _, err := b.AddDoor(indoorq.Point{X: 0, Y: 16}, 0, lobby.ID, hall.ID); err != nil {
+		log.Fatal(err) // d42
+	}
+
+	// s sits in the south half of the hall; an asset t (a projector cart,
+	// say) in the north half.
+	s := indoorq.Pos(20, 5, 0)
+	t := &indoorq.Object{ID: 1, Instances: []indoorq.Instance{
+		{Pos: indoorq.Pos(20, 15, 0), P: 1},
+	}}
+
+	db, _, err := indoorq.Open(b, []*indoorq.Object{t}, indoorq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dist := func(tag string) {
+		res, _, err := db.KNNQuery(s, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res) == 0 || math.IsInf(res[0].Distance, 1) {
+			fmt.Printf("%-28s t unreachable from s\n", tag)
+			return
+		}
+		fmt.Printf("%-28s |s,t| = %.1f m\n", tag, res[0].Distance)
+	}
+
+	dist("banquet style (one hall):") // straight line inside the hall: 10 m
+
+	// Mount the sliding wall at y = 10: meeting style. The direct path is
+	// blocked; s must leave through d41, cross the lobby, re-enter through
+	// d42.
+	south, north, err := db.SplitPartition(hall.ID, false, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist("meeting style (wall up):") // ≈ 20 + lobby detour
+
+	// An evening event dismounts the wall again.
+	merged, err := db.MergePartitions(south, north)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist("banquet style restored:")
+
+	// Emergency: the north door is blocked. With the wall down this does
+	// not matter; with the wall up, t would be isolated.
+	var d42 indoorq.DoorID
+	for _, d := range b.Doors() {
+		if d.Pos.Y == 16 {
+			d42 = d.ID
+		}
+	}
+	if err := db.SetDoorClosed(d42, true); err != nil {
+		log.Fatal(err)
+	}
+	dist("wall down, d42 blocked:")
+	south, north, err = db.SplitPartition(merged, false, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = south
+	_ = north
+	dist("wall up, d42 blocked:")
+	fmt.Println("\nevery reconfiguration above reused the index; a pre-computed door-to-door")
+	fmt.Println("matrix would have been recomputed four times (Fig 15(d)'s half-hour cost)")
+}

@@ -1,0 +1,91 @@
+// Quickstart: build a tiny indoor space by hand, index two objects, and ask
+// the two distance-aware queries of the paper.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	// Three rooms in a row, connected by doors at (10,5) and (20,5):
+	//
+	//	+--------+--------+--------+
+	//	|   A   d1   B   d2   C    |
+	//	+--------+--------+--------+
+	b := indoorq.NewBuilding(4)
+	roomA := b.AddRoom(0, indoorq.R(0, 0, 10, 10))
+	roomB := b.AddRoom(0, indoorq.R(10, 0, 20, 10))
+	roomC := b.AddRoom(0, indoorq.R(20, 0, 30, 10))
+	if _, err := b.AddDoor(indoorq.Point{X: 10, Y: 5}, 0, roomA.ID, roomB.ID); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := b.AddDoor(indoorq.Point{X: 20, Y: 5}, 0, roomB.ID, roomC.ID); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two objects: one precisely known in room B, one uncertain in room C
+	// (two instances with equal probability).
+	objs := []*indoorq.Object{
+		{ID: 1, Instances: []indoorq.Instance{
+			{Pos: indoorq.Pos(15, 5, 0), P: 1},
+		}},
+		{ID: 2, Instances: []indoorq.Instance{
+			{Pos: indoorq.Pos(22, 3, 0), P: 0.5},
+			{Pos: indoorq.Pos(28, 7, 0), P: 0.5},
+		}},
+	}
+
+	db, _, err := indoorq.Open(b, objs, indoorq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ask from the west end of room A. The Euclidean distance to object 1
+	// is ~10.4 m, but the indoor distance walks through door d1.
+	q := indoorq.Pos(5, 5, 0)
+
+	within, _, err := db.RangeQuery(q, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("objects within 12 m of %v:\n", q)
+	for _, r := range within {
+		if math.IsNaN(r.Distance) {
+			// Accepted by the distance bounds alone: the exact expected
+			// distance was never needed (the paper's Algorithm 1, line 8).
+			fmt.Printf("  object %d (within range by upper bound)\n", r.ID)
+		} else {
+			fmt.Printf("  object %d, expected indoor distance %.2f m\n", r.ID, r.Distance)
+		}
+	}
+
+	nearest, _, err := db.KNNQuery(q, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("two nearest objects:")
+	for _, r := range nearest {
+		fmt.Printf("  object %d, expected indoor distance %.2f m\n", r.ID, r.Distance)
+	}
+
+	// Close door d2 (emergency): object 2 becomes unreachable and drops
+	// out of any range.
+	for _, d := range b.Doors() {
+		if d.Pos.X == 20 {
+			if err := db.SetDoorClosed(d.ID, true); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	after, _, err := db.RangeQuery(q, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after closing d2, objects within 1 km: %d (room C is sealed)\n", len(after))
+}

@@ -1,0 +1,90 @@
+// Security desk: continuous range monitoring. A guard desk keeps standing
+// watch zones around two exhibits; as visitors walk the gallery, the
+// monitor reports enter/leave events incrementally — the cached subgraph of
+// each standing query is reused, so each movement costs one bound check per
+// affected zone rather than a full query (the paper's future-work direction
+// on reusing computation across related queries).
+//
+//	go run ./examples/securitydesk
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	// One gallery floor: a long hall with two exhibit rooms off it.
+	b := indoorq.NewBuilding(4)
+	hall, err := b.AddHallway(0, indoorq.RectPoly(indoorq.R(0, 0, 120, 12)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	west := b.AddRoom(0, indoorq.R(10, 12, 50, 40))
+	east := b.AddRoom(0, indoorq.R(70, 12, 110, 40))
+	if _, err := b.AddDoor(indoorq.Point{X: 30, Y: 12}, 0, hall.ID, west.ID); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := b.AddDoor(indoorq.Point{X: 90, Y: 12}, 0, hall.ID, east.ID); err != nil {
+		log.Fatal(err)
+	}
+
+	// Visitors start in the hall.
+	var visitors []*indoorq.Object
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 8; i++ {
+		visitors = append(visitors, &indoorq.Object{
+			ID: indoorq.ObjectID(i),
+			Instances: []indoorq.Instance{
+				{Pos: indoorq.Pos(5+rng.Float64()*110, 2+rng.Float64()*8, 0), P: 1},
+			},
+		})
+	}
+	db, _, err := indoorq.Open(b, visitors, indoorq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mon := db.NewMonitor()
+	// Watch zones: 15 m of walking around each exhibit centre.
+	wID, wInit, err := mon.Register(indoorq.Pos(30, 26, 0), 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eID, eInit, err := mon.Register(indoorq.Pos(90, 26, 0), 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	name := map[int]string{wID: "west exhibit", eID: "east exhibit"}
+	fmt.Printf("watch zones armed: %s %v, %s %v\n", name[wID], wInit, name[eID], eInit)
+
+	// Visitor 3 walks from the hall into the west room toward the exhibit,
+	// then across to the east room.
+	path := []indoorq.Position{
+		indoorq.Pos(28, 10, 0), // hall, by the west door
+		indoorq.Pos(30, 20, 0), // inside west room
+		indoorq.Pos(32, 28, 0), // at the west exhibit
+		indoorq.Pos(30, 14, 0), // leaving
+		indoorq.Pos(60, 6, 0),  // hall, heading east
+		indoorq.Pos(88, 24, 0), // east room, near the exhibit
+	}
+	for step, pos := range path {
+		upd := &indoorq.Object{ID: 3, Instances: []indoorq.Instance{{Pos: pos, P: 1}}}
+		events, err := mon.ObjectMoved(upd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ev := range events {
+			verb := "entered"
+			if !ev.Entered {
+				verb = "left"
+			}
+			fmt.Printf("step %d: visitor %d %s the %s zone\n", step, ev.Object, verb, name[ev.Query])
+		}
+	}
+	fmt.Printf("final zones: %s %v, %s %v\n",
+		name[wID], mon.Results(wID), name[eID], mon.Results(eID))
+}

@@ -1,0 +1,253 @@
+// Package indoorq is a Go implementation of "Efficient Distance-Aware Query
+// Evaluation on Indoor Moving Objects" (Xie, Lu, Pedersen — ICDE 2013): a
+// composite index for dynamic indoor spaces and uncertain moving objects
+// that answers indoor range queries and k-nearest-neighbour queries by
+// expected indoor walking distance, without pre-computing door-to-door
+// distances.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/indoor:   partitions, doors, buildings, Algorithm 3
+//   - internal/object:   instance-based uncertain objects
+//   - internal/index:    the composite index (tree, topological, object and
+//     skeleton layers) with dynamic maintenance
+//   - internal/distance: expected indoor distances and all pruning bounds
+//   - internal/query:    the iRQ and ikNNQ processors
+//   - internal/gen:      the paper's synthetic mall workload
+//
+// Quick start:
+//
+//	b, _ := indoorq.GenerateMall(indoorq.MallSpec{Floors: 2})
+//	objs := indoorq.GenerateObjects(b, indoorq.ObjectSpec{N: 1000, Radius: 10})
+//	db, _, _ := indoorq.Open(b, objs, indoorq.Options{})
+//	results, _, _ := db.RangeQuery(indoorq.Pos(300, 60, 0), 100)
+package indoorq
+
+import (
+	"io"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/object"
+	"repro/internal/query"
+	"repro/internal/render"
+	"repro/internal/serde"
+)
+
+// Re-exported model types. The aliases keep one import path for users while
+// the implementation stays in focused internal packages.
+type (
+	// Building is a dynamic multi-floor indoor space.
+	Building = indoor.Building
+	// Partition is a room, hallway or staircase.
+	Partition = indoor.Partition
+	// PartitionID identifies a partition.
+	PartitionID = indoor.PartitionID
+	// Door connects two partitions; it may be one-way or closed.
+	Door = indoor.Door
+	// DoorID identifies a door.
+	DoorID = indoor.DoorID
+	// Position is a planar point on a floor.
+	Position = indoor.Position
+	// Object is an uncertain indoor moving object.
+	Object = object.Object
+	// ObjectID identifies an object.
+	ObjectID = object.ID
+	// Instance is one existential sample of an object.
+	Instance = object.Instance
+	// Point is a planar point in metres.
+	Point = geom.Point
+	// Rect is a planar axis-aligned rectangle.
+	Rect = geom.Rect
+	// Polygon is a rectilinear simple polygon (partition footprint).
+	Polygon = geom.Polygon
+	// Options configures index construction.
+	Options = index.Options
+	// BuildStats reports per-layer index construction time.
+	BuildStats = index.BuildStats
+	// QueryOptions switches query-processor ablations.
+	QueryOptions = query.Options
+	// QueryStats reports per-phase query cost and pruning counters.
+	QueryStats = query.Stats
+	// Result is one query answer.
+	Result = query.Result
+	// MallSpec parameterises the synthetic mall generator.
+	MallSpec = gen.MallSpec
+	// ObjectSpec parameterises uncertain-object generation.
+	ObjectSpec = gen.ObjectSpec
+)
+
+// Pos builds a Position.
+func Pos(x, y float64, floor int) Position { return indoor.Pos(x, y, floor) }
+
+// R builds a rectangle from two opposite corners.
+func R(x1, y1, x2, y2 float64) Rect { return geom.R(x1, y1, x2, y2) }
+
+// RectPoly returns the polygon form of a rectangle, for AddPartition and
+// AddHallway footprints.
+func RectPoly(r Rect) Polygon { return geom.RectPoly(r) }
+
+// NewBuilding returns an empty building with the given floor height in
+// metres.
+func NewBuilding(floorHeight float64) *Building { return indoor.NewBuilding(floorHeight) }
+
+// GenerateMall builds the paper's synthetic shopping mall (§V-A).
+func GenerateMall(spec MallSpec) (*Building, error) { return gen.Mall(spec) }
+
+// GenerateObjects draws uncertain objects uniformly over a building's
+// walkable space with truncated-Gaussian instance pdfs (§V-A).
+func GenerateObjects(b *Building, spec ObjectSpec) []*Object { return gen.Objects(b, spec) }
+
+// GenerateQueryPoints draws query positions uniformly over walkable space.
+func GenerateQueryPoints(b *Building, n int, seed int64) []Position {
+	return gen.QueryPoints(b, n, seed)
+}
+
+// DB couples a composite index with a query processor: the top-level handle
+// a location-based service holds.
+type DB struct {
+	idx  *index.Index
+	proc *query.Processor
+}
+
+// Open builds the composite index over the building and object set and
+// returns the database handle with per-layer construction statistics.
+func Open(b *Building, objs []*Object, opts Options) (*DB, BuildStats, error) {
+	return OpenWithQueryOptions(b, objs, opts, QueryOptions{})
+}
+
+// OpenWithQueryOptions is Open with explicit query-processor options (used
+// by the ablation benchmarks).
+func OpenWithQueryOptions(b *Building, objs []*Object, opts Options, qopts QueryOptions) (*DB, BuildStats, error) {
+	idx, stats, err := index.Build(b, objs, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	return &DB{idx: idx, proc: query.New(idx, qopts)}, stats, nil
+}
+
+// Index exposes the underlying composite index for advanced use (the
+// benchmark harness and the baseline comparisons).
+func (db *DB) Index() *index.Index { return db.idx }
+
+// Building returns the indexed building.
+func (db *DB) Building() *Building { return db.idx.Building() }
+
+// NumObjects returns the number of indexed objects.
+func (db *DB) NumObjects() int { return db.idx.Objects().Len() }
+
+// Object returns an indexed object by id, or nil.
+func (db *DB) Object(id ObjectID) *Object { return db.idx.Objects().Get(id) }
+
+// RangeQuery evaluates iRQ(q, r): objects whose expected indoor distance
+// from q is at most r metres (Definition 3, Algorithm 1).
+func (db *DB) RangeQuery(q Position, r float64) ([]Result, *QueryStats, error) {
+	return db.proc.RangeQuery(q, r)
+}
+
+// KNNQuery evaluates ikNNQ(q, k): the k objects with the smallest expected
+// indoor distances from q (Definition 4, Algorithm 2).
+func (db *DB) KNNQuery(q Position, k int) ([]Result, *QueryStats, error) {
+	return db.proc.KNNQuery(q, k)
+}
+
+// InsertObject adds an uncertain object (§III-C.2).
+func (db *DB) InsertObject(o *Object) error { return db.idx.InsertObject(o) }
+
+// DeleteObject removes an object (§III-C.2).
+func (db *DB) DeleteObject(id ObjectID) error { return db.idx.DeleteObject(id) }
+
+// UpdateObject replaces an object's uncertainty information (deletion
+// followed by insertion).
+func (db *DB) UpdateObject(o *Object) error { return db.idx.UpdateObject(o) }
+
+// MoveObject is the adjacency-accelerated location update for frequently
+// reporting objects.
+func (db *DB) MoveObject(o *Object) error { return db.idx.MoveObject(o) }
+
+// AddPartition indexes a partition previously added to the building.
+func (db *DB) AddPartition(pid PartitionID) error { return db.idx.AddPartition(pid) }
+
+// RemovePartition removes a partition and its doors from the building and
+// the index.
+func (db *DB) RemovePartition(pid PartitionID) error { return db.idx.RemovePartition(pid) }
+
+// AttachDoor indexes a door previously added to the building.
+func (db *DB) AttachDoor(did DoorID) error { return db.idx.AttachDoor(did) }
+
+// DetachDoor removes a door from the building and the index.
+func (db *DB) DetachDoor(did DoorID) { db.idx.DetachDoor(did) }
+
+// SetDoorClosed closes or reopens a door; queries observe the change
+// immediately with no index maintenance.
+func (db *DB) SetDoorClosed(did DoorID, closed bool) error {
+	return db.idx.SetDoorClosed(did, closed)
+}
+
+// SplitPartition mounts a sliding wall, dividing a rectangular partition in
+// two (the paper's room-21 meeting-style scenario).
+func (db *DB) SplitPartition(pid PartitionID, alongX bool, at float64) (PartitionID, PartitionID, error) {
+	return db.idx.SplitPartition(pid, alongX, at)
+}
+
+// MergePartitions dismounts a sliding wall, merging two rectangular
+// partitions (banquet style).
+func (db *DB) MergePartitions(pa, pb PartitionID) (PartitionID, error) {
+	return db.idx.MergePartitions(pa, pb)
+}
+
+// LocatePartition returns the partition containing a position via the tree
+// tier, or -1.
+func (db *DB) LocatePartition(q Position) PartitionID { return db.idx.LocatePartition(q) }
+
+// Monitor maintains standing (continuous) range queries over the index,
+// reconciled incrementally as objects move. See NewMonitor.
+type Monitor = query.Monitor
+
+// MonitorEvent reports one membership change of a standing query.
+type MonitorEvent = query.Event
+
+// NewMonitor returns a continuous-query monitor over the database's index.
+// Route object updates and door toggles through the monitor so standing
+// results stay consistent.
+func (db *DB) NewMonitor() *Monitor { return query.NewMonitor(db.idx, QueryOptions{}) }
+
+// Estimator predicts iRQ cardinalities without running the query.
+type Estimator = query.Estimator
+
+// NewEstimator returns a selectivity estimator over the database's index.
+func (db *DB) NewEstimator() *Estimator { return query.NewEstimator(db.idx) }
+
+// Save writes the building and every indexed object as JSON.
+func (db *DB) Save(w io.Writer) error {
+	objs := make([]*Object, 0, db.idx.Objects().Len())
+	for _, id := range db.idx.Objects().IDs() {
+		objs = append(objs, db.idx.Objects().Get(id))
+	}
+	return serde.Encode(w, db.idx.Building(), objs)
+}
+
+// SaveBuilding writes a building (and optional objects) as JSON.
+func SaveBuilding(w io.Writer, b *Building, objs []*Object) error {
+	return serde.Encode(w, b, objs)
+}
+
+// LoadBuilding reads a building and objects from JSON.
+func LoadBuilding(r io.Reader) (*Building, []*Object, error) {
+	return serde.Decode(r)
+}
+
+// RenderOptions configures an SVG floor-plan rendering.
+type RenderOptions = render.Options
+
+// RenderSVG draws one floor of the database's building as SVG: partitions,
+// doors (one-way arrows, closure marks), objects, the query point with its
+// range circle, and optionally the decomposed index units.
+func (db *DB) RenderSVG(w io.Writer, opts RenderOptions) error {
+	if opts.Units == nil {
+		opts.Units = db.idx
+	}
+	return render.SVG(w, db.idx.Building(), opts)
+}

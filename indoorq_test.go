@@ -1,0 +1,121 @@
+package indoorq
+
+import (
+	"math"
+	"testing"
+)
+
+func openSmall(t *testing.T) *DB {
+	t.Helper()
+	b, err := GenerateMall(MallSpec{Floors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := GenerateObjects(b, ObjectSpec{N: 200, Radius: 10, Instances: 20, Seed: 1})
+	db, stats, err := Open(b, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total() <= 0 {
+		t.Error("build stats must be positive")
+	}
+	return db
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	db := openSmall(t)
+	if db.NumObjects() != 200 {
+		t.Fatalf("objects = %d", db.NumObjects())
+	}
+	qs := GenerateQueryPoints(db.Building(), 3, 2)
+	for _, q := range qs {
+		rs, st, err := db.RangeQuery(q, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Total() <= 0 {
+			t.Error("query stats must be positive")
+		}
+		for _, r := range rs {
+			if db.Object(r.ID) == nil {
+				t.Fatalf("result %d not in store", r.ID)
+			}
+		}
+		ks, _, err := db.KNNQuery(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ks) != 10 {
+			t.Fatalf("kNN returned %d", len(ks))
+		}
+	}
+}
+
+func TestFacadeDynamics(t *testing.T) {
+	db := openSmall(t)
+	q := GenerateQueryPoints(db.Building(), 1, 3)[0]
+
+	// Object lifecycle through the facade.
+	o := &Object{ID: 9999, Instances: []Instance{{Pos: q, P: 1}}}
+	if err := db.InsertObject(o); err != nil {
+		t.Fatal(err)
+	}
+	rs, _, err := db.RangeQuery(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rs {
+		if r.ID == 9999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inserted object not found at distance 0")
+	}
+	if err := db.DeleteObject(9999); err != nil {
+		t.Fatal(err)
+	}
+
+	// Topology through the facade: split the query's partition, then
+	// merge it back; queries must keep working.
+	pid := db.LocatePartition(q)
+	if pid < 0 {
+		t.Fatal("query point not located")
+	}
+	part := db.Building().Partition(pid)
+	bounds := part.Bounds()
+	if part.Kind == 0 { // room: splittable
+		mid := (bounds.MinX + bounds.MaxX) / 2
+		pa, pb, err := db.SplitPartition(pid, true, mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := db.RangeQuery(q, 50); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.MergePartitions(pa, pb); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := db.RangeQuery(q, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFacadeZeroRadiusAndHelpers(t *testing.T) {
+	db := openSmall(t)
+	q := Pos(300, 60, 0)
+	rs, _, err := db.RangeQuery(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if !math.IsNaN(r.Distance) && r.Distance > 0 {
+			t.Error("r=0 results must be at distance 0")
+		}
+	}
+	if got := R(3, 4, 1, 2); got.MinX != 1 || got.MaxY != 4 {
+		t.Errorf("R helper = %+v", got)
+	}
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/query"
+)
+
+// tiny is a fast configuration for harness tests.
+func tiny() Config {
+	return Config{Floors: 1, Objects: 50, Radius: 5, Instances: 10}
+}
+
+func TestFixtureCaching(t *testing.T) {
+	DropFixtures()
+	a, err := Fixture(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fixture(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same config must return the cached fixture")
+	}
+	DropFixtures()
+	c, err := Fixture(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("DropFixtures must evict")
+	}
+	// Determinism: the rebuilt fixture carries the same workload.
+	if len(c.Objs) != len(a.Objs) || c.B.NumPartitions() != a.B.NumPartitions() {
+		t.Error("rebuilt fixture differs")
+	}
+	for i := range c.Queries {
+		if !c.Queries[i].Pt.Eq(a.Queries[i].Pt) || c.Queries[i].Floor != a.Queries[i].Floor {
+			t.Fatal("query pool not deterministic")
+		}
+	}
+}
+
+func TestRunIRQAggregates(t *testing.T) {
+	f, err := Fixture(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := RunIRQ(f, 80, 5, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.MeanTotal <= 0 {
+		t.Error("mean total must be positive")
+	}
+	if pt.Filtering+pt.Subgraph+pt.Pruning+pt.Refinement == 0 {
+		t.Error("phase means must be populated")
+	}
+	if pt.FilterRatio < 0 || pt.FilterRatio > 1 {
+		t.Errorf("filter ratio %g out of range", pt.FilterRatio)
+	}
+	if pt.Units <= 0 {
+		t.Error("units retrieved must be positive")
+	}
+}
+
+func TestRunKNNAggregates(t *testing.T) {
+	f, err := Fixture(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := RunKNN(f, 10, 5, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Results != 10 {
+		t.Errorf("mean results = %g, want 10", pt.Results)
+	}
+	if pt.MeanTotal <= 0 {
+		t.Error("mean total must be positive")
+	}
+}
+
+func TestRunClampsQueryCount(t *testing.T) {
+	f, err := Fixture(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nq beyond the pool or zero: both fall back to the whole pool.
+	if _, err := RunIRQ(f, 50, 0, query.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunIRQ(f, 50, 10_000, query.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	d := Default()
+	if d.Floors != DefaultFloors || d.Objects != DefaultObjects ||
+		d.Radius != DefaultRadius || d.Instances != DefaultInstances {
+		t.Errorf("Default() = %+v", d)
+	}
+	if d.String() == "" {
+		t.Error("config must stringify")
+	}
+}

@@ -1,0 +1,191 @@
+// Package distance implements the paper's indoor distance machinery (§II):
+// expected indoor distances of uncertain objects (Equations 2–6) evaluated
+// through the composite index without any pre-computed door-to-door
+// distances, plus every bound the query algorithms prune with — the
+// Euclidean/skeleton geometric lower bound (Lemma 6), the topological
+// upper/lower bounds (Lemmas 1–3, Equation 7) and the probabilistic bounds
+// for multi-partition objects (Lemmas 4–5, Equation 8).
+//
+// An Engine is the subgraph phase of §IV-B made reusable: it anchors one
+// query point, runs a multi-source Dijkstra over the doors of a restricted
+// unit set, and then answers bound and exact-distance requests for any
+// object whose uncertainty region lies in those units.
+package distance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/indoor"
+)
+
+// Engine holds single-source (the query point) shortest-path distances to
+// every door of a restricted set of index units. Distances to doors outside
+// the set are +Inf; evaluation against such doors produces sound brackets
+// via the cap discipline (see ExactDistBracket and the package note in
+// expected.go), which query refinement resolves through an escalation
+// ladder of wider engines.
+type Engine struct {
+	idx   *index.Index
+	q     indoor.Position
+	qUnit *index.Unit
+	inSet map[index.UnitID]bool
+	node  map[*index.DoorRef]int
+	dist  []float64
+	full  bool
+
+	// Stats counts which expected-distance case (§II-C) each evaluated
+	// subregion hit.
+	Stats CaseStats
+}
+
+// CaseStats tallies the three indoor-distance cases of §II-C.
+type CaseStats struct {
+	SinglePath  int // single-partition single-path, Equation 3
+	MultiPath   int // single-partition multi-path, Equation 4
+	Unreachable int
+}
+
+// New builds an engine over the given candidate units (the output of the
+// filtering phase). The query point's own unit is always included. Dijkstra
+// expansion stops beyond bound; pass math.Inf(1) for an unbounded search.
+func New(idx *index.Index, q indoor.Position, unitIDs []index.UnitID, bound float64) (*Engine, error) {
+	qUnit := idx.LocateUnit(q)
+	if qUnit == nil {
+		return nil, fmt.Errorf("distance: query point %v is outside every partition", q)
+	}
+	inSet := make(map[index.UnitID]bool, len(unitIDs)+1)
+	inSet[qUnit.ID] = true
+	for _, id := range unitIDs {
+		inSet[id] = true
+	}
+	e := &Engine{idx: idx, q: q, qUnit: qUnit, inSet: inSet}
+	e.run(bound)
+	return e, nil
+}
+
+// NewFull builds an engine over every unit of the index: the reference
+// evaluator used for refinement fallback and as the test oracle's
+// counterpart.
+func NewFull(idx *index.Index, q indoor.Position) (*Engine, error) {
+	qUnit := idx.LocateUnit(q)
+	if qUnit == nil {
+		return nil, fmt.Errorf("distance: query point %v is outside every partition", q)
+	}
+	inSet := make(map[index.UnitID]bool)
+	idx.SearchTree(
+		func(geom.Rect3) bool { return true },
+		func(u *index.Unit) { inSet[u.ID] = true },
+	)
+	e := &Engine{idx: idx, q: q, qUnit: qUnit, inSet: inSet, full: true}
+	e.run(math.Inf(1))
+	return e, nil
+}
+
+// run performs the subgraph phase: assemble the directed doors graph over
+// the unit set (an edge a→b through unit u exists iff a permits entry into
+// u; weights are intra-unit walking distances) and run Dijkstra seeded at
+// the doors of the query point's unit.
+func (e *Engine) run(bound float64) {
+	// Deterministic unit order.
+	units := make([]index.UnitID, 0, len(e.inSet))
+	for id := range e.inSet {
+		units = append(units, id)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+
+	e.node = make(map[*index.DoorRef]int)
+	g := graph.New(0)
+	nodeOf := func(d *index.DoorRef) int {
+		n, ok := e.node[d]
+		if !ok {
+			n = g.AddNode()
+			e.node[d] = n
+		}
+		return n
+	}
+	for _, uid := range units {
+		u := e.idx.Unit(uid)
+		if u == nil {
+			continue
+		}
+		for _, a := range u.Doors {
+			if !a.CanEnter(u) {
+				continue
+			}
+			na := nodeOf(a)
+			for _, b := range u.Doors {
+				if b == a {
+					continue
+				}
+				g.AddEdge(na, nodeOf(b), u.WalkDist(a.Position(), b.Position()))
+			}
+		}
+	}
+	var sources []graph.Source
+	for _, b := range e.qUnit.Doors {
+		sources = append(sources, graph.Source{
+			Node: nodeOf(b),
+			Dist: e.qUnit.WalkDist(e.q, b.Position()),
+		})
+	}
+	e.dist = g.Dijkstra(sources, bound)
+}
+
+// Full reports whether the engine covers every unit.
+func (e *Engine) Full() bool { return e.full }
+
+// Query returns the anchored query position.
+func (e *Engine) Query() indoor.Position { return e.q }
+
+// QueryUnit returns the unit containing the query point.
+func (e *Engine) QueryUnit() *index.Unit { return e.qUnit }
+
+// DoorDist returns the indoor distance from the query point to a door
+// (+Inf when the door is outside the engine's unit set or unreachable).
+func (e *Engine) DoorDist(d *index.DoorRef) float64 {
+	n, ok := e.node[d]
+	if !ok {
+		return math.Inf(1)
+	}
+	return e.dist[n]
+}
+
+// PointDist returns the indoor distance |q, p|I to a fixed point. The
+// boolean is false when p's unit has doors outside the engine's reach, in
+// which case the value is only an upper view and the caller should retry
+// with a full engine.
+func (e *Engine) PointDist(p indoor.Position) (float64, bool) {
+	u := e.idx.LocateUnit(p)
+	if u == nil {
+		return math.Inf(1), true
+	}
+	best := math.Inf(1)
+	if u.ID == e.qUnit.ID {
+		best = u.WalkDist(e.q, p)
+	}
+	complete := e.full || e.inSet[u.ID]
+	for _, d := range u.Doors {
+		if !d.CanEnter(u) {
+			continue
+		}
+		base := e.DoorDist(d)
+		if math.IsInf(base, 1) {
+			if !e.full {
+				complete = false
+			}
+			continue
+		}
+		if v := base + u.WalkDist(d.Position(), p); v < best {
+			best = v
+		}
+	}
+	if math.IsInf(best, 1) && e.full {
+		complete = true
+	}
+	return best, complete
+}

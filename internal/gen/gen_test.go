@@ -1,0 +1,204 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/indoor"
+)
+
+func TestMallSingleFloor(t *testing.T) {
+	b, err := Mall(MallSpec{Floors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rooms, hallways, stairs := 0, 0, 0
+	for _, p := range b.Partitions() {
+		switch p.Kind {
+		case indoor.Room:
+			rooms++
+		case indoor.Hallway:
+			hallways++
+		case indoor.Staircase:
+			stairs++
+		}
+	}
+	if rooms != 100 {
+		t.Errorf("rooms = %d, want 100 (paper §V-A)", rooms)
+	}
+	if hallways != 9 { // 5 corridors + 4 spine segments
+		t.Errorf("hallways = %d, want 9", hallways)
+	}
+	if stairs != 0 { // single floor: no staircases
+		t.Errorf("staircases = %d, want 0 on a single floor", stairs)
+	}
+	if b.Floors() != 1 {
+		t.Errorf("floors = %d", b.Floors())
+	}
+}
+
+func TestMallMultiFloorCounts(t *testing.T) {
+	b, err := Mall(MallSpec{Floors: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Floors() != 10 {
+		t.Fatalf("floors = %d", b.Floors())
+	}
+	stairs := 0
+	for _, p := range b.Partitions() {
+		if p.Kind == indoor.Staircase {
+			stairs++
+		}
+	}
+	if stairs != 4*9 { // 4 corners × 9 inter-floor gaps
+		t.Errorf("staircases = %d, want 36", stairs)
+	}
+	// ~1K partitions at 10 floors, the paper's smallest building.
+	n := b.NumPartitions()
+	if n < 1000 || n > 1300 {
+		t.Errorf("partitions = %d, want ≈1.1K", n)
+	}
+}
+
+// Every room must be reachable from every other room: flood the partition
+// adjacency from one room and count.
+func TestMallConnected(t *testing.T) {
+	b, err := Mall(MallSpec{Floors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := b.Partitions()
+	visited := make(map[indoor.PartitionID]bool)
+	queue := []indoor.PartitionID{parts[0].ID}
+	visited[parts[0].ID] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range b.AdjacentPartitions(cur) {
+			if !visited[n] {
+				visited[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	if len(visited) != len(parts) {
+		t.Errorf("connected component has %d of %d partitions", len(visited), len(parts))
+	}
+}
+
+func TestMallOneWayDoors(t *testing.T) {
+	b, err := Mall(MallSpec{Floors: 1, OneWayFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneWay := 0
+	for _, d := range b.Doors() {
+		if d.OneWay {
+			oneWay++
+		}
+	}
+	if oneWay != 100 { // every room door
+		t.Errorf("one-way doors = %d, want 100", oneWay)
+	}
+}
+
+func TestMallDeterministic(t *testing.T) {
+	a, err := Mall(MallSpec{Floors: 2, OneWayFraction: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mall(MallSpec{Floors: 2, OneWayFraction: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := a.Doors(), b.Doors()
+	if len(da) != len(db) {
+		t.Fatal("door counts differ")
+	}
+	for i := range da {
+		if da[i].OneWay != db[i].OneWay || !da[i].Pos.Eq(db[i].Pos) {
+			t.Fatal("same seed must generate identical malls")
+		}
+	}
+}
+
+func TestObjectsContract(t *testing.T) {
+	b, err := Mall(MallSpec{Floors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := Objects(b, ObjectSpec{N: 50, Radius: 10, Seed: 7})
+	if len(objs) != 50 {
+		t.Fatalf("objects = %d", len(objs))
+	}
+	s := newSampler(b)
+	for _, o := range objs {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("object %d: %v", o.ID, err)
+		}
+		if len(o.Instances) != 100 {
+			t.Fatalf("object %d has %d instances", o.ID, len(o.Instances))
+		}
+		for _, in := range o.Instances {
+			if !s.inside(in.Pos) {
+				t.Fatalf("object %d instance at %v is inside a wall", o.ID, in.Pos)
+			}
+			if in.Pos.Pt.DistTo(o.Center.Pt) > o.Radius+1e-9 {
+				t.Fatalf("object %d instance beyond uncertainty radius", o.ID)
+			}
+		}
+	}
+}
+
+func TestObjectsZeroRadius(t *testing.T) {
+	b, err := Mall(MallSpec{Floors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := Objects(b, ObjectSpec{N: 5, Radius: 0, Instances: 3, Seed: 1})
+	for _, o := range objs {
+		for _, in := range o.Instances {
+			if !in.Pos.Pt.Eq(o.Center.Pt) {
+				t.Fatal("zero-radius object instances must sit at the centre")
+			}
+		}
+	}
+}
+
+func TestQueryPoints(t *testing.T) {
+	b, err := Mall(MallSpec{Floors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := QueryPoints(b, 40, 3)
+	if len(qs) != 40 {
+		t.Fatalf("points = %d", len(qs))
+	}
+	s := newSampler(b)
+	floors := make(map[int]bool)
+	for _, q := range qs {
+		if !s.inside(q) {
+			t.Fatalf("query point %v in a wall", q)
+		}
+		floors[q.Floor] = true
+	}
+	if len(floors) < 2 {
+		t.Error("query points should span multiple floors")
+	}
+}
+
+func TestObjectsDeterministic(t *testing.T) {
+	b, err := Mall(MallSpec{Floors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Objects(b, ObjectSpec{N: 10, Radius: 5, Seed: 11})
+	c := Objects(b, ObjectSpec{N: 10, Radius: 5, Seed: 11})
+	for i := range a {
+		for j := range a[i].Instances {
+			if !a[i].Instances[j].Pos.Pt.Eq(c[i].Instances[j].Pos.Pt) {
+				t.Fatal("same seed must generate identical objects")
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package gen generates the paper's experimental workload (§V-A): a
+// shopping-mall building with 600 m × 600 m × 4 m floors, 100 rooms and 4
+// corner staircases per floor connected by hallways; uncertain objects with
+// circular uncertainty regions sampled as truncated Gaussians; and random
+// query points. All generation is deterministic under a caller-provided
+// seed.
+//
+// The real mall floor plan the paper uses is an image; this generator is
+// the synthetic substitution documented in DESIGN.md — identical partition
+// and door counts, identical object model, same topology diameter class
+// (rooms on double-loaded corridors, a central spine, staircases at the
+// corners).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/indoor"
+)
+
+// MallSpec parameterises the synthetic mall.
+type MallSpec struct {
+	// Floors is the number of floors (10/20/30 in the paper's sweeps).
+	Floors int
+	// FloorHeight in metres; 4 when zero.
+	FloorHeight float64
+	// Size is the side length of the square floor in metres; 600 when
+	// zero.
+	Size float64
+	// OneWayFraction of room doors are made unidirectional (into the
+	// room); 0 disables. The paper's evaluation uses bidirectional doors;
+	// one-way doors appear in its motivating examples.
+	OneWayFraction float64
+	// Seed drives one-way door selection.
+	Seed int64
+}
+
+func (s MallSpec) withDefaults() MallSpec {
+	if s.Floors == 0 {
+		s.Floors = 1
+	}
+	if s.FloorHeight == 0 {
+		s.FloorHeight = 4
+	}
+	if s.Size == 0 {
+		s.Size = 600
+	}
+	return s
+}
+
+// Mall layout constants, scaled to a 600 m floor: five horizontal corridor
+// bands of 120 m; each band is a 55 m room row, a 10 m corridor, and a
+// second 55 m room row. Rooms flank a 10 m vertical spine at the centre.
+const (
+	bands        = 5
+	bandHeight   = 120.0
+	roomDepth    = 55.0
+	corridorW    = 10.0
+	roomsPerSide = 5 // per half-row; 10 rooms per row side-pair, 20 per band
+	stairLen     = 20.0
+	stairW       = corridorW
+)
+
+// Mall builds the synthetic mall. Per floor it creates 100 rooms
+// (5 bands × 2 rows × 10 rooms), 5 horizontal corridors, 4 spine segments
+// and, between consecutive floors, 4 corner staircases — about 113
+// partitions per floor, matching the paper's 1K/2K/3K partition counts at
+// 10/20/30 floors.
+func Mall(spec MallSpec) (*indoor.Building, error) {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	scale := spec.Size / 600.0
+	b := indoor.NewBuilding(spec.FloorHeight)
+
+	type floorParts struct {
+		corridors [bands]indoor.PartitionID // horizontal corridors, south to north
+	}
+	perFloor := make([]floorParts, spec.Floors)
+
+	for f := 0; f < spec.Floors; f++ {
+		var fp floorParts
+		for band := 0; band < bands; band++ {
+			y0 := float64(band) * bandHeight * scale
+			corrMinY := y0 + roomDepth*scale
+			corrMaxY := corrMinY + corridorW*scale
+
+			// Horizontal corridor; bands 0 and 4 leave room for corner
+			// staircases at the two ends.
+			cMinX, cMaxX := 0.0, spec.Size
+			if band == 0 || band == bands-1 {
+				cMinX, cMaxX = stairLen*scale, spec.Size-stairLen*scale
+			}
+			corr, err := b.AddHallway(f, geom.RectPoly(geom.R(cMinX, corrMinY, cMaxX, corrMaxY)))
+			if err != nil {
+				return nil, err
+			}
+			fp.corridors[band] = corr.ID
+
+			// Rooms: two rows per band, 5 rooms west of the spine and 5
+			// east, with doors onto the corridor.
+			spineMinX := (300 - corridorW/2) * scale
+			spineMaxX := (300 + corridorW/2) * scale
+			addRow := func(ry0, ry1 float64, doorY float64) error {
+				halves := [][2]float64{{0, spineMinX}, {spineMaxX, spec.Size}}
+				for _, h := range halves {
+					w := (h[1] - h[0]) / roomsPerSide
+					for i := 0; i < roomsPerSide; i++ {
+						x0 := h[0] + float64(i)*w
+						room := b.AddRoom(f, geom.R(x0, ry0, x0+w, ry1))
+						doorX := x0 + w/2
+						if rng.Float64() < spec.OneWayFraction {
+							if _, err := b.AddOneWayDoor(geom.Pt(doorX, doorY), f, corr.ID, room.ID); err != nil {
+								return err
+							}
+						} else if _, err := b.AddDoor(geom.Pt(doorX, doorY), f, room.ID, corr.ID); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}
+			// South row: below the corridor, door on its north edge.
+			if err := addRow(y0, corrMinY, corrMinY); err != nil {
+				return nil, err
+			}
+			// North row: above the corridor, door on its south edge.
+			if err := addRow(corrMaxY, y0+bandHeight*scale, corrMaxY); err != nil {
+				return nil, err
+			}
+		}
+
+		// Spine segments join consecutive corridors through the room bands.
+		spineMinX := (300 - corridorW/2) * scale
+		spineMaxX := (300 + corridorW/2) * scale
+		for band := 0; band+1 < bands; band++ {
+			yTop := float64(band)*bandHeight*scale + (roomDepth+corridorW)*scale
+			yNext := float64(band+1)*bandHeight*scale + roomDepth*scale
+			seg, err := b.AddHallway(f, geom.RectPoly(geom.R(spineMinX, yTop, spineMaxX, yNext)))
+			if err != nil {
+				return nil, err
+			}
+			mid := (spineMinX + spineMaxX) / 2
+			if _, err := b.AddDoor(geom.Pt(mid, yTop), f, seg.ID, fp.corridors[band]); err != nil {
+				return nil, err
+			}
+			if _, err := b.AddDoor(geom.Pt(mid, yNext), f, seg.ID, fp.corridors[band+1]); err != nil {
+				return nil, err
+			}
+		}
+		perFloor[f] = fp
+	}
+
+	// Corner staircases: at both ends of the southmost and northmost
+	// corridors, spanning each pair of consecutive floors. The run length
+	// approximates walking two flights of stairs for a 4 m slab.
+	run := 2 * spec.FloorHeight * (stairLen / 20)
+	for f := 0; f+1 < spec.Floors; f++ {
+		corners := []struct {
+			rect geom.Rect
+			door geom.Point
+			band int
+		}{
+			{geom.R(0, roomDepth*scale, stairLen*scale, (roomDepth+stairW)*scale),
+				geom.Pt(stairLen*scale, (roomDepth+stairW/2)*scale), 0},
+			{geom.R(600*scale-stairLen*scale, roomDepth*scale, 600*scale, (roomDepth+stairW)*scale),
+				geom.Pt(600*scale-stairLen*scale, (roomDepth+stairW/2)*scale), 0},
+			{geom.R(0, (4*bandHeight+roomDepth)*scale, stairLen*scale, (4*bandHeight+roomDepth+stairW)*scale),
+				geom.Pt(stairLen*scale, (4*bandHeight+roomDepth+stairW/2)*scale), bands - 1},
+			{geom.R(600*scale-stairLen*scale, (4*bandHeight+roomDepth)*scale, 600*scale, (4*bandHeight+roomDepth+stairW)*scale),
+				geom.Pt(600*scale-stairLen*scale, (4*bandHeight+roomDepth+stairW/2)*scale), bands - 1},
+		}
+		for _, c := range corners {
+			st := b.AddStaircase(f, c.rect, run)
+			if _, err := b.AddDoor(c.door, f, st.ID, perFloor[f].corridors[c.band]); err != nil {
+				return nil, err
+			}
+			if _, err := b.AddDoor(c.door, f+1, st.ID, perFloor[f+1].corridors[c.band]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: generated mall invalid: %w", err)
+	}
+	return b, nil
+}

@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/indoor"
+	"repro/internal/object"
+)
+
+// sampler draws positions uniformly from a building's walkable area (rooms
+// and hallways; staircases are excluded as the paper's objects live on
+// floors). It precomputes the per-floor rectangle catalogue once.
+type sampler struct {
+	b      *indoor.Building
+	floors int
+	// rects per floor, with prefix areas for weighted selection.
+	rects  map[int][]geom.Rect
+	prefix map[int][]float64
+}
+
+func newSampler(b *indoor.Building) *sampler {
+	s := &sampler{
+		b: b, floors: b.Floors(),
+		rects:  make(map[int][]geom.Rect),
+		prefix: make(map[int][]float64),
+	}
+	for _, p := range b.Partitions() {
+		if p.Kind == indoor.Staircase {
+			continue
+		}
+		for _, r := range p.Shape.RectDecompose() {
+			s.rects[p.Floor] = append(s.rects[p.Floor], r)
+		}
+	}
+	for f, rs := range s.rects {
+		acc := make([]float64, len(rs))
+		sum := 0.0
+		for i, r := range rs {
+			sum += r.Area()
+			acc[i] = sum
+		}
+		s.prefix[f] = acc
+	}
+	return s
+}
+
+// point draws a uniform position on the given floor.
+func (s *sampler) point(rng *rand.Rand, floor int) indoor.Position {
+	rs, acc := s.rects[floor], s.prefix[floor]
+	total := acc[len(acc)-1]
+	t := rng.Float64() * total
+	i := 0
+	for i < len(acc)-1 && acc[i] < t {
+		i++
+	}
+	r := rs[i]
+	return indoor.Position{
+		Pt:    geom.Pt(r.MinX+rng.Float64()*r.Width(), r.MinY+rng.Float64()*r.Height()),
+		Floor: floor,
+	}
+}
+
+// inside reports whether the position lies in walkable area of its floor.
+func (s *sampler) inside(pos indoor.Position) bool {
+	for _, r := range s.rects[pos.Floor] {
+		if r.Contains(pos.Pt) {
+			return true
+		}
+	}
+	return false
+}
+
+// ObjectSpec parameterises object generation per §V-A.
+type ObjectSpec struct {
+	// N objects (10K/20K/30K in the paper's sweeps).
+	N int
+	// Radius of the circular uncertainty region in metres (5/10/15).
+	Radius float64
+	// Instances per object; 100 when zero.
+	Instances int
+	// Seed for deterministic generation.
+	Seed int64
+}
+
+func (s ObjectSpec) withDefaults() ObjectSpec {
+	if s.Instances == 0 {
+		s.Instances = 100
+	}
+	return s
+}
+
+// Objects generates uncertain objects randomly distributed in the building:
+// centres uniform over walkable area, pdf a truncated Gaussian over the
+// uncertainty circle (σ = diameter/6) resampled so every instance lies in
+// walkable space (positioning never reports a location inside a wall).
+func Objects(b *indoor.Building, spec ObjectSpec) []*object.Object {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	s := newSampler(b)
+	sigma := spec.Radius / 3
+	p := 1.0 / float64(spec.Instances)
+
+	out := make([]*object.Object, 0, spec.N)
+	for i := 0; i < spec.N; i++ {
+		floor := rng.Intn(s.floors)
+		center := s.point(rng, floor)
+		o := &object.Object{
+			ID: object.ID(i), Center: center, Radius: spec.Radius,
+			Instances: make([]object.Instance, 0, spec.Instances),
+		}
+		for len(o.Instances) < spec.Instances {
+			if spec.Radius == 0 {
+				o.Instances = append(o.Instances, object.Instance{Pos: center, P: p})
+				continue
+			}
+			dx := rng.NormFloat64() * sigma
+			dy := rng.NormFloat64() * sigma
+			if dx*dx+dy*dy > spec.Radius*spec.Radius {
+				continue
+			}
+			pos := indoor.Position{Pt: geom.Pt(center.Pt.X+dx, center.Pt.Y+dy), Floor: floor}
+			if !s.inside(pos) {
+				continue
+			}
+			o.Instances = append(o.Instances, object.Instance{Pos: pos, P: p})
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// QueryPoints generates n query positions uniformly over walkable area.
+func QueryPoints(b *indoor.Building, n int, seed int64) []indoor.Position {
+	rng := rand.New(rand.NewSource(seed))
+	s := newSampler(b)
+	out := make([]indoor.Position, n)
+	for i := range out {
+		out[i] = s.point(rng, rng.Intn(s.floors))
+	}
+	return out
+}

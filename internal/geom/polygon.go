@@ -1,0 +1,237 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Polygon is a simple rectilinear polygon: every edge is axis-aligned and
+// consecutive edges alternate orientation. Vertices are listed in
+// counter-clockwise order without repeating the first vertex.
+//
+// Hallways with corners (L- or T-shaped partitions) are modelled as
+// rectilinear polygons; Algorithm 3 of the paper decomposes them into
+// convex rectangular index units at their turning points.
+type Polygon struct {
+	V []Point
+}
+
+// Poly builds a polygon from a vertex list.
+func Poly(v ...Point) Polygon { return Polygon{V: v} }
+
+// RectPoly returns the polygon form of a rectangle.
+func RectPoly(r Rect) Polygon {
+	c := r.Corners()
+	return Polygon{V: c[:]}
+}
+
+// Validate checks that the polygon is a simple rectilinear polygon: at least
+// four vertices, axis-aligned edges of positive length, alternating
+// orientation, and counter-clockwise winding.
+func (p Polygon) Validate() error {
+	n := len(p.V)
+	if n < 4 {
+		return fmt.Errorf("geom: polygon needs >= 4 vertices, got %d", n)
+	}
+	if n%2 != 0 {
+		return errors.New("geom: rectilinear polygon must have an even vertex count")
+	}
+	prevHorizontal := false
+	for i := range p.V {
+		a, b := p.V[i], p.V[(i+1)%n]
+		e := Segment{a, b}
+		switch {
+		case e.Length() <= Eps:
+			return fmt.Errorf("geom: zero-length edge at vertex %d", i)
+		case e.Horizontal():
+			if i > 0 && prevHorizontal {
+				return fmt.Errorf("geom: consecutive horizontal edges at vertex %d", i)
+			}
+			prevHorizontal = true
+		case e.Vertical():
+			if i > 0 && !prevHorizontal {
+				return fmt.Errorf("geom: consecutive vertical edges at vertex %d", i)
+			}
+			prevHorizontal = false
+		default:
+			return fmt.Errorf("geom: edge %d is not axis-aligned", i)
+		}
+	}
+	if p.signedArea() <= 0 {
+		return errors.New("geom: polygon must wind counter-clockwise")
+	}
+	return nil
+}
+
+func (p Polygon) signedArea() float64 {
+	var s float64
+	n := len(p.V)
+	for i := range p.V {
+		a, b := p.V[i], p.V[(i+1)%n]
+		s += a.X*b.Y - b.X*a.Y
+	}
+	return s / 2
+}
+
+// Area returns the enclosed area.
+func (p Polygon) Area() float64 { return math.Abs(p.signedArea()) }
+
+// Bounds returns the minimum bounding rectangle.
+func (p Polygon) Bounds() Rect {
+	b := EmptyRect
+	for _, v := range p.V {
+		b.MinX = math.Min(b.MinX, v.X)
+		b.MinY = math.Min(b.MinY, v.Y)
+		b.MaxX = math.Max(b.MaxX, v.X)
+		b.MaxY = math.Max(b.MaxY, v.Y)
+	}
+	return b
+}
+
+// IsConvex reports whether the polygon is convex. For a counter-clockwise
+// rectilinear polygon this is equivalent to having no reflex vertices, in
+// which case it is a rectangle.
+func (p Polygon) IsConvex() bool { return len(p.ReflexVertices()) == 0 }
+
+// ReflexVertices returns the indices of the turning points: vertices whose
+// internal angle exceeds 180° (270° in the rectilinear case). Algorithm 3
+// splits concave partitions at these vertices.
+func (p Polygon) ReflexVertices() []int {
+	n := len(p.V)
+	var out []int
+	for i := range p.V {
+		a := p.V[(i+n-1)%n]
+		b := p.V[i]
+		c := p.V[(i+1)%n]
+		cross := (b.X-a.X)*(c.Y-b.Y) - (b.Y-a.Y)*(c.X-b.X)
+		if cross < -Eps { // right turn on a CCW polygon => reflex vertex
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Contains reports whether q lies inside the polygon (boundary included),
+// via an even-odd ray cast robust for axis-aligned edges.
+func (p Polygon) Contains(q Point) bool {
+	n := len(p.V)
+	// Boundary check first: on-edge points count as inside.
+	for i := range p.V {
+		if (Segment{p.V[i], p.V[(i+1)%n]}).DistTo(q) <= Eps {
+			return true
+		}
+	}
+	inside := false
+	for i := range p.V {
+		a, b := p.V[i], p.V[(i+1)%n]
+		if (a.Y > q.Y) != (b.Y > q.Y) {
+			x := a.X + (q.Y-a.Y)/(b.Y-a.Y)*(b.X-a.X)
+			if q.X < x {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// RectDecompose splits the polygon into non-overlapping rectangles covering
+// exactly the same area. The method is a vertical slab sweep over the
+// distinct x-coordinates of the vertices, followed by a greedy horizontal
+// merge of slab cells that share identical y-intervals, which keeps units
+// quadratic where possible (the paper's preference for splits near the
+// middle of the longer dimension is then enforced by the caller's
+// aspect-ratio splitting).
+//
+// The polygon must be valid; call Validate first.
+func (p Polygon) RectDecompose() []Rect {
+	xs := make([]float64, 0, len(p.V))
+	for _, v := range p.V {
+		xs = append(xs, v.X)
+	}
+	sort.Float64s(xs)
+	xs = dedupFloats(xs)
+
+	// Cells per slab, keyed by slab index.
+	type cell struct {
+		r    Rect
+		open bool // still extendable to the right
+	}
+	var done []Rect
+	var active []cell
+
+	for i := 0; i+1 < len(xs); i++ {
+		x1, x2 := xs[i], xs[i+1]
+		if x2-x1 <= Eps {
+			continue
+		}
+		mid := (x1 + x2) / 2
+		ys := p.slabIntervals(mid)
+		// Match y-intervals of this slab against active cells: a cell
+		// extends iff an identical interval exists.
+		var next []cell
+		used := make([]bool, len(ys))
+		for _, c := range active {
+			extended := false
+			for j, iv := range ys {
+				if used[j] {
+					continue
+				}
+				if math.Abs(iv[0]-c.r.MinY) <= Eps && math.Abs(iv[1]-c.r.MaxY) <= Eps {
+					c.r.MaxX = x2
+					next = append(next, c)
+					used[j] = true
+					extended = true
+					break
+				}
+			}
+			if !extended {
+				done = append(done, c.r)
+			}
+		}
+		for j, iv := range ys {
+			if !used[j] {
+				next = append(next, cell{r: Rect{x1, iv[0], x2, iv[1]}, open: true})
+			}
+		}
+		active = next
+	}
+	for _, c := range active {
+		done = append(done, c.r)
+	}
+	return done
+}
+
+// slabIntervals returns the sorted y-intervals in which the vertical line
+// x = at lies inside the polygon.
+func (p Polygon) slabIntervals(at float64) [][2]float64 {
+	n := len(p.V)
+	var ys []float64
+	for i := range p.V {
+		a, b := p.V[i], p.V[(i+1)%n]
+		if (Segment{a, b}).Vertical() {
+			continue
+		}
+		lo, hi := math.Min(a.X, b.X), math.Max(a.X, b.X)
+		if at > lo && at < hi {
+			ys = append(ys, a.Y)
+		}
+	}
+	sort.Float64s(ys)
+	out := make([][2]float64, 0, len(ys)/2)
+	for i := 0; i+1 < len(ys); i += 2 {
+		out = append(out, [2]float64{ys[i], ys[i+1]})
+	}
+	return out
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x-out[len(out)-1] > Eps {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lShape is an L-shaped hallway: a 30×10 bar with a 10×20 stub rising from
+// its right end.
+func lShape() Polygon {
+	return Poly(
+		Pt(0, 0), Pt(30, 0), Pt(30, 30), Pt(20, 30), Pt(20, 10), Pt(0, 10),
+	)
+}
+
+func TestPolygonValidate(t *testing.T) {
+	if err := lShape().Validate(); err != nil {
+		t.Fatalf("valid L-shape rejected: %v", err)
+	}
+	if err := RectPoly(R(0, 0, 5, 5)).Validate(); err != nil {
+		t.Fatalf("rectangle polygon rejected: %v", err)
+	}
+
+	bad := []Polygon{
+		Poly(Pt(0, 0), Pt(1, 0), Pt(1, 1)),                               // too few vertices
+		Poly(Pt(0, 0), Pt(1, 1), Pt(0, 2), Pt(-1, 1)),                    // diagonal edges
+		Poly(Pt(0, 0), Pt(0, 5), Pt(5, 5), Pt(5, 0)),                     // clockwise
+		Poly(Pt(0, 0), Pt(5, 0), Pt(5, 0), Pt(5, 5), Pt(0, 5)),           // zero edge, odd count
+		Poly(Pt(0, 0), Pt(3, 0), Pt(6, 0), Pt(6, 5), Pt(0, 5), Pt(0, 2)), // consecutive horizontal
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad polygon %d accepted", i)
+		}
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	if a := lShape().Area(); math.Abs(a-500) > Eps {
+		t.Errorf("L-shape area = %g, want 500", a)
+	}
+	if a := RectPoly(R(0, 0, 4, 6)).Area(); math.Abs(a-24) > Eps {
+		t.Errorf("rect polygon area = %g, want 24", a)
+	}
+}
+
+func TestPolygonBounds(t *testing.T) {
+	if b := lShape().Bounds(); b != (Rect{0, 0, 30, 30}) {
+		t.Errorf("bounds = %v", b)
+	}
+}
+
+func TestReflexVertices(t *testing.T) {
+	p := lShape()
+	rv := p.ReflexVertices()
+	if len(rv) != 1 {
+		t.Fatalf("L-shape must have exactly 1 reflex vertex, got %d (%v)", len(rv), rv)
+	}
+	if !p.V[rv[0]].Eq(Pt(20, 10)) {
+		t.Errorf("reflex vertex = %v, want (20,10)", p.V[rv[0]])
+	}
+	if !p.IsConvex() == false {
+		t.Error("L-shape must be concave")
+	}
+	if !RectPoly(R(0, 0, 1, 1)).IsConvex() {
+		t.Error("rectangle must be convex")
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	p := lShape()
+	inside := []Point{Pt(5, 5), Pt(25, 25), Pt(25, 5), Pt(20, 10)}
+	outside := []Point{Pt(5, 15), Pt(15, 25), Pt(-1, 5), Pt(31, 5)}
+	for _, q := range inside {
+		if !p.Contains(q) {
+			t.Errorf("%v should be inside", q)
+		}
+	}
+	for _, q := range outside {
+		if p.Contains(q) {
+			t.Errorf("%v should be outside", q)
+		}
+	}
+}
+
+func TestRectDecomposeLShape(t *testing.T) {
+	p := lShape()
+	rects := p.RectDecompose()
+	checkDecomposition(t, p, rects)
+	if len(rects) < 2 {
+		t.Errorf("L-shape should decompose into >=2 rects, got %d", len(rects))
+	}
+}
+
+func TestRectDecomposeRect(t *testing.T) {
+	p := RectPoly(R(3, 4, 50, 9))
+	rects := p.RectDecompose()
+	if len(rects) != 1 {
+		t.Fatalf("rectangle should stay one rect, got %d: %v", len(rects), rects)
+	}
+	if rects[0] != (Rect{3, 4, 50, 9}) {
+		t.Errorf("decomposed rect = %v", rects[0])
+	}
+}
+
+// T-shaped and staircase-like polygons.
+func TestRectDecomposeComplexShapes(t *testing.T) {
+	shapes := []Polygon{
+		// T shape
+		Poly(Pt(0, 20), Pt(30, 20), Pt(30, 30), Pt(0, 30)).withStem(),
+		// staircase (three steps)
+		Poly(
+			Pt(0, 0), Pt(30, 0), Pt(30, 30), Pt(20, 30),
+			Pt(20, 20), Pt(10, 20), Pt(10, 10), Pt(0, 10),
+		),
+		// U shape
+		Poly(
+			Pt(0, 0), Pt(30, 0), Pt(30, 30), Pt(20, 30),
+			Pt(20, 10), Pt(10, 10), Pt(10, 30), Pt(0, 30),
+		),
+	}
+	for i, p := range shapes {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("shape %d invalid: %v", i, err)
+		}
+		checkDecomposition(t, p, p.RectDecompose())
+	}
+}
+
+// withStem turns the horizontal bar into a proper T by attaching a stem.
+func (p Polygon) withStem() Polygon {
+	return Poly(
+		Pt(10, 0), Pt(20, 0), Pt(20, 20), Pt(30, 20), Pt(30, 30),
+		Pt(0, 30), Pt(0, 20), Pt(10, 20),
+	)
+}
+
+// checkDecomposition asserts the rectangles tile the polygon exactly:
+// area preserved, pairwise non-overlapping, every rect centre inside.
+func checkDecomposition(t *testing.T, p Polygon, rects []Rect) {
+	t.Helper()
+	var sum float64
+	for i, r := range rects {
+		if r.IsEmpty() || r.Area() <= Eps {
+			t.Fatalf("rect %d degenerate: %v", i, r)
+		}
+		sum += r.Area()
+		if !p.Contains(r.Center()) {
+			t.Errorf("rect %d centre %v outside polygon", i, r.Center())
+		}
+		for j := i + 1; j < len(rects); j++ {
+			inter := r.Intersection(rects[j])
+			if !inter.IsEmpty() && inter.Area() > Eps {
+				t.Errorf("rects %d and %d overlap: %v", i, j, inter)
+			}
+		}
+	}
+	if math.Abs(sum-p.Area()) > 1e-6*p.Area()+Eps {
+		t.Errorf("area not preserved: rects %g vs polygon %g", sum, p.Area())
+	}
+	// Random interior points must be covered by exactly one rect.
+	rng := rand.New(rand.NewSource(7))
+	b := p.Bounds()
+	for k := 0; k < 500; k++ {
+		q := Pt(b.MinX+rng.Float64()*b.Width(), b.MinY+rng.Float64()*b.Height())
+		if !p.Contains(q) {
+			continue
+		}
+		covered := 0
+		for _, r := range rects {
+			if r.Contains(q) {
+				covered++
+			}
+		}
+		if covered == 0 {
+			t.Fatalf("interior point %v uncovered", q)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package geom
+
+import "math"
+
+// Segment is a straight line segment between two points. Doors are placed at
+// segment midpoints; shared edges between decomposed index units are
+// segments carrying virtual doors.
+type Segment struct {
+	A, B Point
+}
+
+// Length returns the Euclidean length of the segment.
+func (s Segment) Length() float64 { return s.A.DistTo(s.B) }
+
+// Mid returns the midpoint, used as the representative position of a door
+// per the paper's convention ("door midpoints are used for calculating
+// door-related distances").
+func (s Segment) Mid() Point { return s.A.Mid(s.B) }
+
+// DistTo returns the smallest distance from p to any point of the segment.
+func (s Segment) DistTo(p Point) float64 {
+	ab := s.B.Sub(s.A)
+	ap := p.Sub(s.A)
+	den := ab.X*ab.X + ab.Y*ab.Y
+	if den == 0 {
+		return p.DistTo(s.A)
+	}
+	t := (ap.X*ab.X + ap.Y*ab.Y) / den
+	t = math.Max(0, math.Min(1, t))
+	closest := Point{s.A.X + t*ab.X, s.A.Y + t*ab.Y}
+	return p.DistTo(closest)
+}
+
+// Horizontal reports whether the segment is axis-aligned along x.
+func (s Segment) Horizontal() bool { return math.Abs(s.A.Y-s.B.Y) <= Eps }
+
+// Vertical reports whether the segment is axis-aligned along y.
+func (s Segment) Vertical() bool { return math.Abs(s.A.X-s.B.X) <= Eps }

@@ -1,0 +1,215 @@
+// Package graph provides the weighted-digraph substrate shared by the doors
+// graph embedded in the composite index, the skeleton tier, the per-query
+// subgraph phase, and the pre-computation baseline: adjacency lists, a
+// binary-heap Dijkstra with multi-source seeding and distance bounding, and
+// a Floyd–Warshall all-pairs oracle used in tests and small matrices.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Inf is the distance reported for unreachable nodes.
+var Inf = math.Inf(1)
+
+// Edge is a directed, weighted edge to node To.
+type Edge struct {
+	To int
+	W  float64
+}
+
+// Graph is a directed graph with non-negative edge weights over nodes
+// 0..N()-1. The zero value is an empty graph; use New or AddNode to size it.
+type Graph struct {
+	adj [][]Edge
+}
+
+// New returns a graph with n isolated nodes.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]Edge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddNode appends an isolated node and returns its id.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts the directed edge u→v with weight w. Negative weights are
+// rejected because every distance in the system is a physical length.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if w < 0 {
+		panic(fmt.Sprintf("graph: negative edge weight %g", w))
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, W: w})
+}
+
+// AddBiEdge inserts edges in both directions with the same weight, the form
+// taken by every doors-graph edge that involves no unidirectional door.
+func (g *Graph) AddBiEdge(u, v int, w float64) {
+	g.AddEdge(u, v, w)
+	g.AddEdge(v, u, w)
+}
+
+// Edges returns the out-edges of u. The slice is owned by the graph.
+func (g *Graph) Edges(u int) []Edge { return g.adj[u] }
+
+// Source seeds a Dijkstra run: the search starts at Node with an initial
+// accumulated distance Dist (e.g. the Euclidean distance from a query point
+// to one of its partition's doors).
+type Source struct {
+	Node int
+	Dist float64
+}
+
+// Dijkstra computes single-/multi-source shortest path distances from the
+// given sources. Nodes farther than bound are left at Inf; pass math.Inf(1)
+// for an unbounded search. The returned slice has length N().
+func (g *Graph) Dijkstra(sources []Source, bound float64) []float64 {
+	dist := make([]float64, g.N())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	pq := make(minHeap, 0, len(sources))
+	for _, s := range sources {
+		if s.Dist > bound || s.Node < 0 || s.Node >= g.N() {
+			continue
+		}
+		if s.Dist < dist[s.Node] {
+			dist[s.Node] = s.Dist
+			pq = append(pq, heapItem{node: s.Node, dist: s.Dist})
+		}
+	}
+	heap.Init(&pq)
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(heapItem)
+		if it.dist > dist[it.node] { // stale entry
+			continue
+		}
+		for _, e := range g.adj[it.node] {
+			nd := it.dist + e.W
+			if nd < dist[e.To] && nd <= bound {
+				dist[e.To] = nd
+				heap.Push(&pq, heapItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraPaths is Dijkstra plus predecessor tracking: prev[v] is the node
+// preceding v on a shortest path (-1 for sources and unreachable nodes).
+func (g *Graph) DijkstraPaths(sources []Source, bound float64) (dist []float64, prev []int) {
+	dist = make([]float64, g.N())
+	prev = make([]int, g.N())
+	for i := range dist {
+		dist[i] = Inf
+		prev[i] = -1
+	}
+	pq := make(minHeap, 0, len(sources))
+	for _, s := range sources {
+		if s.Dist > bound || s.Node < 0 || s.Node >= g.N() {
+			continue
+		}
+		if s.Dist < dist[s.Node] {
+			dist[s.Node] = s.Dist
+			pq = append(pq, heapItem{node: s.Node, dist: s.Dist})
+		}
+	}
+	heap.Init(&pq)
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(heapItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, e := range g.adj[it.node] {
+			nd := it.dist + e.W
+			if nd < dist[e.To] && nd <= bound {
+				dist[e.To] = nd
+				prev[e.To] = it.node
+				heap.Push(&pq, heapItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// PathTo reconstructs the node sequence of a shortest path ending at v from
+// a prev slice returned by DijkstraPaths. It returns nil when v was not
+// reached.
+func PathTo(prev []int, dist []float64, v int) []int {
+	if v < 0 || v >= len(dist) || math.IsInf(dist[v], 1) {
+		return nil
+	}
+	var rev []int
+	for u := v; u != -1; u = prev[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// FloydWarshall returns the full all-pairs distance matrix. It is O(n³) and
+// intended for the small skeleton tier and for test oracles, not for the
+// doors graph of a large building.
+func (g *Graph) FloydWarshall() [][]float64 {
+	n := g.N()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 0
+			} else {
+				d[i][j] = Inf
+			}
+		}
+	}
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if e.W < d[u][e.To] {
+				d[u][e.To] = e.W
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if nd := dik + d[k][j]; nd < d[i][j] {
+					d[i][j] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+type heapItem struct {
+	node int
+	dist float64
+}
+
+type minHeap []heapItem
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDijkstraLine(t *testing.T) {
+	g := New(4)
+	g.AddBiEdge(0, 1, 1)
+	g.AddBiEdge(1, 2, 2)
+	g.AddBiEdge(2, 3, 3)
+	d := g.Dijkstra([]Source{{Node: 0}}, Inf)
+	want := []float64{0, 1, 3, 6}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-12 {
+			t.Errorf("d[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+}
+
+func TestDijkstraChoosesShorterPath(t *testing.T) {
+	g := New(3)
+	g.AddBiEdge(0, 1, 10)
+	g.AddBiEdge(0, 2, 1)
+	g.AddBiEdge(2, 1, 2)
+	d := g.Dijkstra([]Source{{Node: 0}}, Inf)
+	if d[1] != 3 {
+		t.Errorf("d[1] = %g, want 3 via node 2", d[1])
+	}
+}
+
+func TestDijkstraDirected(t *testing.T) {
+	// One-way door: 0 -> 1 passable, reverse must go around.
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddBiEdge(1, 2, 1)
+	g.AddBiEdge(2, 0, 1)
+	from0 := g.Dijkstra([]Source{{Node: 0}}, Inf)
+	from1 := g.Dijkstra([]Source{{Node: 1}}, Inf)
+	if from0[1] != 1 {
+		t.Errorf("0->1 = %g, want 1", from0[1])
+	}
+	if from1[0] != 2 {
+		t.Errorf("1->0 = %g, want 2 (around the one-way door)", from1[0])
+	}
+}
+
+func TestDijkstraMultiSource(t *testing.T) {
+	g := New(4)
+	g.AddBiEdge(0, 2, 5)
+	g.AddBiEdge(1, 2, 1)
+	g.AddBiEdge(2, 3, 1)
+	d := g.Dijkstra([]Source{{Node: 0, Dist: 0}, {Node: 1, Dist: 2}}, Inf)
+	if d[2] != 3 { // via source 1: 2+1 beats via source 0: 0+5
+		t.Errorf("d[2] = %g, want 3", d[2])
+	}
+	if d[3] != 4 {
+		t.Errorf("d[3] = %g, want 4", d[3])
+	}
+}
+
+func TestDijkstraBound(t *testing.T) {
+	g := New(4)
+	g.AddBiEdge(0, 1, 1)
+	g.AddBiEdge(1, 2, 1)
+	g.AddBiEdge(2, 3, 1)
+	d := g.Dijkstra([]Source{{Node: 0}}, 1.5)
+	if d[1] != 1 {
+		t.Errorf("d[1] = %g, want 1", d[1])
+	}
+	if !math.IsInf(d[2], 1) || !math.IsInf(d[3], 1) {
+		t.Errorf("nodes beyond bound must stay Inf, got %v", d)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddBiEdge(0, 1, 1)
+	d := g.Dijkstra([]Source{{Node: 0}}, Inf)
+	if !math.IsInf(d[2], 1) {
+		t.Errorf("isolated node must be Inf, got %g", d[2])
+	}
+}
+
+func TestDijkstraSourceOutOfRange(t *testing.T) {
+	g := New(2)
+	g.AddBiEdge(0, 1, 1)
+	d := g.Dijkstra([]Source{{Node: -1}, {Node: 7}, {Node: 0}}, Inf)
+	if d[1] != 1 {
+		t.Errorf("out-of-range sources must be ignored; d[1] = %g", d[1])
+	}
+}
+
+func TestNegativeWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative weight")
+		}
+	}()
+	New(2).AddEdge(0, 1, -1)
+}
+
+func TestDijkstraPaths(t *testing.T) {
+	g := New(5)
+	g.AddBiEdge(0, 1, 1)
+	g.AddBiEdge(1, 2, 1)
+	g.AddBiEdge(0, 3, 10)
+	g.AddBiEdge(3, 2, 1)
+	dist, prev := g.DijkstraPaths([]Source{{Node: 0}}, Inf)
+	path := PathTo(prev, dist, 2)
+	want := []int{0, 1, 2}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if PathTo(prev, dist, 4) != nil {
+		t.Error("unreachable node must yield nil path")
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(0)
+	a, b := g.AddNode(), g.AddNode()
+	if a != 0 || b != 1 || g.N() != 2 {
+		t.Fatalf("AddNode ids = %d,%d n=%d", a, b, g.N())
+	}
+	g.AddBiEdge(a, b, 2.5)
+	if d := g.Dijkstra([]Source{{Node: a}}, Inf); d[b] != 2.5 {
+		t.Errorf("d[b] = %g", d[b])
+	}
+}
+
+// Property: Dijkstra agrees with Floyd–Warshall on random graphs.
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			w := rng.Float64() * 100
+			if rng.Intn(3) == 0 {
+				g.AddEdge(u, v, w) // some one-way edges
+			} else {
+				g.AddBiEdge(u, v, w)
+			}
+		}
+		fw := g.FloydWarshall()
+		for s := 0; s < n; s++ {
+			d := g.Dijkstra([]Source{{Node: s}}, Inf)
+			for v := 0; v < n; v++ {
+				if math.IsInf(fw[s][v], 1) != math.IsInf(d[v], 1) {
+					t.Fatalf("trial %d: reachability mismatch s=%d v=%d", trial, s, v)
+				}
+				if !math.IsInf(d[v], 1) && math.Abs(fw[s][v]-d[v]) > 1e-7 {
+					t.Fatalf("trial %d: dist mismatch s=%d v=%d dij=%g fw=%g",
+						trial, s, v, d[v], fw[s][v])
+				}
+			}
+		}
+	}
+}
+
+func TestFloydWarshallDiagonal(t *testing.T) {
+	g := New(3)
+	g.AddBiEdge(0, 1, 4)
+	fw := g.FloydWarshall()
+	for i := 0; i < 3; i++ {
+		if fw[i][i] != 0 {
+			t.Errorf("fw[%d][%d] = %g, want 0", i, i, fw[i][i])
+		}
+	}
+}

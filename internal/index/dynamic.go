@@ -1,0 +1,423 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/indoor"
+	"repro/internal/object"
+)
+
+// InsertObject adds an object to the object layer (§III-C.2): its instances
+// are located through the tree tier, the buckets of the overlapping units
+// are extended, and the o-table gains the new entry.
+func (idx *Index) InsertObject(o *object.Object) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	if idx.objects.Get(o.ID) != nil {
+		return fmt.Errorf("index: object %d already present", o.ID)
+	}
+	idx.objects.Add(o)
+	idx.indexObject(o, idx.LocateUnit)
+	return nil
+}
+
+// indexObject (re)computes an object's subregion split with the given
+// locator and installs it in the subregion cache, o-table and buckets,
+// clearing any previous bucket entries.
+func (idx *Index) indexObject(o *object.Object, locate func(indoor.Position) *Unit) {
+	for _, uid := range idx.oTable[o.ID] {
+		delete(idx.buckets[uid], o.ID)
+	}
+	subs := idx.computeSubregions(o, locate)
+	units := make([]UnitID, len(subs))
+	for i, s := range subs {
+		units[i] = s.Unit
+	}
+	idx.subregions[o.ID] = subs
+	idx.oTable[o.ID] = units
+	for _, uid := range units {
+		b := idx.buckets[uid]
+		if b == nil {
+			b = make(map[object.ID]bool)
+			idx.buckets[uid] = b
+		}
+		b[o.ID] = true
+	}
+}
+
+// DeleteObject removes an object via the o-table (§III-C.2).
+func (idx *Index) DeleteObject(id object.ID) error {
+	units, ok := idx.oTable[id]
+	if !ok {
+		return fmt.Errorf("index: no object %d", id)
+	}
+	for _, uid := range units {
+		delete(idx.buckets[uid], id)
+	}
+	delete(idx.oTable, id)
+	delete(idx.subregions, id)
+	idx.objects.Remove(id)
+	return nil
+}
+
+// UpdateObject replaces an object's uncertainty information, implemented as
+// deletion followed by insertion per §III-C.2.
+func (idx *Index) UpdateObject(o *object.Object) error {
+	if err := idx.DeleteObject(o.ID); err != nil {
+		return err
+	}
+	return idx.InsertObject(o)
+}
+
+// MoveObject is the adjacency-accelerated update of §III-C.2: when location
+// reporting is frequent, the new uncertainty region lies in the previous
+// partition or its neighbours, so the units are found through the o-table
+// and the topological links instead of the tree. It falls back to the tree
+// for instances outside that neighbourhood.
+func (idx *Index) MoveObject(o *object.Object) error {
+	old, ok := idx.oTable[o.ID]
+	if !ok {
+		return fmt.Errorf("index: no object %d", o.ID)
+	}
+	// Candidate units: previous units, their partition siblings, and units
+	// reachable through one door.
+	cand := make(map[UnitID]*Unit)
+	addUnit := func(uid UnitID) {
+		if u := idx.units[uid]; u != nil {
+			cand[uid] = u
+		}
+	}
+	for _, uid := range old {
+		u := idx.units[uid]
+		if u == nil {
+			continue
+		}
+		for _, sib := range idx.partUnits[u.Part] {
+			addUnit(sib)
+		}
+		for _, d := range u.Doors {
+			if o2 := d.OtherUnit(uid); o2 != NoUnit {
+				u2 := idx.units[o2]
+				if u2 == nil {
+					continue
+				}
+				for _, sib := range idx.partUnits[u2.Part] {
+					addUnit(sib)
+				}
+			}
+		}
+	}
+
+	locate := func(pos indoor.Position) *Unit {
+		var best *Unit
+		for _, u := range cand {
+			if u.Contains(pos) && (best == nil || u.ID < best.ID) {
+				best = u
+			}
+		}
+		if best != nil {
+			return best
+		}
+		return idx.LocateUnit(pos)
+	}
+	idx.objects.Add(o) // replace stored object
+	idx.indexObject(o, locate)
+	return nil
+}
+
+// AddPartition indexes a partition already present in the building
+// (§III-C.1 insertion): decomposition, tree insertion, sibling links, door
+// attachment, h-table maintenance. Doors of the partition whose other side
+// is already indexed are attached on both sides.
+func (idx *Index) AddPartition(pid indoor.PartitionID) error {
+	p := idx.b.Partition(pid)
+	if p == nil {
+		return fmt.Errorf("index: no partition %d in building", pid)
+	}
+	if len(idx.partUnits[pid]) > 0 {
+		return fmt.Errorf("index: partition %d already indexed", pid)
+	}
+	for _, u := range idx.makeUnits(p) {
+		idx.tree.Insert(idx.unitBox(u), int(u.ID))
+	}
+	idx.linkSiblingUnits(pid)
+	for _, did := range p.Doors {
+		d := idx.b.Door(did)
+		if d == nil || idx.doorRefs[did] != nil {
+			continue
+		}
+		// Attach only when every side of the door is indexed.
+		other := d.Other(pid)
+		if other != indoor.NoPartition && len(idx.partUnits[other]) == 0 {
+			continue
+		}
+		if err := idx.attachDoor(d); err != nil {
+			return err
+		}
+	}
+	if p.Kind == indoor.Staircase {
+		idx.RebuildSkeleton()
+	}
+	return nil
+}
+
+// RemovePartition unindexes a partition and removes it (with its doors)
+// from the building (§III-C.1 deletion). Objects bucketed in its units lose
+// those bucket entries; their o-table rows shrink accordingly.
+func (idx *Index) RemovePartition(pid indoor.PartitionID) error {
+	p := idx.b.Partition(pid)
+	if p == nil {
+		return fmt.Errorf("index: no partition %d", pid)
+	}
+	wasStair := p.Kind == indoor.Staircase
+	affected := idx.unindexPartitionKeepBuilding(pid)
+	if err := idx.b.RemovePartition(pid); err != nil {
+		return err
+	}
+	idx.relocateObjects(affected)
+	if wasStair {
+		idx.RebuildSkeleton()
+	}
+	return nil
+}
+
+// AttachDoor indexes a door already added to the building, linking the
+// units on its sides. Rebuilds the skeleton when the door is a staircase
+// entrance.
+func (idx *Index) AttachDoor(did indoor.DoorID) error {
+	d := idx.b.Door(did)
+	if d == nil {
+		return fmt.Errorf("index: no door %d", did)
+	}
+	if idx.doorRefs[did] != nil {
+		return fmt.Errorf("index: door %d already attached", did)
+	}
+	if err := idx.attachDoor(d); err != nil {
+		return err
+	}
+	if staircaseSide(idx.b, d) != indoor.NoPartition {
+		idx.RebuildSkeleton()
+	}
+	return nil
+}
+
+// DetachDoor unindexes and removes a door from the building.
+func (idx *Index) DetachDoor(did indoor.DoorID) {
+	d := idx.b.Door(did)
+	wasEntrance := d != nil && staircaseSide(idx.b, d) != indoor.NoPartition
+	idx.detachDoor(did)
+	idx.b.RemoveDoor(did)
+	if wasEntrance {
+		idx.RebuildSkeleton()
+	}
+}
+
+// detachDoor removes a door reference from the topological layer.
+func (idx *Index) detachDoor(did indoor.DoorID) {
+	ref := idx.doorRefs[did]
+	if ref == nil {
+		return
+	}
+	for _, uid := range []UnitID{ref.U1, ref.U2} {
+		if uid == NoUnit {
+			continue
+		}
+		if u := idx.units[uid]; u != nil {
+			for i, dr := range u.Doors {
+				if dr == ref {
+					u.Doors = append(u.Doors[:i], u.Doors[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	delete(idx.doorRefs, did)
+}
+
+// SetDoorClosed toggles a door's availability. Closure is evaluated lazily
+// by DoorRef.CanEnter, so no structural maintenance is needed — exactly the
+// benefit of indexing without distance pre-computation.
+func (idx *Index) SetDoorClosed(did indoor.DoorID, closed bool) error {
+	return idx.b.SetDoorClosed(did, closed)
+}
+
+// SplitPartition mounts a sliding wall through an indexed partition and
+// reindexes the two halves. Objects bucketed in the old units are
+// re-located into the new ones.
+func (idx *Index) SplitPartition(pid indoor.PartitionID, alongX bool, at float64) (a, b indoor.PartitionID, err error) {
+	affected := idx.unindexPartitionKeepBuilding(pid)
+	pa, pb, err := idx.b.SplitPartition(pid, alongX, at)
+	if err != nil {
+		// Restore the index for the untouched partition.
+		if rerr := idx.AddPartition(pid); rerr != nil {
+			return indoor.NoPartition, indoor.NoPartition, fmt.Errorf("%v (restore failed: %v)", err, rerr)
+		}
+		idx.relocateObjects(affected)
+		return indoor.NoPartition, indoor.NoPartition, err
+	}
+	if err := idx.AddPartition(pa.ID); err != nil {
+		return indoor.NoPartition, indoor.NoPartition, err
+	}
+	if err := idx.AddPartition(pb.ID); err != nil {
+		return indoor.NoPartition, indoor.NoPartition, err
+	}
+	idx.relocateObjects(affected)
+	return pa.ID, pb.ID, nil
+}
+
+// MergePartitions dismounts a sliding wall between two indexed partitions.
+func (idx *Index) MergePartitions(pa, pb indoor.PartitionID) (indoor.PartitionID, error) {
+	affected := idx.unindexPartitionKeepBuilding(pa)
+	affected = append(affected, idx.unindexPartitionKeepBuilding(pb)...)
+	merged, err := idx.b.MergePartitions(pa, pb)
+	if err != nil {
+		for _, pid := range []indoor.PartitionID{pa, pb} {
+			if rerr := idx.AddPartition(pid); rerr != nil {
+				return indoor.NoPartition, fmt.Errorf("%v (restore failed: %v)", err, rerr)
+			}
+		}
+		idx.relocateObjects(affected)
+		return indoor.NoPartition, err
+	}
+	if err := idx.AddPartition(merged.ID); err != nil {
+		return indoor.NoPartition, err
+	}
+	idx.relocateObjects(affected)
+	return merged.ID, nil
+}
+
+// unindexPartitionKeepBuilding removes a partition's units and door
+// references from the index without touching the building, returning the
+// ids of objects that lost bucket entries.
+func (idx *Index) unindexPartitionKeepBuilding(pid indoor.PartitionID) []object.ID {
+	p := idx.b.Partition(pid)
+	if p == nil {
+		return nil
+	}
+	for _, did := range p.Doors {
+		idx.detachDoor(did)
+	}
+	seen := make(map[object.ID]bool)
+	var affected []object.ID
+	for _, uid := range idx.partUnits[pid] {
+		u := idx.units[uid]
+		idx.tree.Delete(idx.unitBox(u), int(uid))
+		for oid := range idx.buckets[uid] {
+			idx.oTable[oid] = removeUnit(idx.oTable[oid], uid)
+			if !seen[oid] {
+				seen[oid] = true
+				affected = append(affected, oid)
+			}
+		}
+		delete(idx.buckets, uid)
+		delete(idx.hTable, uid)
+		delete(idx.units, uid)
+	}
+	delete(idx.partUnits, pid)
+	delete(idx.virtualRefs, pid)
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	return affected
+}
+
+// relocateObjects re-runs instance location for objects whose bucket
+// entries were invalidated by a topological change.
+func (idx *Index) relocateObjects(ids []object.ID) {
+	for _, oid := range ids {
+		if o := idx.objects.Get(oid); o != nil {
+			idx.indexObject(o, idx.LocateUnit)
+		}
+	}
+}
+
+func removeUnit(list []UnitID, uid UnitID) []UnitID {
+	for i, u := range list {
+		if u == uid {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// CheckInvariants validates cross-layer consistency for tests: h-table and
+// partUnits are inverse, o-table and buckets are inverse, every door ref is
+// attached to the units it names, and every unit's box is in the tree.
+func (idx *Index) CheckInvariants() error {
+	for uid, pid := range idx.hTable {
+		found := false
+		for _, u := range idx.partUnits[pid] {
+			if u == uid {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("index: h-table names unit %d under partition %d but partUnits disagrees", uid, pid)
+		}
+	}
+	for pid, list := range idx.partUnits {
+		for _, uid := range list {
+			if idx.hTable[uid] != pid {
+				return fmt.Errorf("index: partUnits[%d] lists unit %d with h-table %d", pid, uid, idx.hTable[uid])
+			}
+			if idx.units[uid] == nil {
+				return fmt.Errorf("index: partUnits[%d] lists missing unit %d", pid, uid)
+			}
+		}
+	}
+	for oid, list := range idx.oTable {
+		for _, uid := range list {
+			if !idx.buckets[uid][oid] {
+				return fmt.Errorf("index: o-table says object %d in unit %d but bucket disagrees", oid, uid)
+			}
+		}
+		subs := idx.subregions[oid]
+		if len(subs) != len(list) {
+			return fmt.Errorf("index: object %d has %d subregions but %d o-table units", oid, len(subs), len(list))
+		}
+		for i, s := range subs {
+			if s.Unit != list[i] {
+				return fmt.Errorf("index: object %d subregion %d unit mismatch", oid, i)
+			}
+			if idx.units[s.Unit] == nil {
+				return fmt.Errorf("index: object %d subregion references dead unit %d", oid, s.Unit)
+			}
+		}
+	}
+	for uid, bucket := range idx.buckets {
+		for oid := range bucket {
+			found := false
+			for _, u := range idx.oTable[oid] {
+				if u == uid {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("index: bucket %d holds object %d missing from o-table", uid, oid)
+			}
+		}
+	}
+	for _, u := range idx.units {
+		for _, d := range u.Doors {
+			if d.U1 != u.ID && d.U2 != u.ID {
+				return fmt.Errorf("index: unit %d lists foreign door ref", u.ID)
+			}
+		}
+	}
+	count := 0
+	idx.tree.Search(
+		func(geom.Rect3) bool { return true },
+		func(id int, _ geom.Rect3) {
+			if idx.units[UnitID(id)] != nil {
+				count++
+			}
+		},
+	)
+	if count != len(idx.units) {
+		return fmt.Errorf("index: tree holds %d live units, map has %d", count, len(idx.units))
+	}
+	return nil
+}

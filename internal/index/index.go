@@ -1,0 +1,431 @@
+// Package index implements the paper's composite index for indoor spaces
+// (§III): a geometric layer made of the indR-tree tier over decomposed
+// index units plus the staircase skeleton tier, a topological layer of
+// inter-unit door links that forms a de-facto doors graph, and an object
+// layer of per-unit buckets with the o-table and h-table mappings. The
+// index is maintained incrementally under both topological updates and
+// object updates (§III-C) and deliberately performs no door-to-door
+// distance pre-computation.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/indoor"
+	"repro/internal/object"
+	"repro/internal/rtree"
+)
+
+// zSliver is the 1 cm vertical extent given to planar index units so that
+// R*-tree volume optimisation stays meaningful (§III-A.2).
+const zSliver = 0.01
+
+// UnitID identifies an index unit (a leaf entry of the tree tier). IDs are
+// never reused.
+type UnitID int
+
+// NoUnit marks the absent side of an exterior door reference.
+const NoUnit UnitID = -1
+
+// Unit is one index unit: a convex rectangle obtained from Algorithm 3,
+// belonging to exactly one indoor partition (the h-table mapping), spanning
+// the floor interval [FloorLo, FloorHi] (staircases span two floors), and
+// carrying the attached door references of the topological layer.
+type Unit struct {
+	ID       UnitID
+	Part     indoor.PartitionID
+	Rect     geom.Rect
+	FloorLo  int
+	FloorHi  int
+	Doors    []*DoorRef
+	stairLen float64 // > 0 for staircase units
+}
+
+// OnFloor reports whether the unit occupies floor f.
+func (u *Unit) OnFloor(f int) bool { return f >= u.FloorLo && f <= u.FloorHi }
+
+// Contains reports whether pos lies inside the unit.
+func (u *Unit) Contains(pos indoor.Position) bool {
+	return u.OnFloor(pos.Floor) && u.Rect.Contains(pos.Pt)
+}
+
+// IsStair reports whether the unit is a staircase.
+func (u *Unit) IsStair() bool { return u.FloorHi > u.FloorLo }
+
+// WalkDist returns the intra-unit walking distance between two positions of
+// the unit. Within a convex planar unit this is the Euclidean distance; in
+// a staircase unit a cross-floor leg adds the stair run length.
+func (u *Unit) WalkDist(a, b indoor.Position) float64 {
+	d := a.Pt.DistTo(b.Pt)
+	if a.Floor != b.Floor {
+		d += u.stairLen
+	}
+	return d
+}
+
+// DoorRef is a topological-layer link: a door (real or virtual) attached to
+// up to two index units. Virtual doors are created between sibling units of
+// a decomposed partition at shared-edge midpoints and are always passable.
+type DoorRef struct {
+	Pos   geom.Point
+	Floor int
+	Real  *indoor.Door // nil for virtual doors
+	U1    UnitID
+	U2    UnitID // NoUnit for exterior doors
+}
+
+// Virtual reports whether the reference is a decomposition-internal door.
+func (d *DoorRef) Virtual() bool { return d.Real == nil }
+
+// OtherUnit returns the unit on the opposite side of u, or NoUnit.
+func (d *DoorRef) OtherUnit(u UnitID) UnitID {
+	switch u {
+	case d.U1:
+		return d.U2
+	case d.U2:
+		return d.U1
+	}
+	return NoUnit
+}
+
+// CanEnter reports whether movement through the door into the partition of
+// unit u is currently permitted. Together with the subgraph construction it
+// realises the directed doors graph of §II-A: an edge a→b through unit u
+// exists iff a permits entry into u.
+func (d *DoorRef) CanEnter(u *Unit) bool {
+	if d.Real == nil {
+		return true
+	}
+	if d.Real.Closed {
+		return false
+	}
+	if d.Real.OneWay {
+		return d.Real.To == u.Part
+	}
+	return true
+}
+
+// Position returns the door's indoor position.
+func (d *DoorRef) Position() indoor.Position {
+	return indoor.Position{Pt: d.Pos, Floor: d.Floor}
+}
+
+// Options configures index construction.
+type Options struct {
+	// Fanout of the tree tier; rtree.DefaultFanout when zero.
+	Fanout int
+	// Tshape is the decomposition threshold; indoor.DefaultTshape when
+	// zero. Negative disables ratio splitting.
+	Tshape float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Fanout == 0 {
+		o.Fanout = rtree.DefaultFanout
+	}
+	if o.Tshape == 0 {
+		o.Tshape = indoor.DefaultTshape
+	}
+	return o
+}
+
+// BuildStats reports per-layer construction time, the series of Fig 15(b).
+type BuildStats struct {
+	TreeTier     time.Duration
+	TopoLayer    time.Duration
+	ObjectLayer  time.Duration
+	SkeletonTier time.Duration
+}
+
+// Total returns the full construction time.
+func (s BuildStats) Total() time.Duration {
+	return s.TreeTier + s.TopoLayer + s.ObjectLayer + s.SkeletonTier
+}
+
+// Index is the composite index over one building and its objects.
+type Index struct {
+	b    *indoor.Building
+	opts Options
+
+	units    map[UnitID]*Unit
+	nextUnit UnitID
+	tree     *rtree.Tree
+
+	// hTable maps index units to their indoor partition; partUnits is the
+	// reverse (§III-A.2).
+	hTable    map[UnitID]indoor.PartitionID
+	partUnits map[indoor.PartitionID][]UnitID
+
+	// doorRefs maps real doors to their references; virtualRefs stores the
+	// decomposition-internal links per partition.
+	doorRefs    map[indoor.DoorID]*DoorRef
+	virtualRefs map[indoor.PartitionID][]*DoorRef
+
+	// Object layer: o-table, per-unit buckets (§III-A.3) and the cached
+	// subregion split of every object (§II-B).
+	objects    *object.Store
+	oTable     map[object.ID][]UnitID
+	buckets    map[UnitID]map[object.ID]bool
+	subregions map[object.ID][]Subregion
+
+	skeleton *Skeleton
+}
+
+// Build constructs the composite index over the building and object set,
+// reporting per-layer construction times.
+func Build(b *indoor.Building, objs []*object.Object, opts Options) (*Index, BuildStats, error) {
+	opts = opts.withDefaults()
+	idx := &Index{
+		b:           b,
+		opts:        opts,
+		units:       make(map[UnitID]*Unit),
+		hTable:      make(map[UnitID]indoor.PartitionID),
+		partUnits:   make(map[indoor.PartitionID][]UnitID),
+		doorRefs:    make(map[indoor.DoorID]*DoorRef),
+		virtualRefs: make(map[indoor.PartitionID][]*DoorRef),
+		objects:     object.NewStore(),
+		oTable:      make(map[object.ID][]UnitID),
+		buckets:     make(map[UnitID]map[object.ID]bool),
+		subregions:  make(map[object.ID][]Subregion),
+	}
+	var stats BuildStats
+
+	// Tree tier: decompose every partition and bulk-load the indR-tree.
+	start := time.Now()
+	var entries []rtree.Entry
+	for _, p := range b.Partitions() {
+		for _, u := range idx.makeUnits(p) {
+			entries = append(entries, rtree.Entry{Box: idx.unitBox(u), ID: int(u.ID)})
+		}
+	}
+	idx.tree = rtree.Bulk(opts.Fanout, entries)
+	stats.TreeTier = time.Since(start)
+
+	// Topological layer: virtual doors between sibling units, then real
+	// door references.
+	start = time.Now()
+	for _, p := range b.Partitions() {
+		idx.linkSiblingUnits(p.ID)
+	}
+	for _, d := range b.Doors() {
+		if err := idx.attachDoor(d); err != nil {
+			return nil, stats, err
+		}
+	}
+	stats.TopoLayer = time.Since(start)
+
+	// Skeleton tier.
+	start = time.Now()
+	idx.skeleton = buildSkeleton(b, idx)
+	stats.SkeletonTier = time.Since(start)
+
+	// Object layer.
+	start = time.Now()
+	for _, o := range objs {
+		if err := idx.InsertObject(o); err != nil {
+			return nil, stats, err
+		}
+	}
+	stats.ObjectLayer = time.Since(start)
+
+	return idx, stats, nil
+}
+
+// makeUnits decomposes a partition into units and registers them (without
+// tree insertion; callers handle the tree for bulk vs dynamic paths).
+func (idx *Index) makeUnits(p *indoor.Partition) []*Unit {
+	var rects []geom.Rect
+	if p.Kind == indoor.Staircase {
+		// Staircases stay whole: their geometry is the footprint and their
+		// distance semantics are the stair run.
+		rects = []geom.Rect{p.Bounds()}
+	} else {
+		rects = indoor.Decompose(p.Shape, idx.opts.Tshape)
+	}
+	lo, hi := p.FloorSpan()
+	units := make([]*Unit, 0, len(rects))
+	for _, r := range rects {
+		u := &Unit{
+			ID: idx.nextUnit, Part: p.ID, Rect: r,
+			FloorLo: lo, FloorHi: hi,
+			stairLen: p.StairLength,
+		}
+		idx.nextUnit++
+		idx.units[u.ID] = u
+		idx.hTable[u.ID] = p.ID
+		idx.partUnits[p.ID] = append(idx.partUnits[p.ID], u.ID)
+		units = append(units, u)
+	}
+	return units
+}
+
+// unitBox returns the 3D box stored in the tree tier for a unit: the planar
+// rectangle with the 1 cm sliver starting at the unit's floor elevation;
+// staircase units span up to their upper floor.
+func (idx *Index) unitBox(u *Unit) geom.Rect3 {
+	zlo := idx.b.Elevation(u.FloorLo)
+	zhi := idx.b.Elevation(u.FloorHi) + zSliver
+	return geom.R3(u.Rect, zlo, zhi)
+}
+
+// linkSiblingUnits creates virtual doors between touching units of one
+// partition.
+func (idx *Index) linkSiblingUnits(pid indoor.PartitionID) {
+	ids := idx.partUnits[pid]
+	if len(ids) < 2 {
+		return
+	}
+	rects := make([]geom.Rect, len(ids))
+	for i, id := range ids {
+		rects[i] = idx.units[id].Rect
+	}
+	floor := idx.units[ids[0]].FloorLo
+	for _, l := range indoor.UnitAdjacency(rects) {
+		ua, ub := idx.units[ids[l.I]], idx.units[ids[l.J]]
+		ref := &DoorRef{Pos: l.Mid, Floor: floor, U1: ua.ID, U2: ub.ID}
+		ua.Doors = append(ua.Doors, ref)
+		ub.Doors = append(ub.Doors, ref)
+		idx.virtualRefs[pid] = append(idx.virtualRefs[pid], ref)
+	}
+}
+
+// attachDoor creates the reference for a real door, resolving the index
+// unit on each side by position.
+func (idx *Index) attachDoor(d *indoor.Door) error {
+	u1, err := idx.unitForDoor(d, d.P1)
+	if err != nil {
+		return err
+	}
+	u2 := NoUnit
+	if d.P2 != indoor.NoPartition {
+		u, err := idx.unitForDoor(d, d.P2)
+		if err != nil {
+			return err
+		}
+		u2 = u.ID
+	}
+	ref := &DoorRef{Pos: d.Pos, Floor: d.Floor, Real: d, U1: u1.ID, U2: u2}
+	u1.Doors = append(u1.Doors, ref)
+	if u2 != NoUnit {
+		idx.units[u2].Doors = append(idx.units[u2].Doors, ref)
+	}
+	idx.doorRefs[d.ID] = ref
+	return nil
+}
+
+// unitForDoor finds the unit of partition pid whose rectangle touches the
+// door position; the smallest UnitID wins for determinism.
+func (idx *Index) unitForDoor(d *indoor.Door, pid indoor.PartitionID) (*Unit, error) {
+	var best *Unit
+	for _, uid := range idx.partUnits[pid] {
+		u := idx.units[uid]
+		if u.Rect.Contains(d.Pos) && (best == nil || u.ID < best.ID) {
+			best = u
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("index: door %d at %v touches no unit of partition %d",
+			d.ID, d.Pos, pid)
+	}
+	return best, nil
+}
+
+// Building returns the indexed building.
+func (idx *Index) Building() *indoor.Building { return idx.b }
+
+// Objects returns the object store of the object layer.
+func (idx *Index) Objects() *object.Store { return idx.objects }
+
+// Skeleton returns the skeleton tier.
+func (idx *Index) Skeleton() *Skeleton { return idx.skeleton }
+
+// Unit returns the unit with the given id, or nil.
+func (idx *Index) Unit(id UnitID) *Unit { return idx.units[id] }
+
+// NumUnits returns the number of index units.
+func (idx *Index) NumUnits() int { return len(idx.units) }
+
+// TreeHeight exposes the tree tier's height (diagnostics).
+func (idx *Index) TreeHeight() int { return idx.tree.Height() }
+
+// PartitionOf implements the h-table lookup.
+func (idx *Index) PartitionOf(u UnitID) indoor.PartitionID { return idx.hTable[u] }
+
+// UnitsOf returns the index units of a partition, ascending.
+func (idx *Index) UnitsOf(pid indoor.PartitionID) []UnitID {
+	ids := append([]UnitID(nil), idx.partUnits[pid]...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ObjectUnits implements the o-table lookup: the units an object's
+// instances occupy.
+func (idx *Index) ObjectUnits(id object.ID) []UnitID {
+	return append([]UnitID(nil), idx.oTable[id]...)
+}
+
+// BucketObjects returns the ids in a unit's object bucket, ascending.
+func (idx *Index) BucketObjects(u UnitID) []object.ID {
+	bucket := idx.buckets[u]
+	out := make([]object.ID, 0, len(bucket))
+	for id := range bucket {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LocateUnit finds the index unit containing pos through the tree tier
+// (point-location; the r = 0 degenerate range query of §III-B). Ties on
+// shared boundaries resolve to the smallest UnitID.
+func (idx *Index) LocateUnit(pos indoor.Position) *Unit {
+	z := idx.b.Elevation(pos.Floor) + zSliver/2
+	probe := geom.R3(geom.Rect{
+		MinX: pos.Pt.X, MinY: pos.Pt.Y, MaxX: pos.Pt.X, MaxY: pos.Pt.Y,
+	}, z-zSliver, z+zSliver)
+	var best *Unit
+	idx.tree.Search(
+		func(b geom.Rect3) bool { return b.Intersects3(probe) },
+		func(id int, _ geom.Rect3) {
+			u := idx.units[UnitID(id)]
+			if u != nil && u.Contains(pos) && (best == nil || u.ID < best.ID) {
+				best = u
+			}
+		},
+	)
+	return best
+}
+
+// LocatePartition returns the partition containing pos via the tree tier,
+// or indoor.NoPartition.
+func (idx *Index) LocatePartition(pos indoor.Position) indoor.PartitionID {
+	if u := idx.LocateUnit(pos); u != nil {
+		return u.Part
+	}
+	return indoor.NoPartition
+}
+
+// SearchTree walks the tree tier, descending into boxes accepted by descend
+// and emitting accepted leaf units. It is the raw traversal behind
+// Algorithm 4.
+func (idx *Index) SearchTree(descend func(geom.Rect3) bool, emit func(*Unit)) {
+	idx.tree.Search(descend, func(id int, _ geom.Rect3) {
+		if u := idx.units[UnitID(id)]; u != nil {
+			emit(u)
+		}
+	})
+}
+
+// FloorsOfBox recovers the floor interval covered by a tree-tier box.
+func (idx *Index) FloorsOfBox(b geom.Rect3) (lo, hi int) {
+	h := idx.b.FloorHeight
+	lo = int((b.MinZ + zSliver/2) / h)
+	hi = int((b.MaxZ - zSliver/2) / h)
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}

@@ -1,0 +1,469 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/indoor"
+	"repro/internal/object"
+)
+
+func mall(t *testing.T, floors int) *indoor.Building {
+	t.Helper()
+	b, err := gen.Mall(gen.MallSpec{Floors: floors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func buildIdx(t *testing.T, b *indoor.Building, objs []*object.Object) *Index {
+	t.Helper()
+	idx, _, err := Build(b, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestBuildSmallMall(t *testing.T) {
+	b := mall(t, 2)
+	objs := gen.Objects(b, gen.ObjectSpec{N: 100, Radius: 10, Seed: 1})
+	idx, stats, err := Build(b, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumUnits() < b.NumPartitions() {
+		t.Errorf("units %d < partitions %d; corridors must decompose", idx.NumUnits(), b.NumPartitions())
+	}
+	if idx.Objects().Len() != 100 {
+		t.Errorf("stored objects = %d", idx.Objects().Len())
+	}
+	if stats.Total() <= 0 {
+		t.Error("construction stats must be positive")
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTableMapsUnitsToPartitions(t *testing.T) {
+	b := mall(t, 1)
+	idx := buildIdx(t, b, nil)
+	for _, p := range b.Partitions() {
+		units := idx.UnitsOf(p.ID)
+		if len(units) == 0 {
+			t.Fatalf("partition %d has no units", p.ID)
+		}
+		var area float64
+		for _, uid := range units {
+			if idx.PartitionOf(uid) != p.ID {
+				t.Fatalf("h-table mismatch for unit %d", uid)
+			}
+			area += idx.Unit(uid).Rect.Area()
+		}
+		if math.Abs(area-p.Shape.Area()) > 1e-6*p.Shape.Area() {
+			t.Errorf("partition %d: unit area %g != shape area %g", p.ID, area, p.Shape.Area())
+		}
+	}
+}
+
+func TestLocateUnitAgreesWithBuilding(t *testing.T) {
+	b := mall(t, 3)
+	idx := buildIdx(t, b, nil)
+	for i, q := range gen.QueryPoints(b, 200, 9) {
+		u := idx.LocateUnit(q)
+		if u == nil {
+			t.Fatalf("point %d (%v) not located", i, q)
+		}
+		if !u.Contains(q) {
+			t.Fatalf("located unit does not contain %v", q)
+		}
+		p := b.PartitionAt(q)
+		if p == nil {
+			t.Fatalf("building cannot locate %v", q)
+		}
+		// The unit's partition must contain the point too (boundary cases
+		// may pick a different but still-containing partition).
+		if !b.Partition(u.Part).Contains(q) {
+			t.Fatalf("unit partition %d does not contain %v", u.Part, q)
+		}
+	}
+	if got := idx.LocateUnit(indoor.Pos(-50, -50, 0)); got != nil {
+		t.Error("outside point must not locate")
+	}
+	if got := idx.LocatePartition(indoor.Pos(-50, -50, 0)); got != indoor.NoPartition {
+		t.Error("outside point must yield NoPartition")
+	}
+}
+
+func TestTopologicalLayerConnectivity(t *testing.T) {
+	// Every unit must reach every other unit through door refs (units form
+	// a connected graph in the mall).
+	b := mall(t, 2)
+	idx := buildIdx(t, b, nil)
+	start := UnitID(-1)
+	for uid := range idx.units {
+		if start == -1 || uid < start {
+			start = uid
+		}
+	}
+	visited := map[UnitID]bool{start: true}
+	queue := []UnitID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, d := range idx.units[cur].Doors {
+			next := d.OtherUnit(cur)
+			if next == NoUnit || visited[next] {
+				continue
+			}
+			if !d.CanEnter(idx.units[next]) {
+				continue
+			}
+			visited[next] = true
+			queue = append(queue, next)
+		}
+	}
+	if len(visited) != idx.NumUnits() {
+		t.Errorf("reached %d of %d units through the topological layer",
+			len(visited), idx.NumUnits())
+	}
+}
+
+func TestVirtualDoorsAlwaysEnterable(t *testing.T) {
+	b := mall(t, 1)
+	idx := buildIdx(t, b, nil)
+	virtuals := 0
+	for _, u := range idx.units {
+		for _, d := range u.Doors {
+			if d.Virtual() {
+				virtuals++
+				if !d.CanEnter(u) {
+					t.Fatal("virtual door must always be enterable")
+				}
+				if idx.PartitionOf(d.U1) != idx.PartitionOf(d.U2) {
+					t.Fatal("virtual door must not cross partitions")
+				}
+			}
+		}
+	}
+	if virtuals == 0 {
+		t.Error("decomposed corridors must produce virtual doors")
+	}
+}
+
+func TestDoorRefDirectionality(t *testing.T) {
+	b, err := gen.Mall(gen.MallSpec{Floors: 1, OneWayFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := buildIdx(t, b, nil)
+	checked := 0
+	for _, d := range b.Doors() {
+		if !d.OneWay {
+			continue
+		}
+		ref := idx.doorRefs[d.ID]
+		if ref == nil {
+			t.Fatalf("door %d has no ref", d.ID)
+		}
+		intoRoom := idx.units[ref.U1]
+		other := idx.units[ref.U2]
+		if intoRoom.Part != d.To {
+			intoRoom, other = other, intoRoom
+		}
+		if !ref.CanEnter(intoRoom) {
+			t.Error("one-way door must permit entry into its To partition")
+		}
+		if ref.CanEnter(other) {
+			t.Error("one-way door must block entry into its From partition")
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no one-way doors checked")
+	}
+}
+
+func TestStaircaseUnits(t *testing.T) {
+	b := mall(t, 2)
+	idx := buildIdx(t, b, nil)
+	stairs := 0
+	for _, u := range idx.units {
+		if !u.IsStair() {
+			continue
+		}
+		stairs++
+		if u.FloorHi != u.FloorLo+1 {
+			t.Errorf("stair unit spans [%d,%d]", u.FloorLo, u.FloorHi)
+		}
+		if len(u.Doors) != 2 {
+			t.Errorf("stair unit has %d doors, want 2 entrances", len(u.Doors))
+		}
+		// Cross-floor walking distance includes the run length.
+		a := indoor.Position{Pt: u.Rect.Center(), Floor: u.FloorLo}
+		c := indoor.Position{Pt: u.Rect.Center(), Floor: u.FloorHi}
+		if d := u.WalkDist(a, c); d < 2*b.FloorHeight-1e-9 {
+			t.Errorf("stair walk dist %g < run length", d)
+		}
+	}
+	if stairs != 4 {
+		t.Errorf("stair units = %d, want 4", stairs)
+	}
+}
+
+func TestObjectLayer(t *testing.T) {
+	b := mall(t, 2)
+	objs := gen.Objects(b, gen.ObjectSpec{N: 200, Radius: 10, Seed: 3})
+	idx := buildIdx(t, b, objs)
+
+	multi := 0
+	for _, o := range objs {
+		units := idx.ObjectUnits(o.ID)
+		if len(units) == 0 {
+			t.Fatalf("object %d has no units", o.ID)
+		}
+		if len(units) > 1 {
+			multi++
+		}
+		// Inverse mapping: the object appears in each listed bucket.
+		for _, uid := range units {
+			found := false
+			for _, oid := range idx.BucketObjects(uid) {
+				if oid == o.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("object %d missing from bucket %d", o.ID, uid)
+			}
+		}
+		// Every instance is inside one of the listed units.
+		for _, in := range o.Instances {
+			ok := false
+			for _, uid := range units {
+				if idx.Unit(uid).Contains(in.Pos) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("object %d instance %v outside its units", o.ID, in.Pos)
+			}
+		}
+	}
+	if multi == 0 {
+		t.Error("with r=10 some objects must straddle multiple units (multi-partition case)")
+	}
+}
+
+func TestInsertDeleteObject(t *testing.T) {
+	b := mall(t, 1)
+	idx := buildIdx(t, b, nil)
+	o := object.PointObject(1, gen.QueryPoints(b, 1, 5)[0])
+	if err := idx.InsertObject(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.InsertObject(o); err == nil {
+		t.Error("double insert must error")
+	}
+	if len(idx.ObjectUnits(1)) != 1 {
+		t.Error("point object must occupy one unit")
+	}
+	if err := idx.DeleteObject(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.DeleteObject(1); err == nil {
+		t.Error("double delete must error")
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateAndMoveObject(t *testing.T) {
+	b := mall(t, 1)
+	qs := gen.QueryPoints(b, 4, 6)
+	idx := buildIdx(t, b, nil)
+	o := object.PointObject(1, qs[0])
+	if err := idx.InsertObject(o); err != nil {
+		t.Fatal(err)
+	}
+	// Full update to a far location.
+	o2 := object.PointObject(1, qs[1])
+	if err := idx.UpdateObject(o2); err != nil {
+		t.Fatal(err)
+	}
+	u := idx.LocateUnit(qs[1])
+	if got := idx.ObjectUnits(1); len(got) != 1 || got[0] != u.ID {
+		t.Errorf("o-table after update = %v, want [%d]", got, u.ID)
+	}
+	// Adjacency-accelerated move to a nearby point in the same unit.
+	nearSame := indoor.Position{Pt: qs[1].Pt, Floor: qs[1].Floor}
+	o3 := object.PointObject(1, nearSame)
+	if err := idx.MoveObject(o3); err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.ObjectUnits(1); len(got) != 1 || got[0] != u.ID {
+		t.Errorf("o-table after move = %v", got)
+	}
+	// Move with fallback: far jump still lands correctly.
+	o4 := object.PointObject(1, qs[2])
+	if err := idx.MoveObject(o4); err != nil {
+		t.Fatal(err)
+	}
+	u4 := idx.LocateUnit(qs[2])
+	if got := idx.ObjectUnits(1); len(got) != 1 || got[0] != u4.ID {
+		t.Errorf("o-table after far move = %v, want [%d]", got, u4.ID)
+	}
+	if err := idx.MoveObject(object.PointObject(99, qs[3])); err == nil {
+		t.Error("moving an unknown object must error")
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRemovePartitionDynamic(t *testing.T) {
+	b := mall(t, 1)
+	idx := buildIdx(t, b, nil)
+	before := idx.NumUnits()
+
+	// Insert a kiosk room inside nothing (isolated partition) then connect
+	// it to a corridor with a door.
+	kiosk := b.AddRoom(0, geom.R(250, 56, 260, 64)) // inside corridor band 0? That region is corridor; pick free space instead.
+	_ = kiosk
+	// The corridor band 0 occupies y in [55,65]; placing a kiosk inside an
+	// existing corridor would overlap, which the model tolerates but the
+	// test avoids: remove it and use open space out of partitions — there
+	// is none in the mall, so instead split an existing room.
+	b.RemovePartition(kiosk.ID)
+
+	// Remove a room via the index.
+	var room *indoor.Partition
+	for _, p := range b.Partitions() {
+		if p.Kind == indoor.Room {
+			room = p
+			break
+		}
+	}
+	doorCount := len(room.Doors)
+	if doorCount == 0 {
+		t.Fatal("mall room must have a door")
+	}
+	if err := idx.RemovePartition(room.ID); err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumUnits() != before-1 {
+		t.Errorf("units = %d, want %d", idx.NumUnits(), before-1)
+	}
+	if b.Partition(room.ID) != nil {
+		t.Error("partition must be gone from the building")
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-add a room in the freed space and index it.
+	r2 := b.AddRoom(0, geom.R(room.Bounds().MinX, room.Bounds().MinY,
+		room.Bounds().MaxX, room.Bounds().MaxY))
+	if err := idx.AddPartition(r2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumUnits() != before {
+		t.Errorf("units = %d after re-add, want %d", idx.NumUnits(), before)
+	}
+	// Connect it back to its corridor and attach the door.
+	c := idx.LocateUnit(indoor.Pos(r2.Bounds().Center().X, r2.Bounds().MaxY+1, 0))
+	if c == nil {
+		t.Fatal("no corridor above the re-added room")
+	}
+	d, err := b.AddDoor(geom.Pt(r2.Bounds().Center().X, r2.Bounds().MaxY), 0, r2.ID, c.Part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.AttachDoor(d.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.AttachDoor(d.ID); err == nil {
+		t.Error("double attach must error")
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitMergeThroughIndex(t *testing.T) {
+	b := mall(t, 1)
+	objs := gen.Objects(b, gen.ObjectSpec{N: 100, Radius: 5, Seed: 4})
+	idx := buildIdx(t, b, objs)
+
+	var room *indoor.Partition
+	for _, p := range b.Partitions() {
+		if p.Kind == indoor.Room {
+			room = p
+			break
+		}
+	}
+	mid := room.Bounds().Center().X
+	pa, pb, err := idx.SplitPartition(room.ID, true, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatalf("after split: %v", err)
+	}
+	merged, err := idx.MergePartitions(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatalf("after merge: %v", err)
+	}
+	if b.Partition(merged) == nil {
+		t.Fatal("merged partition missing")
+	}
+	// Objects relocated: every object still has every instance covered.
+	for _, o := range objs {
+		units := idx.ObjectUnits(o.ID)
+		for _, in := range o.Instances {
+			ok := false
+			for _, uid := range units {
+				if u := idx.Unit(uid); u != nil && u.Contains(in.Pos) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("object %d instance %v lost after split+merge", o.ID, in.Pos)
+			}
+		}
+	}
+}
+
+func TestSplitFailureRestoresIndex(t *testing.T) {
+	b := mall(t, 1)
+	idx := buildIdx(t, b, nil)
+	var room *indoor.Partition
+	for _, p := range b.Partitions() {
+		if p.Kind == indoor.Room {
+			room = p
+			break
+		}
+	}
+	before := idx.NumUnits()
+	// Split line outside the room: must fail and restore.
+	if _, _, err := idx.SplitPartition(room.ID, true, -1000); err == nil {
+		t.Fatal("expected split failure")
+	}
+	if idx.NumUnits() != before {
+		t.Errorf("units = %d after failed split, want %d", idx.NumUnits(), before)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package index
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/indoor"
+)
+
+// Skeleton is the skeleton tier of §III-A.5: a small graph whose nodes are
+// staircase entrances, with the all-pairs entrance-to-entrance distance
+// matrix Ms2s. The tier supports the skeleton distance (Definition 2) and
+// the geometric lower bound (Lemma 6, Equation 10) used to constrain tree
+// traversal.
+type Skeleton struct {
+	entrances []entrance
+	byFloor   map[int][]int // entrance indices per floor
+	m         [][]float64   // Ms2s
+}
+
+// entrance is one staircase entrance: the door joining a staircase to a
+// regular partition on some floor.
+type entrance struct {
+	pos   geom.Point
+	floor int
+	door  indoor.DoorID
+	stair indoor.PartitionID
+}
+
+// buildSkeleton collects staircase entrances from the building and computes
+// Ms2s per the four properties of §III-A.5:
+//
+//	(1) Ms2s[s, s] = 0;
+//	(2) same-floor entrances: straight Euclidean distance;
+//	(3) entrances of one staircase: the stair run length;
+//	(4) otherwise: shortest path in the skeleton graph.
+func buildSkeleton(b *indoor.Building, idx *Index) *Skeleton {
+	sk := &Skeleton{byFloor: make(map[int][]int)}
+	for _, d := range b.Doors() {
+		stair := staircaseSide(b, d)
+		if stair == indoor.NoPartition {
+			continue
+		}
+		sk.entrances = append(sk.entrances, entrance{
+			pos: d.Pos, floor: d.Floor, door: d.ID, stair: stair,
+		})
+	}
+	for i, e := range sk.entrances {
+		sk.byFloor[e.floor] = append(sk.byFloor[e.floor], i)
+	}
+
+	n := len(sk.entrances)
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ei, ej := sk.entrances[i], sk.entrances[j]
+			switch {
+			case ei.stair == ej.stair:
+				run := b.Partition(ei.stair).StairLength
+				g.AddBiEdge(i, j, run)
+			case ei.floor == ej.floor:
+				g.AddBiEdge(i, j, ei.pos.DistTo(ej.pos))
+			}
+		}
+	}
+	sk.m = g.FloydWarshall()
+	_ = idx
+	return sk
+}
+
+// staircaseSide returns the staircase partition of a staircase-entrance
+// door (a door with exactly one staircase side), or NoPartition.
+func staircaseSide(b *indoor.Building, d *indoor.Door) indoor.PartitionID {
+	var stair indoor.PartitionID = indoor.NoPartition
+	p1 := b.Partition(d.P1)
+	if p1 != nil && p1.Kind == indoor.Staircase {
+		stair = d.P1
+	}
+	if d.P2 != indoor.NoPartition {
+		p2 := b.Partition(d.P2)
+		if p2 != nil && p2.Kind == indoor.Staircase {
+			if stair != indoor.NoPartition {
+				return indoor.NoPartition // staircase-to-staircase door: not an entrance
+			}
+			stair = d.P2
+		}
+	}
+	return stair
+}
+
+// NumEntrances returns the number of staircase entrances M.
+func (sk *Skeleton) NumEntrances() int { return len(sk.entrances) }
+
+// Ms2s returns the matrix entry between entrances i and j.
+func (sk *Skeleton) Ms2s(i, j int) float64 { return sk.m[i][j] }
+
+// Dist implements Definition 2, the skeleton distance |q, p|K: the planar
+// Euclidean distance on a shared floor, otherwise the cheapest
+// entrance-to-entrance route. It returns +Inf when no staircase route
+// exists.
+func (sk *Skeleton) Dist(q, p indoor.Position) float64 {
+	if q.Floor == p.Floor {
+		return q.Pt.DistTo(p.Pt)
+	}
+	best := math.Inf(1)
+	for _, i := range sk.byFloor[q.Floor] {
+		for _, j := range sk.byFloor[p.Floor] {
+			d := q.Pt.DistTo(sk.entrances[i].pos) + sk.m[i][j] + sk.entrances[j].pos.DistTo(p.Pt)
+			if d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// MinDistRect implements Equation 10, the minimum skeleton distance
+// |q, e|minK from a query position to an entity spanning the planar
+// rectangle r over floors [lo, hi]. It lower-bounds the indoor distance to
+// every point of the entity (Lemma 6 plus the descendant-containment note).
+func (sk *Skeleton) MinDistRect(q indoor.Position, r geom.Rect, lo, hi int) float64 {
+	if q.Floor >= lo && q.Floor <= hi {
+		return r.MinDist(q.Pt)
+	}
+	best := math.Inf(1)
+	for _, f := range []int{lo, hi} {
+		for _, i := range sk.byFloor[q.Floor] {
+			for _, j := range sk.byFloor[f] {
+				d := q.Pt.DistTo(sk.entrances[i].pos) + sk.m[i][j] + r.MinDist(sk.entrances[j].pos)
+				if d < best {
+					best = d
+				}
+			}
+		}
+		if lo == hi {
+			break
+		}
+	}
+	return best
+}
+
+// MinSkelDistBox evaluates Equation 10 against a tree-tier box.
+func (idx *Index) MinSkelDistBox(q indoor.Position, b geom.Rect3) float64 {
+	lo, hi := idx.FloorsOfBox(b)
+	return idx.skeleton.MinDistRect(q, b.Rect, lo, hi)
+}
+
+// MinSkelDistUnit evaluates Equation 10 against an index unit.
+func (idx *Index) MinSkelDistUnit(q indoor.Position, u *Unit) float64 {
+	return idx.skeleton.MinDistRect(q, u.Rect, u.FloorLo, u.FloorHi)
+}
+
+// SkeletonDist is Definition 2 for two indoor positions.
+func (idx *Index) SkeletonDist(q, p indoor.Position) float64 {
+	return idx.skeleton.Dist(q, p)
+}
+
+// RebuildSkeleton recomputes the skeleton tier; the index calls this
+// automatically after topological updates that involve staircases, and
+// callers may invoke it after out-of-band building mutations.
+func (idx *Index) RebuildSkeleton() {
+	idx.skeleton = buildSkeleton(idx.b, idx)
+}

@@ -1,0 +1,294 @@
+package indoor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Building is a multi-floor indoor space: the set O of partitions and doors
+// plus the floor geometry. Partition and door IDs are allocated
+// monotonically and never reused, so external structures (the composite
+// index, object tables) can reference them safely across updates.
+//
+// Building is not safe for concurrent mutation; the composite index layers
+// its own synchronisation on top.
+type Building struct {
+	// FloorHeight is the vertical extent of one floor in metres (4 m for
+	// the paper's mall).
+	FloorHeight float64
+
+	parts map[PartitionID]*Partition
+	doors map[DoorID]*Door
+
+	nextPart PartitionID
+	nextDoor DoorID
+}
+
+// NewBuilding returns an empty building with the given floor height.
+func NewBuilding(floorHeight float64) *Building {
+	return &Building{
+		FloorHeight: floorHeight,
+		parts:       make(map[PartitionID]*Partition),
+		doors:       make(map[DoorID]*Door),
+	}
+}
+
+// NumPartitions returns the number of partitions.
+func (b *Building) NumPartitions() int { return len(b.parts) }
+
+// NumDoors returns the number of doors.
+func (b *Building) NumDoors() int { return len(b.doors) }
+
+// Partition returns the partition with the given id, or nil.
+func (b *Building) Partition(id PartitionID) *Partition { return b.parts[id] }
+
+// Door returns the door with the given id, or nil.
+func (b *Building) Door(id DoorID) *Door { return b.doors[id] }
+
+// Partitions returns all partitions sorted by ID for deterministic
+// iteration.
+func (b *Building) Partitions() []*Partition {
+	out := make([]*Partition, 0, len(b.parts))
+	for _, p := range b.parts {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Doors returns all doors sorted by ID.
+func (b *Building) Doors() []*Door {
+	out := make([]*Door, 0, len(b.doors))
+	for _, d := range b.doors {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Floors returns the number of floors, assuming floors are numbered from 0.
+func (b *Building) Floors() int {
+	max := -1
+	for _, p := range b.parts {
+		_, hi := p.FloorSpan()
+		if hi > max {
+			max = hi
+		}
+	}
+	return max + 1
+}
+
+// Elevation returns the z coordinate of the given floor's ground plane.
+func (b *Building) Elevation(floor int) float64 {
+	return float64(floor) * b.FloorHeight
+}
+
+// AddPartition inserts a partition with the given kind, floor and footprint
+// and returns it. The shape must be a valid rectilinear polygon.
+func (b *Building) AddPartition(kind Kind, floor int, shape geom.Polygon) (*Partition, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, fmt.Errorf("indoor: bad partition shape: %w", err)
+	}
+	p := &Partition{ID: b.nextPart, Kind: kind, Floor: floor, Shape: shape}
+	b.nextPart++
+	b.parts[p.ID] = p
+	return p, nil
+}
+
+// AddRoom is AddPartition for a rectangular room.
+func (b *Building) AddRoom(floor int, r geom.Rect) *Partition {
+	p, err := b.AddPartition(Room, floor, geom.RectPoly(r))
+	if err != nil {
+		panic(err) // rectangles are always valid polygons
+	}
+	return p
+}
+
+// AddHallway is AddPartition for a (possibly concave) hallway.
+func (b *Building) AddHallway(floor int, shape geom.Polygon) (*Partition, error) {
+	return b.AddPartition(Hallway, floor, shape)
+}
+
+// AddStaircase inserts a staircase joining floor and floor+1 with the given
+// footprint and run length.
+func (b *Building) AddStaircase(floor int, footprint geom.Rect, runLength float64) *Partition {
+	p, err := b.AddPartition(Staircase, floor, geom.RectPoly(footprint))
+	if err != nil {
+		panic(err)
+	}
+	p.StairLength = runLength
+	return p
+}
+
+// RemovePartition deletes a partition and every door attached to it,
+// mirroring the paper's deletion operation (§III-C.1).
+func (b *Building) RemovePartition(id PartitionID) error {
+	p := b.parts[id]
+	if p == nil {
+		return fmt.Errorf("indoor: no partition %d", id)
+	}
+	for _, did := range append([]DoorID(nil), p.Doors...) {
+		b.RemoveDoor(did)
+	}
+	delete(b.parts, id)
+	return nil
+}
+
+// AddDoor inserts a bidirectional door at pos on the given floor joining p1
+// and p2 (p2 may be NoPartition for an exterior door).
+func (b *Building) AddDoor(pos geom.Point, floor int, p1, p2 PartitionID) (*Door, error) {
+	return b.addDoor(pos, floor, p1, p2, false, NoPartition, NoPartition)
+}
+
+// AddOneWayDoor inserts a unidirectional door permitting movement only
+// from → to.
+func (b *Building) AddOneWayDoor(pos geom.Point, floor int, from, to PartitionID) (*Door, error) {
+	return b.addDoor(pos, floor, from, to, true, from, to)
+}
+
+func (b *Building) addDoor(pos geom.Point, floor int, p1, p2 PartitionID, oneWay bool, from, to PartitionID) (*Door, error) {
+	pp1 := b.parts[p1]
+	if pp1 == nil {
+		return nil, fmt.Errorf("indoor: door references missing partition %d", p1)
+	}
+	var pp2 *Partition
+	if p2 != NoPartition {
+		pp2 = b.parts[p2]
+		if pp2 == nil {
+			return nil, fmt.Errorf("indoor: door references missing partition %d", p2)
+		}
+	}
+	d := &Door{
+		ID: b.nextDoor, Pos: pos, Floor: floor,
+		P1: p1, P2: p2,
+		OneWay: oneWay, From: from, To: to,
+	}
+	b.nextDoor++
+	b.doors[d.ID] = d
+	pp1.Doors = append(pp1.Doors, d.ID)
+	if pp2 != nil {
+		pp2.Doors = append(pp2.Doors, d.ID)
+	}
+	return d, nil
+}
+
+// RemoveDoor deletes a door and detaches it from its partitions.
+func (b *Building) RemoveDoor(id DoorID) {
+	d := b.doors[id]
+	if d == nil {
+		return
+	}
+	if p := b.parts[d.P1]; p != nil {
+		p.removeDoor(id)
+	}
+	if d.P2 != NoPartition {
+		if p := b.parts[d.P2]; p != nil {
+			p.removeDoor(id)
+		}
+	}
+	delete(b.doors, id)
+}
+
+// SetDoorClosed opens or closes a door — the temporal variation of §I
+// (rooms blocked in emergencies, temporary doors).
+func (b *Building) SetDoorClosed(id DoorID, closed bool) error {
+	d := b.doors[id]
+	if d == nil {
+		return fmt.Errorf("indoor: no door %d", id)
+	}
+	d.Closed = closed
+	return nil
+}
+
+// PartitionAt locates the partition containing the position, P(q) in the
+// paper. It scans linearly; the composite index answers the same question
+// through the tree. When partitions share a boundary the lowest ID wins,
+// keeping the answer deterministic.
+func (b *Building) PartitionAt(pos Position) *Partition {
+	var best *Partition
+	for _, p := range b.parts {
+		if p.Contains(pos) && (best == nil || p.ID < best.ID) {
+			best = p
+		}
+	}
+	return best
+}
+
+// AdjacentPartitions returns the partitions reachable from id through a
+// single currently-passable door, sorted by ID.
+func (b *Building) AdjacentPartitions(id PartitionID) []PartitionID {
+	p := b.parts[id]
+	if p == nil {
+		return nil
+	}
+	seen := make(map[PartitionID]bool)
+	for _, did := range p.Doors {
+		d := b.doors[did]
+		if d == nil || !d.Passable(id) {
+			continue
+		}
+		o := d.Other(id)
+		if o != NoPartition {
+			seen[o] = true
+		}
+	}
+	out := make([]PartitionID, 0, len(seen))
+	for pid := range seen {
+		out = append(out, pid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks structural invariants: door endpoints exist, door lists
+// are consistent, one-way directions reference the door's own partitions,
+// staircases have exactly the entrance doors on their two floors, and every
+// partition shape is valid.
+func (b *Building) Validate() error {
+	for id, p := range b.parts {
+		if p.ID != id {
+			return fmt.Errorf("indoor: partition map key %d != ID %d", id, p.ID)
+		}
+		if err := p.Shape.Validate(); err != nil {
+			return fmt.Errorf("indoor: partition %d: %w", id, err)
+		}
+		for _, did := range p.Doors {
+			d := b.doors[did]
+			if d == nil {
+				return fmt.Errorf("indoor: partition %d lists missing door %d", id, did)
+			}
+			if !d.Connects(id) {
+				return fmt.Errorf("indoor: partition %d lists door %d that does not connect it", id, did)
+			}
+		}
+	}
+	for id, d := range b.doors {
+		if d.ID != id {
+			return fmt.Errorf("indoor: door map key %d != ID %d", id, d.ID)
+		}
+		p1 := b.parts[d.P1]
+		if p1 == nil {
+			return fmt.Errorf("indoor: door %d references missing partition %d", id, d.P1)
+		}
+		if !p1.hasDoor(id) {
+			return fmt.Errorf("indoor: door %d missing from partition %d's list", id, d.P1)
+		}
+		if d.P2 != NoPartition {
+			p2 := b.parts[d.P2]
+			if p2 == nil {
+				return fmt.Errorf("indoor: door %d references missing partition %d", id, d.P2)
+			}
+			if !p2.hasDoor(id) {
+				return fmt.Errorf("indoor: door %d missing from partition %d's list", id, d.P2)
+			}
+		}
+		if d.OneWay {
+			if !d.Connects(d.From) || !d.Connects(d.To) || d.From == d.To {
+				return fmt.Errorf("indoor: door %d has inconsistent one-way direction", id)
+			}
+		}
+	}
+	return nil
+}

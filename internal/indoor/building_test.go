@@ -1,0 +1,218 @@
+package indoor
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// twoRooms builds the minimal fixture: rooms A (0,0)-(10,10) and
+// B (10,0)-(20,10) joined by a door at (10,5).
+func twoRooms(t *testing.T) (*Building, *Partition, *Partition, *Door) {
+	t.Helper()
+	b := NewBuilding(4)
+	a := b.AddRoom(0, geom.R(0, 0, 10, 10))
+	c := b.AddRoom(0, geom.R(10, 0, 20, 10))
+	d, err := b.AddDoor(geom.Pt(10, 5), 0, a.ID, c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, a, c, d
+}
+
+func TestBuildingBasics(t *testing.T) {
+	b, a, c, d := twoRooms(t)
+	if b.NumPartitions() != 2 || b.NumDoors() != 1 {
+		t.Fatalf("counts = %d parts %d doors", b.NumPartitions(), b.NumDoors())
+	}
+	if b.Partition(a.ID) != a || b.Door(d.ID) != d {
+		t.Fatal("lookup mismatch")
+	}
+	if b.Floors() != 1 {
+		t.Errorf("floors = %d, want 1", b.Floors())
+	}
+	if got := d.Other(a.ID); got != c.ID {
+		t.Errorf("Other = %d, want %d", got, c.ID)
+	}
+	if got := d.Other(PartitionID(99)); got != NoPartition {
+		t.Errorf("Other of stranger = %d, want NoPartition", got)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestPartitionAt(t *testing.T) {
+	b, a, c, _ := twoRooms(t)
+	if got := b.PartitionAt(Pos(5, 5, 0)); got == nil || got.ID != a.ID {
+		t.Errorf("PartitionAt(5,5) = %v, want room A", got)
+	}
+	if got := b.PartitionAt(Pos(15, 5, 0)); got == nil || got.ID != c.ID {
+		t.Errorf("PartitionAt(15,5) = %v, want room B", got)
+	}
+	if got := b.PartitionAt(Pos(5, 5, 3)); got != nil {
+		t.Errorf("PartitionAt wrong floor = %v, want nil", got)
+	}
+	if got := b.PartitionAt(Pos(50, 50, 0)); got != nil {
+		t.Errorf("PartitionAt outside = %v, want nil", got)
+	}
+	// Boundary point: deterministic lowest-ID winner.
+	if got := b.PartitionAt(Pos(10, 5, 0)); got == nil || got.ID != a.ID {
+		t.Errorf("boundary point = %v, want lowest ID", got)
+	}
+}
+
+func TestDoorPassable(t *testing.T) {
+	b, a, c, d := twoRooms(t)
+	if !d.Passable(a.ID) || !d.Passable(c.ID) {
+		t.Error("bidirectional door must be passable from both sides")
+	}
+	if d.Passable(PartitionID(99)) {
+		t.Error("door must not be passable from an unconnected partition")
+	}
+	if err := b.SetDoorClosed(d.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if d.Passable(a.ID) || d.Passable(c.ID) {
+		t.Error("closed door must not be passable")
+	}
+	if err := b.SetDoorClosed(d.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Passable(a.ID) {
+		t.Error("reopened door must be passable")
+	}
+	if err := b.SetDoorClosed(999, true); err == nil {
+		t.Error("closing a missing door must error")
+	}
+}
+
+func TestOneWayDoor(t *testing.T) {
+	b := NewBuilding(4)
+	a := b.AddRoom(0, geom.R(0, 0, 10, 10))
+	c := b.AddRoom(0, geom.R(10, 0, 20, 10))
+	d, err := b.AddOneWayDoor(geom.Pt(10, 5), 0, a.ID, c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Passable(a.ID) {
+		t.Error("one-way door must permit its From side")
+	}
+	if d.Passable(c.ID) {
+		t.Error("one-way door must block its To side")
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Adjacency honours direction.
+	if adj := b.AdjacentPartitions(a.ID); len(adj) != 1 || adj[0] != c.ID {
+		t.Errorf("adjacency from A = %v", adj)
+	}
+	if adj := b.AdjacentPartitions(c.ID); len(adj) != 0 {
+		t.Errorf("adjacency from C = %v, want empty (one-way)", adj)
+	}
+}
+
+func TestAddDoorMissingPartition(t *testing.T) {
+	b := NewBuilding(4)
+	a := b.AddRoom(0, geom.R(0, 0, 10, 10))
+	if _, err := b.AddDoor(geom.Pt(0, 0), 0, 77, a.ID); err == nil {
+		t.Error("door to missing partition must error")
+	}
+	if _, err := b.AddDoor(geom.Pt(0, 0), 0, a.ID, 77); err == nil {
+		t.Error("door to missing partition must error")
+	}
+}
+
+func TestExteriorDoor(t *testing.T) {
+	b := NewBuilding(4)
+	a := b.AddRoom(0, geom.R(0, 0, 10, 10))
+	d, err := b.AddDoor(geom.Pt(0, 5), 0, a.ID, NoPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Other(a.ID) != NoPartition {
+		t.Error("exterior door's other side must be NoPartition")
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if adj := b.AdjacentPartitions(a.ID); len(adj) != 0 {
+		t.Errorf("exterior door must not create adjacency, got %v", adj)
+	}
+}
+
+func TestRemovePartitionCascades(t *testing.T) {
+	b, a, c, d := twoRooms(t)
+	if err := b.RemovePartition(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if b.Door(d.ID) != nil {
+		t.Error("door attached to removed partition must be deleted")
+	}
+	if len(c.Doors) != 0 {
+		t.Errorf("neighbour still lists %d doors", len(c.Doors))
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate after removal: %v", err)
+	}
+	if err := b.RemovePartition(a.ID); err == nil {
+		t.Error("double removal must error")
+	}
+}
+
+func TestStaircase(t *testing.T) {
+	b := NewBuilding(4)
+	s := b.AddStaircase(0, geom.R(0, 0, 5, 10), 12)
+	lo, hi := s.FloorSpan()
+	if lo != 0 || hi != 1 {
+		t.Errorf("staircase span = [%d,%d], want [0,1]", lo, hi)
+	}
+	if !s.OnFloor(0) || !s.OnFloor(1) || s.OnFloor(2) {
+		t.Error("staircase must occupy exactly floors 0 and 1")
+	}
+	if b.Floors() != 2 {
+		t.Errorf("building floors = %d, want 2", b.Floors())
+	}
+	if s.StairLength != 12 {
+		t.Errorf("stair length = %g", s.StairLength)
+	}
+	if !s.Contains(Pos(2, 5, 1)) {
+		t.Error("staircase must contain points on its upper floor")
+	}
+}
+
+func TestAdjacentPartitionsSortedAndDeduped(t *testing.T) {
+	b := NewBuilding(4)
+	a := b.AddRoom(0, geom.R(0, 0, 10, 10))
+	c := b.AddRoom(0, geom.R(10, 0, 20, 10))
+	// Two doors between the same pair: adjacency must list C once.
+	if _, err := b.AddDoor(geom.Pt(10, 3), 0, a.ID, c.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddDoor(geom.Pt(10, 7), 0, a.ID, c.ID); err != nil {
+		t.Fatal(err)
+	}
+	if adj := b.AdjacentPartitions(a.ID); len(adj) != 1 || adj[0] != c.ID {
+		t.Errorf("adjacency = %v, want [%d]", adj, c.ID)
+	}
+	if adj := b.AdjacentPartitions(999); adj != nil {
+		t.Errorf("adjacency of missing partition = %v, want nil", adj)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	b, a, _, d := twoRooms(t)
+	// Corrupt: door claims a partition that doesn't list it.
+	a.removeDoor(d.ID)
+	if err := b.Validate(); err == nil {
+		t.Error("Validate must detect a door missing from partition list")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Room.String() != "room" || Hallway.String() != "hallway" ||
+		Staircase.String() != "staircase" || Kind(9).String() != "unknown" {
+		t.Error("Kind strings wrong")
+	}
+}

@@ -1,0 +1,85 @@
+package indoor
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// DefaultTshape is the aspect-ratio threshold used by the paper's running
+// example (hallway 10 splits into three units at Tshape = 0.5).
+const DefaultTshape = 0.5
+
+// MaxTshape is the largest threshold midpoint halving can satisfy: splitting
+// the longer side of a rectangle with ratio ρ ∈ [1/2, √2/2) yields ratio
+// 1/(2ρ) > √2/2, so any threshold at most √2/2 terminates, while thresholds
+// above it oscillate forever. Decompose clamps to this value.
+const MaxTshape = math.Sqrt2 / 2
+
+// Decompose implements Algorithm 3 of the paper: it splits a (possibly
+// concave or imbalanced) rectilinear partition footprint into convex
+// rectangular index units whose short/long side ratio is at least tshape.
+//
+// Concavity is removed first by cutting at turning points (reflex
+// vertices); the rectangle sweep prefers wide slabs, and the subsequent
+// ratio pass halves each rectangle along its longer dimension at the middle
+// point — the paper's "splitting line perpendicular to the longer
+// dimension" — until every unit satisfies the threshold.
+//
+// A tshape of 0 (or below) disables ratio splitting and only removes
+// concavity. Values above MaxTshape are clamped to MaxTshape, the largest
+// threshold the midpoint-halving rule can terminate on.
+func Decompose(shape geom.Polygon, tshape float64) []geom.Rect {
+	if tshape > MaxTshape {
+		tshape = MaxTshape
+	}
+	base := shape.RectDecompose()
+	if tshape <= 0 {
+		return base
+	}
+	var out []geom.Rect
+	for _, r := range base {
+		out = appendBalanced(out, r, tshape)
+	}
+	return out
+}
+
+// appendBalanced recursively halves r along its longer dimension until the
+// aspect ratio reaches tshape, appending the resulting units to dst.
+func appendBalanced(dst []geom.Rect, r geom.Rect, tshape float64) []geom.Rect {
+	// Guard against pathological thresholds on degenerate slivers: a unit
+	// narrower than 2×Eps cannot be split meaningfully.
+	if r.AspectRatio() >= tshape || r.Width() <= 2*geom.Eps || r.Height() <= 2*geom.Eps {
+		return append(dst, r)
+	}
+	var a, b geom.Rect
+	if r.Width() > r.Height() {
+		a, b = r.SplitX((r.MinX + r.MaxX) / 2)
+	} else {
+		a, b = r.SplitY((r.MinY + r.MaxY) / 2)
+	}
+	dst = appendBalanced(dst, a, tshape)
+	return appendBalanced(dst, b, tshape)
+}
+
+// UnitAdjacency returns, for every pair of units (by slice index) that share
+// an edge of positive length, the shared-edge midpoint where the composite
+// index places a virtual door. Pairs are reported once with i < j.
+func UnitAdjacency(units []geom.Rect) []UnitLink {
+	var links []UnitLink
+	for i := range units {
+		for j := i + 1; j < len(units); j++ {
+			if seg, ok := units[i].SharedEdge(units[j]); ok {
+				links = append(links, UnitLink{I: i, J: j, Mid: seg.Mid()})
+			}
+		}
+	}
+	return links
+}
+
+// UnitLink records that decomposed units I and J touch along an edge whose
+// midpoint is Mid.
+type UnitLink struct {
+	I, J int
+	Mid  geom.Point
+}

@@ -1,0 +1,138 @@
+package indoor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// SplitPartition mounts a sliding wall: it divides a rectangular partition
+// in two along the vertical (alongX = true: wall at x = at) or horizontal
+// line, reassigns existing doors to the side containing them, and returns
+// the two new partitions. No connecting door is created — exactly the
+// paper's Figure 1 scenario where room 21 in meeting style disconnects
+// s from t. Callers wanting a doorway in the new wall add one afterwards.
+//
+// The original partition is removed; its ID is retired. Only rectangular
+// partitions can be split (the generator produces rectangular rooms;
+// hallways are decomposed by the index, not by topology updates).
+func (b *Building) SplitPartition(id PartitionID, alongX bool, at float64) (*Partition, *Partition, error) {
+	p := b.parts[id]
+	if p == nil {
+		return nil, nil, fmt.Errorf("indoor: no partition %d", id)
+	}
+	if p.Kind == Staircase {
+		return nil, nil, fmt.Errorf("indoor: cannot split staircase %d", id)
+	}
+	if !p.Shape.IsConvex() {
+		return nil, nil, fmt.Errorf("indoor: partition %d is not rectangular", id)
+	}
+	r := p.Bounds()
+	var ra, rb geom.Rect
+	if alongX {
+		if at <= r.MinX+geom.Eps || at >= r.MaxX-geom.Eps {
+			return nil, nil, fmt.Errorf("indoor: split line x=%g outside partition %d", at, id)
+		}
+		ra, rb = r.SplitX(at)
+	} else {
+		if at <= r.MinY+geom.Eps || at >= r.MaxY-geom.Eps {
+			return nil, nil, fmt.Errorf("indoor: split line y=%g outside partition %d", at, id)
+		}
+		ra, rb = r.SplitY(at)
+	}
+
+	pa, err := b.AddPartition(p.Kind, p.Floor, geom.RectPoly(ra))
+	if err != nil {
+		return nil, nil, err
+	}
+	pb, err := b.AddPartition(p.Kind, p.Floor, geom.RectPoly(rb))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Reassign doors to the half that contains them. Doors exactly on the
+	// split line go to the first half.
+	for _, did := range append([]DoorID(nil), p.Doors...) {
+		d := b.doors[did]
+		target := pb.ID
+		if ra.Contains(d.Pos) {
+			target = pa.ID
+		}
+		b.retargetDoor(d, id, target)
+		b.parts[target].Doors = append(b.parts[target].Doors, did)
+		p.removeDoor(did)
+	}
+	delete(b.parts, id)
+	return pa, pb, nil
+}
+
+// MergePartitions dismounts a sliding wall: two rectangular partitions of
+// the same kind and floor that share a full edge become one (banquet style
+// in the paper's example). Doors of both survive on the merged partition;
+// doors *between* the two (in the removed wall) are deleted. Returns the
+// merged partition.
+func (b *Building) MergePartitions(ida, idb PartitionID) (*Partition, error) {
+	pa, pb := b.parts[ida], b.parts[idb]
+	if pa == nil || pb == nil {
+		return nil, fmt.Errorf("indoor: merge of missing partition (%d, %d)", ida, idb)
+	}
+	if pa.Kind == Staircase || pb.Kind == Staircase {
+		return nil, fmt.Errorf("indoor: cannot merge staircases")
+	}
+	if pa.Floor != pb.Floor {
+		return nil, fmt.Errorf("indoor: cannot merge across floors %d and %d", pa.Floor, pb.Floor)
+	}
+	if !pa.Shape.IsConvex() || !pb.Shape.IsConvex() {
+		return nil, fmt.Errorf("indoor: merge requires rectangular partitions")
+	}
+	ra, rb := pa.Bounds(), pb.Bounds()
+	u := ra.Union(rb)
+	if math.Abs(u.Area()-(ra.Area()+rb.Area())) > 1e-6*u.Area()+geom.Eps {
+		return nil, fmt.Errorf("indoor: partitions %d and %d do not tile a rectangle", ida, idb)
+	}
+
+	merged, err := b.AddPartition(pa.Kind, pa.Floor, geom.RectPoly(u))
+	if err != nil {
+		return nil, err
+	}
+	for _, src := range []*Partition{pa, pb} {
+		for _, did := range append([]DoorID(nil), src.Doors...) {
+			d := b.doors[did]
+			// A door joining exactly the two merged partitions sits in the
+			// dismounted wall: remove it.
+			if (d.P1 == ida && d.P2 == idb) || (d.P1 == idb && d.P2 == ida) {
+				b.RemoveDoor(did)
+				continue
+			}
+			from := src.ID
+			b.retargetDoor(d, from, merged.ID)
+			if !merged.hasDoor(did) {
+				merged.Doors = append(merged.Doors, did)
+			}
+			src.removeDoor(did)
+		}
+	}
+	delete(b.parts, ida)
+	delete(b.parts, idb)
+	return merged, nil
+}
+
+// retargetDoor rewrites every reference to partition old in door d to new,
+// preserving one-way semantics.
+func (b *Building) retargetDoor(d *Door, old, new PartitionID) {
+	if d.P1 == old {
+		d.P1 = new
+	}
+	if d.P2 == old {
+		d.P2 = new
+	}
+	if d.OneWay {
+		if d.From == old {
+			d.From = new
+		}
+		if d.To == old {
+			d.To = new
+		}
+	}
+}

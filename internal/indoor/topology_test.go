@@ -1,0 +1,167 @@
+package indoor
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// conferenceHall reproduces the paper's room 21: a large room with doors
+// d41 at (0,5) and d42 at (0,15) on its west wall, splittable by a sliding
+// wall at y=10.
+func conferenceHall(t *testing.T) (*Building, *Partition, *Door, *Door) {
+	t.Helper()
+	b := NewBuilding(4)
+	hall := b.AddRoom(0, geom.R(0, 0, 30, 20))
+	lobby := b.AddRoom(0, geom.R(-10, 0, 0, 20))
+	d41, err := b.AddDoor(geom.Pt(0, 5), 0, lobby.ID, hall.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d42, err := b.AddDoor(geom.Pt(0, 15), 0, lobby.ID, hall.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, hall, d41, d42
+}
+
+func TestSplitPartition(t *testing.T) {
+	b, hall, d41, d42 := conferenceHall(t)
+	south, north, err := b.SplitPartition(hall.ID, false, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Partition(hall.ID) != nil {
+		t.Error("split partition must be retired")
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate after split: %v", err)
+	}
+	// Doors land on the correct halves.
+	if d41.Other(south.ID) == NoPartition && d41.Other(north.ID) == NoPartition {
+		t.Error("d41 lost its hall side")
+	}
+	if !south.hasDoor(d41.ID) {
+		t.Errorf("d41 at y=5 must attach to the south half")
+	}
+	if !north.hasDoor(d42.ID) {
+		t.Errorf("d42 at y=15 must attach to the north half")
+	}
+	// The sliding wall disconnects the halves: s cannot reach t directly.
+	for _, adj := range b.AdjacentPartitions(south.ID) {
+		if adj == north.ID {
+			t.Error("split halves must not be adjacent (no door in the wall)")
+		}
+	}
+	// Geometry preserved.
+	if south.Bounds().Union(north.Bounds()) != (geom.Rect{MinX: 0, MinY: 0, MaxX: 30, MaxY: 20}) {
+		t.Error("halves must tile the original hall")
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	b, hall, _, _ := conferenceHall(t)
+	if _, _, err := b.SplitPartition(999, false, 10); err == nil {
+		t.Error("splitting a missing partition must error")
+	}
+	if _, _, err := b.SplitPartition(hall.ID, false, 20); err == nil {
+		t.Error("split line on the boundary must error")
+	}
+	if _, _, err := b.SplitPartition(hall.ID, true, -5); err == nil {
+		t.Error("split line outside must error")
+	}
+	s := b.AddStaircase(0, geom.R(100, 100, 105, 110), 12)
+	if _, _, err := b.SplitPartition(s.ID, false, 105); err == nil {
+		t.Error("splitting a staircase must error")
+	}
+}
+
+func TestMergePartitions(t *testing.T) {
+	b, hall, _, _ := conferenceHall(t)
+	south, north, err := b.SplitPartition(hall.ID, false, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add a door in the sliding wall, then merge: that door must vanish.
+	wallDoor, err := b.AddDoor(geom.Pt(15, 10), 0, south.ID, north.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := b.MergePartitions(south.ID, north.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Door(wallDoor.ID) != nil {
+		t.Error("door inside the dismounted wall must be removed")
+	}
+	if len(merged.Doors) != 2 {
+		t.Errorf("merged hall lists %d doors, want 2", len(merged.Doors))
+	}
+	if merged.Bounds() != (geom.Rect{MinX: 0, MinY: 0, MaxX: 30, MaxY: 20}) {
+		t.Errorf("merged bounds = %v", merged.Bounds())
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate after merge: %v", err)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	b := NewBuilding(4)
+	a := b.AddRoom(0, geom.R(0, 0, 10, 10))
+	c := b.AddRoom(0, geom.R(20, 0, 30, 10)) // not adjacent
+	if _, err := b.MergePartitions(a.ID, c.ID); err == nil {
+		t.Error("merging non-tiling partitions must error")
+	}
+	e := b.AddRoom(1, geom.R(10, 0, 20, 10))
+	if _, err := b.MergePartitions(a.ID, e.ID); err == nil {
+		t.Error("merging across floors must error")
+	}
+	if _, err := b.MergePartitions(a.ID, 999); err == nil {
+		t.Error("merging a missing partition must error")
+	}
+	// Differently-sized edge contact that does not tile a rectangle.
+	f := b.AddRoom(0, geom.R(10, 0, 20, 5))
+	if _, err := b.MergePartitions(a.ID, f.ID); err == nil {
+		t.Error("L-shaped union must be rejected")
+	}
+}
+
+func TestSplitMergeRoundTripPreservesConnectivity(t *testing.T) {
+	b, hall, _, _ := conferenceHall(t)
+	lobbyID := PartitionID(1) // second AddRoom in fixture
+	south, north, err := b.SplitPartition(hall.ID, false, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := b.MergePartitions(south.ID, north.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := b.AdjacentPartitions(merged.ID)
+	if len(adj) != 1 || adj[0] != lobbyID {
+		t.Errorf("adjacency after round trip = %v, want [lobby]", adj)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitPreservesOneWayDirection(t *testing.T) {
+	b := NewBuilding(4)
+	hall := b.AddRoom(0, geom.R(0, 0, 30, 20))
+	outside := b.AddRoom(0, geom.R(30, 0, 40, 20))
+	ow, err := b.AddOneWayDoor(geom.Pt(30, 5), 0, hall.ID, outside.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	south, _, err := b.SplitPartition(hall.ID, false, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ow.From != south.ID {
+		t.Errorf("one-way From not retargeted: %d, want %d", ow.From, south.ID)
+	}
+	if !ow.Passable(south.ID) || ow.Passable(outside.ID) {
+		t.Error("one-way semantics must survive the split")
+	}
+}

@@ -1,0 +1,188 @@
+// Package indoor models dynamic indoor spaces as described in §II-A and
+// §III-C of the paper: partitions (rooms, hallways, staircases) connected by
+// doors that may be unidirectional or temporarily closed, organised into
+// multi-floor buildings. It also implements Algorithm 3 (Decompose), which
+// splits irregular partitions into convex, well-shaped rectangular index
+// units for the indR-tree.
+//
+// The package is purely a model: spatial indexing lives in internal/index
+// and distance evaluation in internal/distance.
+package indoor
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// PartitionID identifies a partition within a Building. IDs are never
+// reused, so references held by an index remain unambiguous across
+// topological updates.
+type PartitionID int
+
+// DoorID identifies a door within a Building.
+type DoorID int
+
+// NoPartition marks the absent side of an exterior door.
+const NoPartition PartitionID = -1
+
+// Kind classifies a partition. Hallways and staircases are treated as rooms
+// for distance purposes (§II-A) but keep their kind for decomposition and
+// skeleton-tier construction.
+type Kind int
+
+const (
+	// Room is a regular convex partition.
+	Room Kind = iota
+	// Hallway is a corridor; typically elongated or concave, hence
+	// decomposed into several index units.
+	Hallway
+	// Staircase connects two consecutive floors; its two doors are the
+	// staircase entrances and the intra-partition distance between them is
+	// the stair run length, not the planar Euclidean distance.
+	Staircase
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Room:
+		return "room"
+	case Hallway:
+		return "hallway"
+	case Staircase:
+		return "staircase"
+	}
+	return "unknown"
+}
+
+// Position is an indoor location: a planar point on a specific floor.
+type Position struct {
+	Pt    geom.Point
+	Floor int
+}
+
+// Pos builds a Position.
+func Pos(x, y float64, floor int) Position {
+	return Position{Pt: geom.Pt(x, y), Floor: floor}
+}
+
+// String implements fmt.Stringer.
+func (p Position) String() string {
+	return fmt.Sprintf("%v@f%d", p.Pt, p.Floor)
+}
+
+// Door connects at most two partitions. Its representative position is the
+// door midpoint (the paper's convention for door-related distances). A door
+// with OneWay set permits movement only From → To, like door d12 in the
+// paper's running example. A Closed door exists in the model but permits no
+// movement until reopened — the paper's temporal variation.
+type Door struct {
+	ID    DoorID
+	Pos   geom.Point
+	Floor int
+
+	// P1, P2 are the connected partitions; P2 is NoPartition for exterior
+	// doors. For staircase entrance doors, one side is the staircase
+	// partition and Floor is the floor of the *other* side.
+	P1, P2 PartitionID
+
+	OneWay bool
+	// From, To define the permitted direction when OneWay is set; both
+	// must be one of P1, P2.
+	From, To PartitionID
+
+	// Virtual doors are inserted between sibling index units when a
+	// partition is decomposed; they carry no physical meaning and are
+	// created by the composite index, never stored in a Building.
+	Virtual bool
+
+	Closed bool
+}
+
+// Connects reports whether the door joins partition id (either side).
+func (d *Door) Connects(id PartitionID) bool { return d.P1 == id || d.P2 == id }
+
+// Other returns the partition on the opposite side of id, or NoPartition.
+func (d *Door) Other(id PartitionID) PartitionID {
+	switch id {
+	case d.P1:
+		return d.P2
+	case d.P2:
+		return d.P1
+	}
+	return NoPartition
+}
+
+// Passable reports whether movement from partition `from` through the door
+// is currently permitted, honouring closure and one-way direction.
+func (d *Door) Passable(from PartitionID) bool {
+	if d.Closed || !d.Connects(from) {
+		return false
+	}
+	if d.OneWay {
+		return d.From == from
+	}
+	return true
+}
+
+// Partition is an atomic indoor element: a room, hallway or staircase,
+// together with its doors (§II-A).
+type Partition struct {
+	ID    PartitionID
+	Kind  Kind
+	Floor int
+	// Shape is the rectilinear footprint on Floor. Staircases use their
+	// footprint on the lower of the two floors they join.
+	Shape geom.Polygon
+	// Doors lists the doors attached to this partition, D(p) in the
+	// paper's notation.
+	Doors []DoorID
+
+	// StairLength is the walking distance between the two entrance doors
+	// of a staircase (its run length); ignored for other kinds.
+	StairLength float64
+}
+
+// Bounds returns the partition's planar MBR.
+func (p *Partition) Bounds() geom.Rect { return p.Shape.Bounds() }
+
+// FloorSpan returns the inclusive floor interval occupied by the partition:
+// [Floor, Floor] for rooms and hallways, [Floor, Floor+1] for staircases.
+func (p *Partition) FloorSpan() (lo, hi int) {
+	if p.Kind == Staircase {
+		return p.Floor, p.Floor + 1
+	}
+	return p.Floor, p.Floor
+}
+
+// OnFloor reports whether the partition occupies the given floor.
+func (p *Partition) OnFloor(f int) bool {
+	lo, hi := p.FloorSpan()
+	return f >= lo && f <= hi
+}
+
+// Contains reports whether the position lies inside the partition.
+func (p *Partition) Contains(pos Position) bool {
+	return p.OnFloor(pos.Floor) && p.Shape.Contains(pos.Pt)
+}
+
+// hasDoor reports whether id is already attached.
+func (p *Partition) hasDoor(id DoorID) bool {
+	for _, d := range p.Doors {
+		if d == id {
+			return true
+		}
+	}
+	return false
+}
+
+// removeDoor detaches id if present.
+func (p *Partition) removeDoor(id DoorID) {
+	for i, d := range p.Doors {
+		if d == id {
+			p.Doors = append(p.Doors[:i], p.Doors[i+1:]...)
+			return
+		}
+	}
+}

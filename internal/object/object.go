@@ -1,0 +1,238 @@
+// Package object models indoor moving objects with uncertain locations as
+// in §II-B of the paper: an object is a set of discrete instances
+// {(s_i, p_i)} whose existential probabilities sum to one. The instance
+// representation is general for arbitrary distributions; the generator in
+// this package produces the paper's experimental pdf — Gaussian samples
+// truncated to a circular uncertainty region with σ = diameter/6.
+package object
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/indoor"
+)
+
+// ID identifies an uncertain object within a Store or index.
+type ID int
+
+// Instance is one existential sample s_i of an object with probability P.
+type Instance struct {
+	Pos indoor.Position
+	P   float64
+}
+
+// Object is an indoor moving object O = {(s_i, p_i)}. All instances lie on
+// a single floor: indoor positioning reports a region around a reader or
+// access point, which never straddles a slab. The uncertainty region
+// (Center, Radius) is retained for bookkeeping; distance computations use
+// only the instances.
+type Object struct {
+	ID        ID
+	Center    indoor.Position
+	Radius    float64
+	Instances []Instance
+}
+
+// probTol is the acceptable deviation of the probability mass from 1.
+const probTol = 1e-6
+
+// Validate checks the §II-B contract: at least one instance, non-negative
+// probabilities summing to 1, and a single floor.
+func (o *Object) Validate() error {
+	if len(o.Instances) == 0 {
+		return fmt.Errorf("object %d: no instances", o.ID)
+	}
+	var sum float64
+	for i, in := range o.Instances {
+		if in.P < 0 {
+			return fmt.Errorf("object %d: instance %d has negative probability %g", o.ID, i, in.P)
+		}
+		if in.Pos.Floor != o.Instances[0].Pos.Floor {
+			return fmt.Errorf("object %d: instances span floors %d and %d",
+				o.ID, o.Instances[0].Pos.Floor, in.Pos.Floor)
+		}
+		sum += in.P
+	}
+	if math.Abs(sum-1) > probTol {
+		return fmt.Errorf("object %d: probabilities sum to %g", o.ID, sum)
+	}
+	return nil
+}
+
+// Floor returns the floor the object occupies.
+func (o *Object) Floor() int { return o.Instances[0].Pos.Floor }
+
+// Bounds returns the planar MBR of the instances, the footprint the
+// composite index stores for the object.
+func (o *Object) Bounds() geom.Rect {
+	b := geom.EmptyRect
+	for _, in := range o.Instances {
+		b = b.Union(geom.Rect{
+			MinX: in.Pos.Pt.X, MinY: in.Pos.Pt.Y,
+			MaxX: in.Pos.Pt.X, MaxY: in.Pos.Pt.Y,
+		})
+	}
+	return b
+}
+
+// MinDistFrom returns |q, O|minE: the smallest Euclidean distance from q to
+// any instance (q on the object's floor; cross-floor callers go through the
+// skeleton distance instead).
+func (o *Object) MinDistFrom(q geom.Point) float64 {
+	min := math.Inf(1)
+	for _, in := range o.Instances {
+		if d := q.SqDistTo(in.Pos.Pt); d < min {
+			min = d
+		}
+	}
+	return math.Sqrt(min)
+}
+
+// MaxDistFrom returns |q, O|maxE over the instances.
+func (o *Object) MaxDistFrom(q geom.Point) float64 {
+	max := 0.0
+	for _, in := range o.Instances {
+		if d := q.SqDistTo(in.Pos.Pt); d > max {
+			max = d
+		}
+	}
+	return math.Sqrt(max)
+}
+
+// Subregion is an uncertainty subregion S[j]: the instances of an object
+// falling into one partition, with their aggregate probability mass and
+// planar MBR (§II-B).
+type Subregion struct {
+	Part      indoor.PartitionID
+	Instances []Instance
+	Prob      float64
+	MBR       geom.Rect
+}
+
+// Split divides the object's instances into subregions by partition using
+// the supplied locator (the composite index's point-location, or
+// Building.PartitionAt in tests). Instances the locator cannot place are
+// assigned to indoor.NoPartition so that no probability mass silently
+// disappears. Subregions are ordered by ascending PartitionID for
+// determinism.
+func (o *Object) Split(locate func(indoor.Position) indoor.PartitionID) []Subregion {
+	byPart := make(map[indoor.PartitionID]*Subregion)
+	order := make([]indoor.PartitionID, 0, 4)
+	for _, in := range o.Instances {
+		pid := locate(in.Pos)
+		s := byPart[pid]
+		if s == nil {
+			s = &Subregion{Part: pid, MBR: geom.EmptyRect}
+			byPart[pid] = s
+			order = append(order, pid)
+		}
+		s.Instances = append(s.Instances, in)
+		s.Prob += in.P
+		s.MBR = s.MBR.Union(geom.Rect{
+			MinX: in.Pos.Pt.X, MinY: in.Pos.Pt.Y,
+			MaxX: in.Pos.Pt.X, MaxY: in.Pos.Pt.Y,
+		})
+	}
+	// Insertion order follows instance order; sort by partition ID.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j] < order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	out := make([]Subregion, 0, len(order))
+	for _, pid := range order {
+		out = append(out, *byPart[pid])
+	}
+	return out
+}
+
+// SampleGaussian draws an object with n instances of equal probability 1/n
+// from a Gaussian centred at center, σ = radius/3 (the paper's variance:
+// the square of 1/6 of the diameter), truncated to the circular uncertainty
+// region by resampling.
+func SampleGaussian(rng *rand.Rand, id ID, center indoor.Position, radius float64, n int) *Object {
+	o := &Object{ID: id, Center: center, Radius: radius, Instances: make([]Instance, 0, n)}
+	sigma := radius / 3
+	p := 1.0 / float64(n)
+	for len(o.Instances) < n {
+		dx := rng.NormFloat64() * sigma
+		dy := rng.NormFloat64() * sigma
+		if math.Hypot(dx, dy) > radius {
+			continue // truncate to the uncertainty circle
+		}
+		o.Instances = append(o.Instances, Instance{
+			Pos: indoor.Position{
+				Pt:    geom.Pt(center.Pt.X+dx, center.Pt.Y+dy),
+				Floor: center.Floor,
+			},
+			P: p,
+		})
+	}
+	return o
+}
+
+// PointObject builds a certain object: a single instance with probability 1.
+// Degenerate objects exercise the single-partition single-path fast path and
+// model precisely-positioned assets.
+func PointObject(id ID, pos indoor.Position) *Object {
+	return &Object{
+		ID: id, Center: pos, Radius: 0,
+		Instances: []Instance{{Pos: pos, P: 1}},
+	}
+}
+
+// Store is an id-addressed collection of objects with deterministic
+// iteration order. It is the backing container of the composite index's
+// object layer.
+type Store struct {
+	objs map[ID]*Object
+	next ID
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{objs: make(map[ID]*Object)} }
+
+// Add inserts o, assigning it the next free ID when o.ID is negative.
+func (s *Store) Add(o *Object) ID {
+	if o.ID < 0 {
+		o.ID = s.next
+	}
+	if o.ID >= s.next {
+		s.next = o.ID + 1
+	}
+	s.objs[o.ID] = o
+	return o.ID
+}
+
+// Get returns the object with the given id, or nil.
+func (s *Store) Get(id ID) *Object { return s.objs[id] }
+
+// Remove deletes the object with the given id and reports whether it
+// existed.
+func (s *Store) Remove(id ID) bool {
+	if _, ok := s.objs[id]; !ok {
+		return false
+	}
+	delete(s.objs, id)
+	return true
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int { return len(s.objs) }
+
+// IDs returns all object ids in ascending order.
+func (s *Store) IDs() []ID {
+	out := make([]ID, 0, len(s.objs))
+	for id := range s.objs {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

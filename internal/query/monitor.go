@@ -1,0 +1,289 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/distance"
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/object"
+)
+
+// Monitor maintains standing (continuous) indoor range queries — the
+// paper's third future-work direction: reusing computational effort when
+// multiple related queries live at once. Each standing query keeps the
+// output of its filtering and subgraph phases (the candidate-unit
+// footprint and the door-distance engine); object movement then costs one
+// bound evaluation per *affected* query instead of a full re-run, because
+// the doors-graph distances do not depend on objects at all.
+//
+// Topological changes (door closures, partition updates) invalidate the
+// cached engines; callers route them through the monitor (SetDoorClosed,
+// InvalidateTopology) so every standing query is refreshed and membership
+// changes are reported.
+type Monitor struct {
+	p        *Processor
+	standing map[int]*standingQuery
+	nextID   int
+}
+
+type standingQuery struct {
+	id      int
+	q       indoor.Position
+	r       float64
+	unitSet map[index.UnitID]bool
+	eng     *distance.Engine
+	rf      *refiner
+	members map[object.ID]bool
+}
+
+// Event reports one membership change of a standing query.
+type Event struct {
+	Query   int
+	Object  object.ID
+	Entered bool // true: entered the range; false: left it
+}
+
+// NewMonitor returns a monitor over the index.
+func NewMonitor(idx *index.Index, opts Options) *Monitor {
+	return &Monitor{p: New(idx, opts), standing: make(map[int]*standingQuery)}
+}
+
+// Register installs a standing range query and returns its handle and the
+// initial members (ascending by id).
+func (m *Monitor) Register(q indoor.Position, r float64) (int, []object.ID, error) {
+	s := &standingQuery{id: m.nextID, q: q, r: r, members: make(map[object.ID]bool)}
+	if err := m.refresh(s); err != nil {
+		return 0, nil, err
+	}
+	m.nextID++
+	m.standing[s.id] = s
+	return s.id, m.Results(s.id), nil
+}
+
+// refresh re-runs the filtering and subgraph phases for a standing query
+// and re-evaluates every candidate object.
+func (m *Monitor) refresh(s *standingQuery) error {
+	units, cands := m.p.rangeSearch(s.q, s.r)
+	eng, err := distance.New(m.p.idx, s.q, units, math.Inf(1))
+	if err != nil {
+		return err
+	}
+	s.unitSet = make(map[index.UnitID]bool, len(units))
+	for _, u := range units {
+		s.unitSet[u] = true
+	}
+	s.eng = eng
+	s.rf = &refiner{p: m.p, q: s.q, r: s.r, eng: eng, stats: &Stats{}}
+	s.members = make(map[object.ID]bool)
+	for _, oid := range cands {
+		in, err := m.evalObject(s, oid)
+		if err != nil {
+			return err
+		}
+		if in {
+			s.members[oid] = true
+		}
+	}
+	return nil
+}
+
+// evalObject decides one object's membership against a standing query
+// using the cached engine.
+func (m *Monitor) evalObject(s *standingQuery, oid object.ID) (bool, error) {
+	o := m.p.idx.Objects().Get(oid)
+	if o == nil {
+		return false, nil
+	}
+	// The object must touch the candidate footprint at all (Lemma 6
+	// guarantees objects fully outside it are beyond r).
+	touches := false
+	for _, u := range m.p.idx.ObjectUnits(oid) {
+		if s.unitSet[u] {
+			touches = true
+			break
+		}
+	}
+	if !touches {
+		return false, nil
+	}
+	if m.p.objectBound(s.q, oid) > s.r {
+		return false, nil
+	}
+	b := s.eng.ObjectBounds(o, s.r)
+	switch {
+	case b.Upper <= s.r:
+		return true, nil
+	case b.Lower > s.r:
+		return false, nil
+	}
+	in, _, err := s.rf.decideWithin(o, s.r)
+	return in, err
+}
+
+// Unregister removes a standing query, reporting whether it existed.
+func (m *Monitor) Unregister(id int) bool {
+	if _, ok := m.standing[id]; !ok {
+		return false
+	}
+	delete(m.standing, id)
+	return true
+}
+
+// Results returns the current members of a standing query, ascending.
+func (m *Monitor) Results(id int) []object.ID {
+	s := m.standing[id]
+	if s == nil {
+		return nil
+	}
+	out := make([]object.ID, 0, len(s.members))
+	for oid := range s.members {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// queryIDs returns registered handles in ascending order for deterministic
+// event emission.
+func (m *Monitor) queryIDs() []int {
+	ids := make([]int, 0, len(m.standing))
+	for id := range m.standing {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// reconcile re-evaluates one object against the standing queries whose
+// footprint it touches (before or after the update) or whose result it was
+// part of, emitting membership events.
+func (m *Monitor) reconcile(oid object.ID, touched map[index.UnitID]bool) ([]Event, error) {
+	var events []Event
+	for _, id := range m.queryIDs() {
+		s := m.standing[id]
+		affected := s.members[oid]
+		if !affected {
+			for u := range touched {
+				if s.unitSet[u] {
+					affected = true
+					break
+				}
+			}
+		}
+		if !affected {
+			continue
+		}
+		in, err := m.evalObject(s, oid)
+		if err != nil {
+			return events, err
+		}
+		was := s.members[oid]
+		switch {
+		case in && !was:
+			s.members[oid] = true
+			events = append(events, Event{Query: id, Object: oid, Entered: true})
+		case !in && was:
+			delete(s.members, oid)
+			events = append(events, Event{Query: id, Object: oid, Entered: false})
+		}
+	}
+	return events, nil
+}
+
+// ObjectMoved applies the adjacency-accelerated location update and
+// reconciles the affected standing queries.
+func (m *Monitor) ObjectMoved(o *object.Object) ([]Event, error) {
+	touched := make(map[index.UnitID]bool)
+	for _, u := range m.p.idx.ObjectUnits(o.ID) {
+		touched[u] = true
+	}
+	if err := m.p.idx.MoveObject(o); err != nil {
+		return nil, err
+	}
+	for _, u := range m.p.idx.ObjectUnits(o.ID) {
+		touched[u] = true
+	}
+	return m.reconcile(o.ID, touched)
+}
+
+// ObjectInserted indexes a new object and reconciles.
+func (m *Monitor) ObjectInserted(o *object.Object) ([]Event, error) {
+	if err := m.p.idx.InsertObject(o); err != nil {
+		return nil, err
+	}
+	touched := make(map[index.UnitID]bool)
+	for _, u := range m.p.idx.ObjectUnits(o.ID) {
+		touched[u] = true
+	}
+	return m.reconcile(o.ID, touched)
+}
+
+// ObjectDeleted removes an object, emitting leave events for every
+// standing query it was a member of.
+func (m *Monitor) ObjectDeleted(id object.ID) ([]Event, error) {
+	if err := m.p.idx.DeleteObject(id); err != nil {
+		return nil, err
+	}
+	var events []Event
+	for _, qid := range m.queryIDs() {
+		s := m.standing[qid]
+		if s.members[id] {
+			delete(s.members, id)
+			events = append(events, Event{Query: qid, Object: id, Entered: false})
+		}
+	}
+	return events, nil
+}
+
+// SetDoorClosed toggles a door and refreshes every standing query (door
+// distances changed), emitting membership events.
+func (m *Monitor) SetDoorClosed(did indoor.DoorID, closed bool) ([]Event, error) {
+	if err := m.p.idx.SetDoorClosed(did, closed); err != nil {
+		return nil, err
+	}
+	return m.InvalidateTopology()
+}
+
+// InvalidateTopology refreshes every standing query after an out-of-band
+// topological change, returning the membership deltas.
+func (m *Monitor) InvalidateTopology() ([]Event, error) {
+	var events []Event
+	for _, id := range m.queryIDs() {
+		s := m.standing[id]
+		before := make(map[object.ID]bool, len(s.members))
+		for oid := range s.members {
+			before[oid] = true
+		}
+		if err := m.refresh(s); err != nil {
+			return events, err
+		}
+		for oid := range s.members {
+			if !before[oid] {
+				events = append(events, Event{Query: id, Object: oid, Entered: true})
+			}
+		}
+		for oid := range before {
+			if !s.members[oid] {
+				events = append(events, Event{Query: id, Object: oid, Entered: false})
+			}
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Query != events[j].Query {
+			return events[i].Query < events[j].Query
+		}
+		return events[i].Object < events[j].Object
+	})
+	return events, nil
+}
+
+// NumStanding returns the number of registered queries.
+func (m *Monitor) NumStanding() int { return len(m.standing) }
+
+// String implements fmt.Stringer for diagnostics.
+func (m *Monitor) String() string {
+	return fmt.Sprintf("monitor(%d standing queries)", len(m.standing))
+}

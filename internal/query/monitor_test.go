@@ -1,0 +1,174 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/indoor"
+	"repro/internal/object"
+)
+
+func TestMonitorInitialResultsMatchRangeQuery(t *testing.T) {
+	f := newFixture(t, 1, 200, 8)
+	m := NewMonitor(f.idx, Options{})
+	p := New(f.idx, Options{})
+	for _, q := range gen.QueryPoints(f.b, 4, 601) {
+		id, initial, err := m.Register(q, 90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, _, err := p.RangeQuery(q, 90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(initial, idsOf(fresh)) {
+			t.Fatalf("query %d: initial %v != fresh %v", id, initial, idsOf(fresh))
+		}
+	}
+	if m.NumStanding() != 4 {
+		t.Errorf("standing = %d", m.NumStanding())
+	}
+}
+
+func TestMonitorTracksMovement(t *testing.T) {
+	f := newFixture(t, 1, 200, 8)
+	m := NewMonitor(f.idx, Options{})
+	queries := gen.QueryPoints(f.b, 3, 601)
+	var handles []int
+	for _, q := range queries {
+		id, _, err := m.Register(q, 90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, id)
+	}
+	rng := rand.New(rand.NewSource(602))
+	p := New(f.idx, Options{})
+
+	for step := 0; step < 30; step++ {
+		o := f.objs[rng.Intn(len(f.objs))]
+		c := o.Center
+		next := indoor.Pos(c.Pt.X+rng.Float64()*40-20, c.Pt.Y+rng.Float64()*40-20, c.Floor)
+		if f.idx.LocatePartition(next) < 0 {
+			continue
+		}
+		upd := object.SampleGaussian(rng, o.ID, next, o.Radius, 10)
+		if _, err := m.ObjectMoved(upd); err != nil {
+			t.Fatal(err)
+		}
+		*o = *upd
+		// Every standing query must equal a from-scratch evaluation.
+		for i, id := range handles {
+			fresh, _, err := p.RangeQuery(queries[i], 90)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(m.Results(id), idsOf(fresh)) {
+				t.Fatalf("step %d: standing query %d drifted", step, id)
+			}
+		}
+	}
+}
+
+func TestMonitorInsertDelete(t *testing.T) {
+	f := newFixture(t, 1, 100, 5)
+	m := NewMonitor(f.idx, Options{})
+	q := gen.QueryPoints(f.b, 1, 603)[0]
+	id, _, err := m.Register(q, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a point object at the query point: must enter.
+	o := object.PointObject(5000, q)
+	events, err := m.ObjectInserted(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := false
+	for _, e := range events {
+		if e.Query == id && e.Object == 5000 && e.Entered {
+			entered = true
+		}
+	}
+	if !entered {
+		t.Fatalf("insert at query point produced no enter event: %v", events)
+	}
+	// Delete it: must leave.
+	events, err = m.ObjectDeleted(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := false
+	for _, e := range events {
+		if e.Query == id && e.Object == 5000 && !e.Entered {
+			left = true
+		}
+	}
+	if !left {
+		t.Fatalf("delete produced no leave event: %v", events)
+	}
+}
+
+func TestMonitorDoorClosure(t *testing.T) {
+	f := newFixture(t, 1, 200, 5)
+	m := NewMonitor(f.idx, Options{})
+	q := gen.QueryPoints(f.b, 1, 604)[0]
+	id, initial, err := m.Register(q, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(initial) == 0 {
+		t.Skip("no members to lose")
+	}
+	// Seal the query partition.
+	pid := f.idx.LocatePartition(q)
+	part := f.b.Partition(pid)
+	var events []Event
+	for _, did := range part.Doors {
+		evs, err := m.SetDoorClosed(did, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, evs...)
+	}
+	// Members must now match a from-scratch evaluation (only
+	// same-partition objects remain).
+	p := New(f.idx, Options{})
+	fresh, _, err := p.RangeQuery(q, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(m.Results(id), idsOf(fresh)) {
+		t.Fatal("standing query drifted after door closure")
+	}
+	// Reopening restores the original membership.
+	for _, did := range part.Doors {
+		if _, err := m.SetDoorClosed(did, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sameIDs(m.Results(id), initial) {
+		t.Fatal("membership not restored after reopening")
+	}
+	_ = events
+}
+
+func TestMonitorUnregister(t *testing.T) {
+	f := newFixture(t, 1, 50, 5)
+	m := NewMonitor(f.idx, Options{})
+	q := gen.QueryPoints(f.b, 1, 605)[0]
+	id, _, err := m.Register(q, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Unregister(id) || m.Unregister(id) {
+		t.Error("Unregister must report existence exactly once")
+	}
+	if m.Results(id) != nil {
+		t.Error("results of unregistered query must be nil")
+	}
+	if m.NumStanding() != 0 {
+		t.Error("standing count wrong")
+	}
+}

@@ -1,0 +1,528 @@
+// Package query implements the paper's distance-aware query processors
+// (§IV): the indoor range query iRQ (Algorithm 1) and the indoor k nearest
+// neighbour query ikNNQ (Algorithm 2), built from the four phases of §IV-B
+// — filtering (RangeSearch, Algorithm 4, and kSeedsSelection, Algorithm 5),
+// subgraph (restricted multi-source Dijkstra), pruning (Table III bounds)
+// and refinement (exact expected distances).
+//
+// Every run reports per-phase wall time and pruning statistics, which the
+// benchmark harness aggregates into the paper's Figures 12–15. Options
+// switch off the pruning phase and the skeleton tier for the Fig 14 and
+// Fig 15(a) ablations.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/distance"
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/object"
+)
+
+// Options configures a Processor.
+type Options struct {
+	// DisablePruning skips the bound-based pruning phase, sending every
+	// filtered candidate straight to refinement (Fig 14(b)/(d) ablation).
+	DisablePruning bool
+	// DisableSkeleton replaces the skeleton lower bound of Equation 10
+	// with the plain 3D Euclidean lower bound in the filtering phase
+	// (Fig 15(a) ablation).
+	DisableSkeleton bool
+}
+
+// Stats reports one query execution: phase wall times and the filtering /
+// pruning effectiveness counters behind Figures 12(b), 13(b) and 14.
+type Stats struct {
+	Filtering  time.Duration
+	Subgraph   time.Duration
+	Pruning    time.Duration
+	Refinement time.Duration
+
+	TotalObjects   int // |O| in the index
+	Candidates     int // |Ro| after filtering
+	UnitsRetrieved int // |Rp| (index units)
+	AcceptedBounds int // objects accepted by upper bound alone
+	RejectedBounds int // objects rejected by lower bound alone
+	Refined        int // objects needing exact evaluation
+	FullFallbacks  int // refinements escalated to a full engine
+}
+
+// Total returns the summed phase time.
+func (s *Stats) Total() time.Duration {
+	return s.Filtering + s.Subgraph + s.Pruning + s.Refinement
+}
+
+// FilteringRatio is the share of objects discarded by the filtering phase.
+func (s *Stats) FilteringRatio() float64 {
+	if s.TotalObjects == 0 {
+		return 0
+	}
+	return float64(s.TotalObjects-s.Candidates) / float64(s.TotalObjects)
+}
+
+// PruningRatio is the share of objects disqualified before refinement
+// (filtering rejections plus bound rejections).
+func (s *Stats) PruningRatio() float64 {
+	if s.TotalObjects == 0 {
+		return 0
+	}
+	return float64(s.TotalObjects-s.Candidates+s.RejectedBounds) / float64(s.TotalObjects)
+}
+
+// Result is one query answer: an object and its expected indoor distance.
+// Distance is NaN for results accepted by bounds alone in iRQ (their exact
+// distance was never needed; the paper's Algorithm 1 does the same).
+type Result struct {
+	ID       object.ID
+	Distance float64
+}
+
+// Processor evaluates queries against one composite index.
+type Processor struct {
+	idx  *index.Index
+	opts Options
+}
+
+// New returns a processor over the index.
+func New(idx *index.Index, opts Options) *Processor {
+	return &Processor{idx: idx, opts: opts}
+}
+
+// geomBound returns the geometric lower bound used by the filtering phase:
+// Equation 10 by default, plain 3D Euclidean under the ablation.
+func (p *Processor) geomBound(q indoor.Position, box geom.Rect3) float64 {
+	if p.opts.DisableSkeleton {
+		qz := geom.Pt3(q.Pt.X, q.Pt.Y, p.idx.Building().Elevation(q.Floor))
+		return box.MinDist3(qz)
+	}
+	return p.idx.MinSkelDistBox(q, box)
+}
+
+// objectBound is the object-level geometric lower bound.
+func (p *Processor) objectBound(q indoor.Position, id object.ID) float64 {
+	if p.opts.DisableSkeleton {
+		return p.idx.ObjectMinEuclid3(q, id)
+	}
+	return p.idx.ObjectMinSkel(q, id)
+}
+
+// rangeSearch is Algorithm 4: it walks the tree tier pruning with the
+// geometric lower bound, returning the candidate units Rp and candidate
+// objects Ro.
+func (p *Processor) rangeSearch(q indoor.Position, r float64) (units []index.UnitID, objs []object.ID) {
+	seen := make(map[object.ID]bool)
+	p.idx.SearchTree(
+		func(box geom.Rect3) bool { return p.geomBound(q, box) <= r },
+		func(u *index.Unit) {
+			units = append(units, u.ID)
+			for _, oid := range p.idx.BucketObjects(u.ID) {
+				if !seen[oid] {
+					seen[oid] = true
+					if p.objectBound(q, oid) <= r {
+						objs = append(objs, oid)
+					}
+				}
+			}
+		},
+	)
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	return units, objs
+}
+
+// rangeUnits is the unit-only tree walk of Algorithm 4, used to build
+// extended refinement engines without paying the object-side work.
+func (p *Processor) rangeUnits(q indoor.Position, r float64) []index.UnitID {
+	var units []index.UnitID
+	p.idx.SearchTree(
+		func(box geom.Rect3) bool { return p.geomBound(q, box) <= r },
+		func(u *index.Unit) { units = append(units, u.ID) },
+	)
+	return units
+}
+
+// refiner resolves exact expected distances for refinement-phase objects
+// with an escalation ladder: the phase engine's bracket first, then an
+// engine over a 4× wider radius, and only then the full building — keeping
+// the expensive full Dijkstra off the common path (it would otherwise
+// dominate query time on tall buildings).
+type refiner struct {
+	p     *Processor
+	q     indoor.Position
+	r     float64 // the cap the phase engine was filtered with
+	eng   *distance.Engine
+	ext   *distance.Engine
+	extR  float64
+	full  *distance.Engine
+	stats *Stats
+}
+
+func (rf *refiner) ensureExt() error {
+	if rf.ext != nil {
+		return nil
+	}
+	rf.extR = 2*rf.r + 100
+	eng, err := distance.New(rf.p.idx, rf.q, rf.p.rangeUnits(rf.q, rf.extR), math.Inf(1))
+	if err != nil {
+		return err
+	}
+	rf.ext = eng
+	return nil
+}
+
+func (rf *refiner) ensureFull() error {
+	if rf.full != nil {
+		return nil
+	}
+	eng, err := distance.NewFull(rf.p.idx, rf.q)
+	if err != nil {
+		return err
+	}
+	rf.full = eng
+	return nil
+}
+
+// decideWithin answers "is E(|q,O|I) ≤ threshold" with the cheapest engine
+// that resolves it, also returning the distance when the object qualifies
+// (NaN-free; an overestimating-but-qualifying upper view is fine for iRQ
+// reporting since it is itself ≤ threshold only when closed).
+func (rf *refiner) decideWithin(o *object.Object, threshold float64) (bool, float64, error) {
+	low, high := rf.eng.ExactDistBracket(o, rf.r)
+	if high <= threshold {
+		return true, high, nil
+	}
+	if low > threshold {
+		return false, 0, nil
+	}
+	if err := rf.ensureExt(); err != nil {
+		return false, 0, err
+	}
+	low, high = rf.ext.ExactDistBracket(o, rf.extR)
+	if high <= threshold {
+		return true, high, nil
+	}
+	if low > threshold {
+		return false, 0, nil
+	}
+	if err := rf.ensureFull(); err != nil {
+		return false, 0, err
+	}
+	rf.stats.FullFallbacks++
+	d, _ := rf.full.ExactDist(o)
+	return d <= threshold, d, nil
+}
+
+// exact returns the true expected distance through the escalation ladder.
+func (rf *refiner) exact(o *object.Object) (float64, error) {
+	low, high := rf.eng.ExactDistBracket(o, rf.r)
+	if low == high {
+		return high, nil
+	}
+	if err := rf.ensureExt(); err != nil {
+		return 0, err
+	}
+	low, high = rf.ext.ExactDistBracket(o, rf.extR)
+	if low == high {
+		return high, nil
+	}
+	if err := rf.ensureFull(); err != nil {
+		return 0, err
+	}
+	rf.stats.FullFallbacks++
+	d, _ := rf.full.ExactDist(o)
+	return d, nil
+}
+
+// RangeQuery evaluates iRQq,r(O) per Algorithm 1, returning the objects
+// whose expected indoor distance is at most r.
+func (p *Processor) RangeQuery(q indoor.Position, r float64) ([]Result, *Stats, error) {
+	st := &Stats{TotalObjects: p.idx.Objects().Len()}
+
+	// Phase 1: filtering.
+	start := time.Now()
+	units, candidates := p.rangeSearch(q, r)
+	st.Filtering = time.Since(start)
+	st.UnitsRetrieved = len(units)
+	st.Candidates = len(candidates)
+
+	// Phase 2: subgraph — Dijkstra restricted to the retrieved units. The
+	// restriction is sound: any path of length ≤ r only crosses units
+	// whose geometric lower bound is ≤ r (Lemma 6).
+	start = time.Now()
+	eng, err := distance.New(p.idx, q, units, math.Inf(1))
+	if err != nil {
+		return nil, st, err
+	}
+	st.Subgraph = time.Since(start)
+
+	var results []Result
+	var undetermined []object.ID
+
+	// Phase 3: pruning with the Table III bounds.
+	start = time.Now()
+	if p.opts.DisablePruning {
+		undetermined = candidates
+	} else {
+		for _, oid := range candidates {
+			o := p.idx.Objects().Get(oid)
+			b := eng.ObjectBounds(o, r)
+			switch {
+			case b.Upper <= r:
+				st.AcceptedBounds++
+				results = append(results, Result{ID: oid, Distance: math.NaN()})
+			case b.Lower <= r:
+				undetermined = append(undetermined, oid)
+			default:
+				st.RejectedBounds++
+			}
+		}
+	}
+	st.Pruning = time.Since(start)
+
+	// Phase 4: refinement — bracketed exact distances with the escalation
+	// ladder; brackets only stay open for objects mixing near mass with
+	// far subregions.
+	start = time.Now()
+	rf := &refiner{p: p, q: q, r: r, eng: eng, stats: st}
+	for _, oid := range undetermined {
+		o := p.idx.Objects().Get(oid)
+		st.Refined++
+		in, d, err := rf.decideWithin(o, r)
+		if err != nil {
+			return nil, st, err
+		}
+		if in {
+			results = append(results, Result{ID: oid, Distance: d})
+		}
+	}
+	st.Refinement = time.Since(start)
+
+	sort.Slice(results, func(i, j int) bool { return results[i].ID < results[j].ID })
+	return results, st, nil
+}
+
+// kSeedsSelection is Algorithm 5: expand units outward from the query
+// point's unit through the topological links (nearest unit first by the
+// geometric bound), collecting bucket objects, until at least k objects are
+// *closed* — every unit of their uncertainty region visited — so that the
+// subsequent TLU evaluation over the visited units is finite for k seeds.
+// It returns the visited units Rp1 and the closed seed objects Ro1.
+func (p *Processor) kSeedsSelection(q indoor.Position, k int) (units []index.UnitID, objs []object.ID, err error) {
+	start := p.idx.LocateUnit(q)
+	if start == nil {
+		return nil, nil, fmt.Errorf("query: point %v is outside every partition", q)
+	}
+	type heapEntry struct {
+		uid index.UnitID
+		key float64
+	}
+	h := []heapEntry{{uid: start.ID, key: 0}}
+	queued := map[index.UnitID]bool{start.ID: true}
+	popped := make(map[index.UnitID]bool)
+	seen := make(map[object.ID]bool)
+	remaining := make(map[object.ID]int)          // unvisited units per seen object
+	waiting := make(map[index.UnitID][]object.ID) // objects waiting on a unit
+	closed := 0
+
+	for len(h) > 0 && closed < k {
+		// Pop the nearest unit (a linear scan: the frontier stays small
+		// relative to query cost, and determinism matters more).
+		best := 0
+		for i := 1; i < len(h); i++ {
+			if h[i].key < h[best].key ||
+				(h[i].key == h[best].key && h[i].uid < h[best].uid) {
+				best = i
+			}
+		}
+		cur := h[best]
+		h = append(h[:best], h[best+1:]...)
+
+		u := p.idx.Unit(cur.uid)
+		if u == nil {
+			continue
+		}
+		units = append(units, cur.uid)
+		popped[cur.uid] = true
+		for _, oid := range waiting[cur.uid] {
+			remaining[oid]--
+			if remaining[oid] == 0 {
+				closed++
+				objs = append(objs, oid)
+			}
+		}
+		delete(waiting, cur.uid)
+		for _, oid := range p.idx.BucketObjects(cur.uid) {
+			if seen[oid] {
+				continue
+			}
+			seen[oid] = true
+			rem := 0
+			for _, ou := range p.idx.ObjectUnits(oid) {
+				if !popped[ou] {
+					// The flood stays door-connected: the missing unit
+					// will be queued by door expansion, keeping every
+					// popped unit reachable inside the seed subgraph (a
+					// finite TLU needs exactly that).
+					rem++
+					waiting[ou] = append(waiting[ou], oid)
+				}
+			}
+			if rem == 0 {
+				closed++
+				objs = append(objs, oid)
+			} else {
+				remaining[oid] = rem
+			}
+		}
+		for _, d := range u.Doors {
+			next := d.OtherUnit(cur.uid)
+			if next == index.NoUnit || queued[next] {
+				continue
+			}
+			nu := p.idx.Unit(next)
+			if nu == nil || !d.CanEnter(nu) {
+				continue
+			}
+			queued[next] = true
+			h = append(h, heapEntry{uid: next, key: p.idx.MinSkelDistUnit(q, nu)})
+		}
+	}
+	return units, objs, nil
+}
+
+// KNNQuery evaluates ikNNq,k(O) per Algorithm 2, returning k objects with
+// the smallest expected indoor distances (fewer when the index holds fewer
+// reachable objects).
+func (p *Processor) KNNQuery(q indoor.Position, k int) ([]Result, *Stats, error) {
+	st := &Stats{TotalObjects: p.idx.Objects().Len()}
+	if k <= 0 {
+		return nil, st, nil
+	}
+
+	// Phase 1: filtering — seeds, kbound from the TLU (Lemma 3), then the
+	// geometric range search with kbound.
+	start := time.Now()
+	seedUnits, seeds, err := p.kSeedsSelection(q, k)
+	if err != nil {
+		return nil, st, err
+	}
+	kbound := math.Inf(1)
+	if len(seeds) >= k {
+		// The seed engine's Dijkstra is restricted to the seed units, so
+		// its door distances are lengths of some real path — exactly the
+		// looser-bound requirement of Lemma 3. With at least k finite
+		// TLUs, the k-th smallest is an upper bound on the k-th nearest
+		// neighbour's expected distance.
+		seedEng, err := distance.New(p.idx, q, seedUnits, math.Inf(1))
+		if err != nil {
+			return nil, st, err
+		}
+		tlus := make([]float64, 0, len(seeds))
+		for _, oid := range seeds {
+			tlus = append(tlus, seedEng.TLU(p.idx.Objects().Get(oid)))
+		}
+		sort.Float64s(tlus)
+		kbound = tlus[k-1]
+	}
+	units, candidates := p.rangeSearch(q, kbound)
+	st.Filtering = time.Since(start)
+	st.UnitsRetrieved = len(units)
+	st.Candidates = len(candidates)
+
+	// Phase 2: subgraph.
+	start = time.Now()
+	eng, err := distance.New(p.idx, q, units, math.Inf(1))
+	if err != nil {
+		return nil, st, err
+	}
+	st.Subgraph = time.Since(start)
+
+	// Phase 3: pruning around the k-th smallest upper bound.
+	start = time.Now()
+	type cand struct {
+		id     object.ID
+		bounds distance.Bounds
+	}
+	cands := make([]cand, 0, len(candidates))
+	for _, oid := range candidates {
+		o := p.idx.Objects().Get(oid)
+		cands = append(cands, cand{id: oid, bounds: eng.ObjectBounds(o, kbound)})
+	}
+	var results []Result
+	var undetermined []object.ID
+	if p.opts.DisablePruning || len(cands) <= k {
+		for _, c := range cands {
+			undetermined = append(undetermined, c.id)
+		}
+	} else {
+		uppers := make([]float64, len(cands))
+		for i, c := range cands {
+			uppers[i] = c.bounds.Upper
+		}
+		sort.Float64s(uppers)
+		kthUpper := uppers[k-1]
+		kthLower := math.Inf(1)
+		// Ok.l in Algorithm 2: the lower bound of the object holding the
+		// k-th upper bound; any object whose upper bound beats every
+		// k-th-ranked lower bound is a sure result. We use the safest
+		// (smallest) lower bound among objects whose upper bound reaches
+		// kthUpper.
+		for _, c := range cands {
+			if c.bounds.Upper >= kthUpper && c.bounds.Lower < kthLower {
+				kthLower = c.bounds.Lower
+			}
+		}
+		for _, c := range cands {
+			switch {
+			case c.bounds.Upper < kthLower:
+				st.AcceptedBounds++
+				results = append(results, Result{ID: c.id, Distance: math.NaN()})
+			case c.bounds.Lower <= kthUpper:
+				undetermined = append(undetermined, c.id)
+			default:
+				st.RejectedBounds++
+			}
+		}
+	}
+	st.Pruning = time.Since(start)
+
+	// Phase 4: refinement — candidates whose bracket stays open (far
+	// subregions beyond kbound) climb the escalation ladder so the final
+	// ordering uses true expected distances.
+	start = time.Now()
+	rf := &refiner{p: p, q: q, r: kbound, eng: eng, stats: st}
+	exact := make([]Result, 0, len(undetermined))
+	for _, oid := range undetermined {
+		o := p.idx.Objects().Get(oid)
+		st.Refined++
+		d, err := rf.exact(o)
+		if err != nil {
+			return nil, st, err
+		}
+		exact = append(exact, Result{ID: oid, Distance: d})
+	}
+	sort.Slice(exact, func(i, j int) bool {
+		if exact[i].Distance != exact[j].Distance {
+			return exact[i].Distance < exact[j].Distance
+		}
+		return exact[i].ID < exact[j].ID
+	})
+	need := k - len(results)
+	if need > len(exact) {
+		need = len(exact)
+	}
+	results = append(results, exact[:need]...)
+	st.Refinement = time.Since(start)
+
+	sort.Slice(results, func(i, j int) bool { return results[i].ID < results[j].ID })
+	return results, st, nil
+}
+
+// KSeedsForTest exposes kSeedsSelection for diagnostics and tests.
+func (p *Processor) KSeedsForTest(q indoor.Position, k int) ([]index.UnitID, []object.ID, error) {
+	return p.kSeedsSelection(q, k)
+}

