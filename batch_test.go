@@ -1,0 +1,190 @@
+package indoorq
+
+// Serial/parallel equivalence and throughput tests for the batch serving
+// layer. The equivalence tests are the correctness contract of
+// BatchRangeQuery/BatchKNNQuery: for any seed, the batch answers must be
+// byte-identical (IDs and distance bits) to looping the serial queries —
+// parallelism must never change an answer.
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// batchFixture is the acceptance workload of the serving layer: the
+// Floors=2 mall with N=1000 objects.
+func batchFixture(t testing.TB, seed int64) (*DB, []Position) {
+	t.Helper()
+	b, err := gen.Mall(gen.MallSpec{Floors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := gen.Objects(b, gen.ObjectSpec{N: 1000, Radius: 8, Instances: 20, Seed: seed})
+	db, _, err := Open(b, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, gen.QueryPoints(b, 24, seed*7+1)
+}
+
+// sameResults compares two result slices exactly: same IDs in the same
+// order and bit-identical distances (NaN marks bound-accepted iRQ results;
+// identical code paths must produce identical bits).
+func sameResults(t *testing.T, label string, serial, batch []Result) {
+	t.Helper()
+	if len(serial) != len(batch) {
+		t.Fatalf("%s: serial %d results, batch %d", label, len(serial), len(batch))
+	}
+	for i := range serial {
+		if serial[i].ID != batch[i].ID {
+			t.Fatalf("%s: result %d id: serial %d, batch %d", label, i, serial[i].ID, batch[i].ID)
+		}
+		sb, bb := math.Float64bits(serial[i].Distance), math.Float64bits(batch[i].Distance)
+		if sb != bb {
+			t.Fatalf("%s: result %d (object %d) distance: serial %v (bits %x), batch %v (bits %x)",
+				label, i, serial[i].ID, serial[i].Distance, sb, batch[i].Distance, bb)
+		}
+	}
+}
+
+func TestBatchRangeEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		db, queries := batchFixture(t, seed)
+		reqs := make([]RangeRequest, 0, len(queries)*2)
+		for i, q := range queries {
+			reqs = append(reqs, RangeRequest{Q: q, R: 60 + float64(i%3)*40})
+		}
+		serial := make([][]Result, len(reqs))
+		for i, r := range reqs {
+			res, _, err := db.RangeQuery(r.Q, r.R)
+			if err != nil {
+				t.Fatalf("seed %d: serial query %d: %v", seed, i, err)
+			}
+			serial[i] = res
+		}
+		resps, m := db.BatchRangeQuery(reqs, ServeConfig{Workers: 8})
+		if m.Queries != len(reqs) || m.Errors != 0 {
+			t.Fatalf("seed %d: metrics %d queries %d errors, want %d and 0", seed, m.Queries, m.Errors, len(reqs))
+		}
+		for i := range reqs {
+			if resps[i].Err != nil {
+				t.Fatalf("seed %d: batch query %d: %v", seed, i, resps[i].Err)
+			}
+			sameResults(t, "iRQ", serial[i], resps[i].Results)
+		}
+	}
+}
+
+func TestBatchKNNEquivalence(t *testing.T) {
+	for _, seed := range []int64{4, 5, 6} {
+		db, queries := batchFixture(t, seed)
+		reqs := make([]KNNRequest, 0, len(queries))
+		for i, q := range queries {
+			reqs = append(reqs, KNNRequest{Q: q, K: 5 + i%3*10})
+		}
+		serial := make([][]Result, len(reqs))
+		for i, r := range reqs {
+			res, _, err := db.KNNQuery(r.Q, r.K)
+			if err != nil {
+				t.Fatalf("seed %d: serial kNN %d: %v", seed, i, err)
+			}
+			serial[i] = res
+		}
+		resps, _ := db.BatchKNNQuery(reqs, ServeConfig{Workers: 8})
+		for i := range reqs {
+			if resps[i].Err != nil {
+				t.Fatalf("seed %d: batch kNN %d: %v", seed, i, resps[i].Err)
+			}
+			sameResults(t, "ikNN", serial[i], resps[i].Results)
+		}
+	}
+}
+
+// TestBatchWhileWriting checks that a batch running concurrently with
+// writers completes without error — answers are time-dependent, so only
+// integrity is asserted.
+func TestBatchWhileWriting(t *testing.T) {
+	db, queries := batchFixture(t, 9)
+	reqs := make([]RangeRequest, 0, 48)
+	for i := 0; i < 48; i++ {
+		reqs = append(reqs, RangeRequest{Q: queries[i%len(queries)], R: 80})
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			o := db.Object(ObjectID(i))
+			if o == nil {
+				continue
+			}
+			if err := db.UpdateObject(o); err != nil {
+				t.Errorf("update %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	resps, m := db.BatchRangeQuery(reqs, ServeConfig{Workers: 4})
+	<-done
+	if m.Errors != 0 {
+		t.Fatalf("batch under writes: %d errors", m.Errors)
+	}
+	for i, r := range resps {
+		if r.Err != nil {
+			t.Fatalf("batch under writes: query %d: %v", i, r.Err)
+		}
+	}
+	if err := db.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchThroughputSpeedup asserts the acceptance criterion of the
+// serving layer — ≥2× aggregate throughput at 8 workers vs 1 worker on the
+// Floors=2, N=1000 workload — on hardware that can express it. Single-core
+// machines and race-instrumented builds skip (the benchmark
+// BenchmarkBatchThroughput reports the full sweep there).
+func TestBatchThroughputSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation distorts timing; see BenchmarkBatchThroughput")
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		t.Skipf("GOMAXPROCS=%d: parallel speedup is not expressible on one CPU", procs)
+	}
+	if testing.Short() {
+		t.Skip("timing test skipped in short mode")
+	}
+	db, queries := batchFixture(t, 11)
+	reqs := make([]RangeRequest, 0, 96)
+	for i := 0; i < 96; i++ {
+		reqs = append(reqs, RangeRequest{Q: queries[i%len(queries)], R: 100})
+	}
+	db.BatchRangeQuery(reqs[:16], ServeConfig{Workers: 1}) // warm-up
+
+	best1, best8 := 0.0, 0.0
+	for trial := 0; trial < 3; trial++ {
+		_, m1 := db.BatchRangeQuery(reqs, ServeConfig{Workers: 1})
+		_, m8 := db.BatchRangeQuery(reqs, ServeConfig{Workers: 8})
+		if m1.Throughput > best1 {
+			best1 = m1.Throughput
+		}
+		if m8.Throughput > best8 {
+			best8 = m8.Throughput
+		}
+	}
+	speedup := best8 / best1
+	t.Logf("throughput: 1 worker %.1f q/s, 8 workers %.1f q/s, speedup %.2fx (GOMAXPROCS=%d)",
+		best1, best8, speedup, procs)
+	// Demand the full 2x only where 8 workers have ≥4 CPUs to run on;
+	// with 2–3 CPUs the theoretical ceiling is the CPU count itself.
+	want := 2.0
+	if procs < 4 {
+		want = 1.3
+	}
+	if speedup < want {
+		t.Fatalf("8-worker speedup %.2fx below %.1fx on %d CPUs", speedup, want, procs)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/object"
 	"repro/internal/query"
+	"repro/internal/serve"
 )
 
 func mustFixture(b *testing.B, cfg bench.Config) *bench.F {
@@ -405,6 +406,83 @@ func BenchmarkIndexUpdates(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkBatchThroughput is the concurrent-serving experiment (not in
+// the paper): aggregate batch throughput of the worker pool vs worker
+// count, on the Floors=2, N=1000 mall workload. On multi-core hardware the
+// queries/sec metric scales with workers (≥2× at 8 workers vs 1); on one
+// CPU the series is flat — the interesting number is the metric, not the
+// ns/op. A batch of 200 queries cycles the fixture's query pool.
+func BenchmarkBatchThroughput(b *testing.B) {
+	cfg := bench.ServeWorkload()
+	const batch = 200
+	for _, workers := range bench.ConcurrencyWorkers {
+		b.Run(fmt.Sprintf("iRQ/workers=%d", workers), func(b *testing.B) {
+			f := mustFixture(b, cfg)
+			b.ResetTimer()
+			var m serve.Metrics
+			for i := 0; i < b.N; i++ {
+				var err error
+				m, err = bench.RunBatchIRQ(f, bench.DefaultRange, batch, workers, query.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(m.Throughput, "queries/sec")
+			b.ReportMetric(float64(m.P50.Nanoseconds()), "p50-ns")
+			b.ReportMetric(float64(m.P99.Nanoseconds()), "p99-ns")
+		})
+		b.Run(fmt.Sprintf("ikNN/workers=%d", workers), func(b *testing.B) {
+			f := mustFixture(b, cfg)
+			b.ResetTimer()
+			var m serve.Metrics
+			for i := 0; i < b.N; i++ {
+				var err error
+				m, err = bench.RunBatchKNN(f, 10, batch, workers, query.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(m.Throughput, "queries/sec")
+			b.ReportMetric(float64(m.P50.Nanoseconds()), "p50-ns")
+			b.ReportMetric(float64(m.P99.Nanoseconds()), "p99-ns")
+		})
+	}
+}
+
+// BenchmarkBatchUnderWrites measures reader throughput degradation while a
+// writer goroutine continuously applies MoveObject updates — the
+// read/write contention profile of the serving layer.
+func BenchmarkBatchUnderWrites(b *testing.B) {
+	cfg := bench.ServeWorkload()
+	f := mustFixture(b, cfg)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			o := f.Objs[i%len(f.Objs)]
+			_ = f.Idx.MoveObject(o)
+			i++
+		}
+	}()
+	b.ResetTimer()
+	var m serve.Metrics
+	for i := 0; i < b.N; i++ {
+		var err error
+		m, err = bench.RunBatchIRQ(f, bench.DefaultRange, 100, 4, query.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.Throughput, "queries/sec")
+	b.ReportMetric(float64(m.P99.Nanoseconds()), "p99-ns")
 }
 
 // BenchmarkPrecomputation is Fig 15(d): the door-to-door pre-computation

@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	benchfig [-fig 12a,13b,...|all] [-queries N] [-full-precompute]
+//	benchfig [-fig 12a,13b,...,conc|all] [-queries N] [-full-precompute]
 //
 // With -fig all (the default) every panel runs; expect several minutes at
 // the paper's default workload sizes. -queries controls how many query
 // points each data point averages over (the paper uses 50). EXPERIMENTS.md
 // records one full run next to the paper's reported shapes.
+//
+// The "conc" panel is not from the paper: it sweeps the concurrent serving
+// layer's worker pool over 1/2/4/8 workers on the Floors=2, N=1000
+// workload, reporting aggregate queries/sec, speedup over one worker, and
+// p50/p99 latency. Run it on multi-core hardware to see the scaling; on
+// one CPU the series is flat by construction.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro/internal/indoor"
 	"repro/internal/object"
 	"repro/internal/query"
+	"repro/internal/serve"
 )
 
 var (
@@ -54,6 +61,7 @@ func main() {
 		{"13a", fig13a}, {"13b", fig13b}, {"13c", fig13c}, {"13d", fig13d},
 		{"14a", fig14a}, {"14b", fig14b}, {"14c", fig14c}, {"14d", fig14d},
 		{"15a", fig15a}, {"15b", fig15b}, {"15c", fig15c}, {"15d", fig15d},
+		{"conc", figConc},
 	}
 	ran := 0
 	for _, p := range panels {
@@ -484,6 +492,40 @@ func fig15d() error {
 		fmt.Printf("%-16s %8d %14s %16s (extrapolated)\n",
 			fmt.Sprintf("%d (%d fl)", f.B.NumPartitions(), fl),
 			doors, per.Round(time.Microsecond), total.Round(time.Millisecond))
+	}
+	return nil
+}
+
+// --- Concurrent serving (not in the paper) ---
+
+func figConc() error {
+	header(fmt.Sprintf("Concurrent serving — batch throughput vs workers (GOMAXPROCS=%d)",
+		runtime.GOMAXPROCS(0)))
+	f, err := bench.Fixture(bench.ServeWorkload())
+	if err != nil {
+		return err
+	}
+	const batch = 400
+	for _, kind := range []string{"iRQ", "ikNN"} {
+		fmt.Printf("%-6s %8s %12s %9s %10s %10s\n",
+			kind, "workers", "queries/sec", "speedup", "p50 (ms)", "p99 (ms)")
+		base := 0.0
+		for _, w := range bench.ConcurrencyWorkers {
+			var m serve.Metrics
+			if kind == "iRQ" {
+				m, err = bench.RunBatchIRQ(f, bench.DefaultRange, batch, w, query.Options{})
+			} else {
+				m, err = bench.RunBatchKNN(f, 10, batch, w, query.Options{})
+			}
+			if err != nil {
+				return err
+			}
+			if base == 0 {
+				base = m.Throughput
+			}
+			fmt.Printf("%-6s %8d %12.0f %8.2fx %s %s\n",
+				"", w, m.Throughput, m.Throughput/base, ms(m.P50), ms(m.P99))
+		}
 	}
 	return nil
 }

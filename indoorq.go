@@ -21,9 +21,33 @@
 //	objs := indoorq.GenerateObjects(b, indoorq.ObjectSpec{N: 1000, Radius: 10})
 //	db, _, _ := indoorq.Open(b, objs, indoorq.Options{})
 //	results, _, _ := db.RangeQuery(indoorq.Pos(300, 60, 0), 100)
+//
+// # Concurrency
+//
+// A DB is safe for concurrent use. Readers run in parallel and writers
+// get exclusive access: RangeQuery, KNNQuery, LocatePartition, Object,
+// NumObjects, Save, RenderSVG and the batch APIs may be called from any
+// number of goroutines at once, each observing one consistent index
+// state; InsertObject, DeleteObject, UpdateObject, MoveObject,
+// SetDoorClosed, AddPartition, RemovePartition, AttachDoor, DetachDoor,
+// SplitPartition and MergePartitions serialise against all readers and
+// each other. The Monitor serialises its update operations internally, so
+// its event streams match a serial replay of the same updates; while
+// serving concurrently, mutate the building only through the DB (or the
+// Monitor), never through *Building directly.
+//
+// For throughput, fan query batches across CPUs with the serving layer:
+//
+//	reqs := make([]indoorq.RangeRequest, len(points))
+//	for i, q := range points {
+//		reqs[i] = indoorq.RangeRequest{Q: q, R: 100}
+//	}
+//	resps, m := db.BatchRangeQuery(reqs, indoorq.ServeConfig{}) // Workers: GOMAXPROCS
+//	fmt.Printf("%.0f queries/sec, p99 %v\n", m.Throughput, m.P99)
 package indoorq
 
 import (
+	"bytes"
 	"io"
 
 	"repro/internal/gen"
@@ -34,6 +58,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/render"
 	"repro/internal/serde"
+	"repro/internal/serve"
 )
 
 // Re-exported model types. The aliases keep one import path for users while
@@ -108,8 +133,9 @@ func GenerateQueryPoints(b *Building, n int, seed int64) []Position {
 // DB couples a composite index with a query processor: the top-level handle
 // a location-based service holds.
 type DB struct {
-	idx  *index.Index
-	proc *query.Processor
+	idx   *index.Index
+	proc  *query.Processor
+	qopts QueryOptions
 }
 
 // Open builds the composite index over the building and object set and
@@ -125,7 +151,7 @@ func OpenWithQueryOptions(b *Building, objs []*Object, opts Options, qopts Query
 	if err != nil {
 		return nil, stats, err
 	}
-	return &DB{idx: idx, proc: query.New(idx, qopts)}, stats, nil
+	return &DB{idx: idx, proc: query.New(idx, qopts), qopts: qopts}, stats, nil
 }
 
 // Index exposes the underlying composite index for advanced use (the
@@ -136,10 +162,18 @@ func (db *DB) Index() *index.Index { return db.idx }
 func (db *DB) Building() *Building { return db.idx.Building() }
 
 // NumObjects returns the number of indexed objects.
-func (db *DB) NumObjects() int { return db.idx.Objects().Len() }
+func (db *DB) NumObjects() int {
+	db.idx.RLock()
+	defer db.idx.RUnlock()
+	return db.idx.Objects().Len()
+}
 
 // Object returns an indexed object by id, or nil.
-func (db *DB) Object(id ObjectID) *Object { return db.idx.Objects().Get(id) }
+func (db *DB) Object(id ObjectID) *Object {
+	db.idx.RLock()
+	defer db.idx.RUnlock()
+	return db.idx.Objects().Get(id)
+}
 
 // RangeQuery evaluates iRQ(q, r): objects whose expected indoor distance
 // from q is at most r metres (Definition 3, Algorithm 1).
@@ -151,6 +185,36 @@ func (db *DB) RangeQuery(q Position, r float64) ([]Result, *QueryStats, error) {
 // indoor distances from q (Definition 4, Algorithm 2).
 func (db *DB) KNNQuery(q Position, k int) ([]Result, *QueryStats, error) {
 	return db.proc.KNNQuery(q, k)
+}
+
+// Batch serving layer (internal/serve): a worker pool fans a slice of
+// queries across CPUs, each query holding the index's read lock for its
+// own evaluation.
+type (
+	// ServeConfig sizes the worker pool; zero Workers means GOMAXPROCS.
+	ServeConfig = serve.Config
+	// RangeRequest is one iRQ of a batch.
+	RangeRequest = serve.RangeRequest
+	// KNNRequest is one ikNNQ of a batch.
+	KNNRequest = serve.KNNRequest
+	// BatchResponse is one query's results, stats, error and latency.
+	BatchResponse = serve.Response
+	// BatchMetrics aggregates a batch: queries/sec, p50/p99 latency.
+	BatchMetrics = serve.Metrics
+)
+
+// BatchRangeQuery evaluates the requests concurrently on a worker pool and
+// returns per-query responses in request order plus aggregate throughput
+// metrics. With no concurrent writers, results are identical to calling
+// RangeQuery in a loop; under concurrent updates each query of the batch
+// observes its own consistent index state, not one batch-wide snapshot.
+func (db *DB) BatchRangeQuery(reqs []RangeRequest, cfg ServeConfig) ([]BatchResponse, BatchMetrics) {
+	return serve.NewPool(db.idx, db.qopts, cfg).RangeBatch(reqs)
+}
+
+// BatchKNNQuery is BatchRangeQuery for k-nearest-neighbour queries.
+func (db *DB) BatchKNNQuery(reqs []KNNRequest, cfg ServeConfig) ([]BatchResponse, BatchMetrics) {
+	return serve.NewPool(db.idx, db.qopts, cfg).KNNBatch(reqs)
 }
 
 // InsertObject adds an uncertain object (§III-C.2).
@@ -200,7 +264,11 @@ func (db *DB) MergePartitions(pa, pb PartitionID) (PartitionID, error) {
 
 // LocatePartition returns the partition containing a position via the tree
 // tier, or -1.
-func (db *DB) LocatePartition(q Position) PartitionID { return db.idx.LocatePartition(q) }
+func (db *DB) LocatePartition(q Position) PartitionID {
+	db.idx.RLock()
+	defer db.idx.RUnlock()
+	return db.idx.LocatePartition(q)
+}
 
 // Monitor maintains standing (continuous) range queries over the index,
 // reconciled incrementally as objects move. See NewMonitor.
@@ -209,10 +277,11 @@ type Monitor = query.Monitor
 // MonitorEvent reports one membership change of a standing query.
 type MonitorEvent = query.Event
 
-// NewMonitor returns a continuous-query monitor over the database's index.
+// NewMonitor returns a continuous-query monitor over the database's index,
+// evaluating with the same query options as the database's own queries.
 // Route object updates and door toggles through the monitor so standing
 // results stay consistent.
-func (db *DB) NewMonitor() *Monitor { return query.NewMonitor(db.idx, QueryOptions{}) }
+func (db *DB) NewMonitor() *Monitor { return query.NewMonitor(db.idx, db.qopts) }
 
 // Estimator predicts iRQ cardinalities without running the query.
 type Estimator = query.Estimator
@@ -220,13 +289,25 @@ type Estimator = query.Estimator
 // NewEstimator returns a selectivity estimator over the database's index.
 func (db *DB) NewEstimator() *Estimator { return query.NewEstimator(db.idx) }
 
-// Save writes the building and every indexed object as JSON.
+// Save writes the building and every indexed object as JSON. The snapshot
+// is encoded to memory under the read lock and written to w outside it, so
+// a slow destination never stalls index writers.
 func (db *DB) Save(w io.Writer) error {
-	objs := make([]*Object, 0, db.idx.Objects().Len())
-	for _, id := range db.idx.Objects().IDs() {
-		objs = append(objs, db.idx.Objects().Get(id))
+	var buf bytes.Buffer
+	err := func() error {
+		db.idx.RLock()
+		defer db.idx.RUnlock()
+		objs := make([]*Object, 0, db.idx.Objects().Len())
+		for _, id := range db.idx.Objects().IDs() {
+			objs = append(objs, db.idx.Objects().Get(id))
+		}
+		return serde.Encode(&buf, db.idx.Building(), objs)
+	}()
+	if err != nil {
+		return err
 	}
-	return serde.Encode(w, db.idx.Building(), objs)
+	_, err = w.Write(buf.Bytes())
+	return err
 }
 
 // SaveBuilding writes a building (and optional objects) as JSON.
@@ -244,10 +325,22 @@ type RenderOptions = render.Options
 
 // RenderSVG draws one floor of the database's building as SVG: partitions,
 // doors (one-way arrows, closure marks), objects, the query point with its
-// range circle, and optionally the decomposed index units.
+// range circle, and optionally the decomposed index units. Like Save, the
+// rendering happens under the read lock into memory; only the finished
+// document is written to w.
 func (db *DB) RenderSVG(w io.Writer, opts RenderOptions) error {
-	if opts.Units == nil {
-		opts.Units = db.idx
+	var buf bytes.Buffer
+	err := func() error {
+		db.idx.RLock()
+		defer db.idx.RUnlock()
+		if opts.Units == nil {
+			opts.Units = db.idx
+		}
+		return render.SVG(&buf, db.idx.Building(), opts)
+	}()
+	if err != nil {
+		return err
 	}
-	return render.SVG(w, db.idx.Building(), opts)
+	_, err = w.Write(buf.Bytes())
+	return err
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/indoor"
 	"repro/internal/object"
 	"repro/internal/query"
+	"repro/internal/serve"
 )
 
 // Paper parameter points; defaults bolded in §V-A.
@@ -47,6 +48,17 @@ const (
 	// DefaultInstances per object (§V-A).
 	DefaultInstances = 100
 )
+
+// ConcurrencyWorkers is the worker sweep of the concurrent-throughput
+// experiment.
+var ConcurrencyWorkers = []int{1, 2, 4, 8}
+
+// ServeWorkload is the concurrent-serving experiment's workload: the
+// small Floors=2, N=1000 mall, where index contention rather than raw
+// query cost dominates.
+func ServeWorkload() Config {
+	return Config{Floors: 2, Objects: 1000, Radius: 8, Instances: 20}
+}
 
 // Config identifies a workload fixture.
 type Config struct {
@@ -159,6 +171,40 @@ func RunKNN(f *F, k int, nq int, opts query.Options) (Point, error) {
 		res, st, err := p.KNNQuery(q, k)
 		return len(res), st, err
 	})
+}
+
+// RunBatchIRQ drives the serving layer: nq range queries (cycling the
+// fixture's pool) fanned over the given worker count, returning the
+// batch's aggregate metrics. Per-query answers are identical to the serial
+// path; only scheduling differs.
+func RunBatchIRQ(f *F, r float64, nq, workers int, opts query.Options) (serve.Metrics, error) {
+	reqs := make([]serve.RangeRequest, nq)
+	for i := range reqs {
+		reqs[i] = serve.RangeRequest{Q: f.Queries[i%len(f.Queries)], R: r}
+	}
+	pool := serve.NewPool(f.Idx, opts, serve.Config{Workers: workers})
+	resps, m := pool.RangeBatch(reqs)
+	return m, firstErr(resps)
+}
+
+// RunBatchKNN is RunBatchIRQ for k-nearest-neighbour batches.
+func RunBatchKNN(f *F, k, nq, workers int, opts query.Options) (serve.Metrics, error) {
+	reqs := make([]serve.KNNRequest, nq)
+	for i := range reqs {
+		reqs[i] = serve.KNNRequest{Q: f.Queries[i%len(f.Queries)], K: k}
+	}
+	pool := serve.NewPool(f.Idx, opts, serve.Config{Workers: workers})
+	resps, m := pool.KNNBatch(reqs)
+	return m, firstErr(resps)
+}
+
+func firstErr(resps []serve.Response) error {
+	for _, r := range resps {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
 }
 
 func run(f *F, nq int, opts query.Options, exec func(*query.Processor, indoor.Position) (int, *query.Stats, error)) (Point, error) {

@@ -13,6 +13,12 @@ import (
 // are located through the tree tier, the buckets of the overlapping units
 // are extended, and the o-table gains the new entry.
 func (idx *Index) InsertObject(o *object.Object) error {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	return idx.insertObjectLocked(o)
+}
+
+func (idx *Index) insertObjectLocked(o *object.Object) error {
 	if err := o.Validate(); err != nil {
 		return err
 	}
@@ -50,6 +56,12 @@ func (idx *Index) indexObject(o *object.Object, locate func(indoor.Position) *Un
 
 // DeleteObject removes an object via the o-table (§III-C.2).
 func (idx *Index) DeleteObject(id object.ID) error {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	return idx.deleteObjectLocked(id)
+}
+
+func (idx *Index) deleteObjectLocked(id object.ID) error {
 	units, ok := idx.oTable[id]
 	if !ok {
 		return fmt.Errorf("index: no object %d", id)
@@ -64,12 +76,15 @@ func (idx *Index) DeleteObject(id object.ID) error {
 }
 
 // UpdateObject replaces an object's uncertainty information, implemented as
-// deletion followed by insertion per §III-C.2.
+// deletion followed by insertion per §III-C.2. The two steps run under one
+// write lock, so no reader observes the object half-removed.
 func (idx *Index) UpdateObject(o *object.Object) error {
-	if err := idx.DeleteObject(o.ID); err != nil {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	if err := idx.deleteObjectLocked(o.ID); err != nil {
 		return err
 	}
-	return idx.InsertObject(o)
+	return idx.insertObjectLocked(o)
 }
 
 // MoveObject is the adjacency-accelerated update of §III-C.2: when location
@@ -78,6 +93,12 @@ func (idx *Index) UpdateObject(o *object.Object) error {
 // and the topological links instead of the tree. It falls back to the tree
 // for instances outside that neighbourhood.
 func (idx *Index) MoveObject(o *object.Object) error {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	return idx.moveObjectLocked(o)
+}
+
+func (idx *Index) moveObjectLocked(o *object.Object) error {
 	old, ok := idx.oTable[o.ID]
 	if !ok {
 		return fmt.Errorf("index: no object %d", o.ID)
@@ -133,6 +154,12 @@ func (idx *Index) MoveObject(o *object.Object) error {
 // attachment, h-table maintenance. Doors of the partition whose other side
 // is already indexed are attached on both sides.
 func (idx *Index) AddPartition(pid indoor.PartitionID) error {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	return idx.addPartitionLocked(pid)
+}
+
+func (idx *Index) addPartitionLocked(pid indoor.PartitionID) error {
 	p := idx.b.Partition(pid)
 	if p == nil {
 		return fmt.Errorf("index: no partition %d in building", pid)
@@ -159,7 +186,7 @@ func (idx *Index) AddPartition(pid indoor.PartitionID) error {
 		}
 	}
 	if p.Kind == indoor.Staircase {
-		idx.RebuildSkeleton()
+		idx.rebuildSkeletonLocked()
 	}
 	return nil
 }
@@ -168,6 +195,8 @@ func (idx *Index) AddPartition(pid indoor.PartitionID) error {
 // from the building (§III-C.1 deletion). Objects bucketed in its units lose
 // those bucket entries; their o-table rows shrink accordingly.
 func (idx *Index) RemovePartition(pid indoor.PartitionID) error {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
 	p := idx.b.Partition(pid)
 	if p == nil {
 		return fmt.Errorf("index: no partition %d", pid)
@@ -179,7 +208,7 @@ func (idx *Index) RemovePartition(pid indoor.PartitionID) error {
 	}
 	idx.relocateObjects(affected)
 	if wasStair {
-		idx.RebuildSkeleton()
+		idx.rebuildSkeletonLocked()
 	}
 	return nil
 }
@@ -188,6 +217,8 @@ func (idx *Index) RemovePartition(pid indoor.PartitionID) error {
 // units on its sides. Rebuilds the skeleton when the door is a staircase
 // entrance.
 func (idx *Index) AttachDoor(did indoor.DoorID) error {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
 	d := idx.b.Door(did)
 	if d == nil {
 		return fmt.Errorf("index: no door %d", did)
@@ -199,19 +230,21 @@ func (idx *Index) AttachDoor(did indoor.DoorID) error {
 		return err
 	}
 	if staircaseSide(idx.b, d) != indoor.NoPartition {
-		idx.RebuildSkeleton()
+		idx.rebuildSkeletonLocked()
 	}
 	return nil
 }
 
 // DetachDoor unindexes and removes a door from the building.
 func (idx *Index) DetachDoor(did indoor.DoorID) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
 	d := idx.b.Door(did)
 	wasEntrance := d != nil && staircaseSide(idx.b, d) != indoor.NoPartition
 	idx.detachDoor(did)
 	idx.b.RemoveDoor(did)
 	if wasEntrance {
-		idx.RebuildSkeleton()
+		idx.rebuildSkeletonLocked()
 	}
 }
 
@@ -239,8 +272,11 @@ func (idx *Index) detachDoor(did indoor.DoorID) {
 
 // SetDoorClosed toggles a door's availability. Closure is evaluated lazily
 // by DoorRef.CanEnter, so no structural maintenance is needed — exactly the
-// benefit of indexing without distance pre-computation.
+// benefit of indexing without distance pre-computation. The write lock is
+// still required: queries read the closure flag through CanEnter.
 func (idx *Index) SetDoorClosed(did indoor.DoorID, closed bool) error {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
 	return idx.b.SetDoorClosed(did, closed)
 }
 
@@ -248,20 +284,22 @@ func (idx *Index) SetDoorClosed(did indoor.DoorID, closed bool) error {
 // reindexes the two halves. Objects bucketed in the old units are
 // re-located into the new ones.
 func (idx *Index) SplitPartition(pid indoor.PartitionID, alongX bool, at float64) (a, b indoor.PartitionID, err error) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
 	affected := idx.unindexPartitionKeepBuilding(pid)
 	pa, pb, err := idx.b.SplitPartition(pid, alongX, at)
 	if err != nil {
 		// Restore the index for the untouched partition.
-		if rerr := idx.AddPartition(pid); rerr != nil {
+		if rerr := idx.addPartitionLocked(pid); rerr != nil {
 			return indoor.NoPartition, indoor.NoPartition, fmt.Errorf("%v (restore failed: %v)", err, rerr)
 		}
 		idx.relocateObjects(affected)
 		return indoor.NoPartition, indoor.NoPartition, err
 	}
-	if err := idx.AddPartition(pa.ID); err != nil {
+	if err := idx.addPartitionLocked(pa.ID); err != nil {
 		return indoor.NoPartition, indoor.NoPartition, err
 	}
-	if err := idx.AddPartition(pb.ID); err != nil {
+	if err := idx.addPartitionLocked(pb.ID); err != nil {
 		return indoor.NoPartition, indoor.NoPartition, err
 	}
 	idx.relocateObjects(affected)
@@ -270,19 +308,21 @@ func (idx *Index) SplitPartition(pid indoor.PartitionID, alongX bool, at float64
 
 // MergePartitions dismounts a sliding wall between two indexed partitions.
 func (idx *Index) MergePartitions(pa, pb indoor.PartitionID) (indoor.PartitionID, error) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
 	affected := idx.unindexPartitionKeepBuilding(pa)
 	affected = append(affected, idx.unindexPartitionKeepBuilding(pb)...)
 	merged, err := idx.b.MergePartitions(pa, pb)
 	if err != nil {
 		for _, pid := range []indoor.PartitionID{pa, pb} {
-			if rerr := idx.AddPartition(pid); rerr != nil {
+			if rerr := idx.addPartitionLocked(pid); rerr != nil {
 				return indoor.NoPartition, fmt.Errorf("%v (restore failed: %v)", err, rerr)
 			}
 		}
 		idx.relocateObjects(affected)
 		return indoor.NoPartition, err
 	}
-	if err := idx.AddPartition(merged.ID); err != nil {
+	if err := idx.addPartitionLocked(merged.ID); err != nil {
 		return indoor.NoPartition, err
 	}
 	idx.relocateObjects(affected)
@@ -343,8 +383,12 @@ func removeUnit(list []UnitID, uid UnitID) []UnitID {
 
 // CheckInvariants validates cross-layer consistency for tests: h-table and
 // partUnits are inverse, o-table and buckets are inverse, every door ref is
-// attached to the units it names, and every unit's box is in the tree.
+// attached to the units it names, and every unit's box is in the tree. It
+// takes the read lock itself, so stress tests may call it concurrently
+// with mutators.
 func (idx *Index) CheckInvariants() error {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
 	for uid, pid := range idx.hTable {
 		found := false
 		for _, u := range idx.partUnits[pid] {

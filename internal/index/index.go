@@ -11,6 +11,7 @@ package index
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/geom"
@@ -146,7 +147,21 @@ func (s BuildStats) Total() time.Duration {
 }
 
 // Index is the composite index over one building and its objects.
+//
+// Concurrency: the index follows a readers-writer discipline. Every
+// exported mutator (InsertObject, MoveObject, SetDoorClosed,
+// SplitPartition, ...) takes the write lock internally, so mutators may be
+// called from any goroutine. The read accessors (LocateUnit, SearchTree,
+// BucketObjects, the skeleton bounds, ...) are deliberately lock-free so
+// that a query can compose many of them under ONE consistent read lock:
+// concurrent readers must bracket their work with RLock/RUnlock. The query
+// processor, monitor, estimator and the indoorq facade all do this; code
+// that only ever uses the index from a single goroutine needs no locking
+// at all. The building must be mutated only through the index once the
+// index is shared between goroutines.
 type Index struct {
+	mu sync.RWMutex
+
 	b    *indoor.Building
 	opts Options
 
@@ -222,10 +237,11 @@ func Build(b *indoor.Building, objs []*object.Object, opts Options) (*Index, Bui
 	idx.skeleton = buildSkeleton(b, idx)
 	stats.SkeletonTier = time.Since(start)
 
-	// Object layer.
+	// Object layer. The index is not yet published to other goroutines, so
+	// the unlocked insertion path is used directly.
 	start = time.Now()
 	for _, o := range objs {
-		if err := idx.InsertObject(o); err != nil {
+		if err := idx.insertObjectLocked(o); err != nil {
 			return nil, stats, err
 		}
 	}
@@ -233,6 +249,15 @@ func Build(b *indoor.Building, objs []*object.Object, opts Options) (*Index, Bui
 
 	return idx, stats, nil
 }
+
+// RLock takes the index's read lock. Any number of readers may hold it at
+// once; it excludes mutators. Use it to bracket a sequence of read
+// accessors that must observe one consistent index state (the query
+// processor brackets a whole query evaluation).
+func (idx *Index) RLock() { idx.mu.RLock() }
+
+// RUnlock releases the read lock.
+func (idx *Index) RUnlock() { idx.mu.RUnlock() }
 
 // makeUnits decomposes a partition into units and registers them (without
 // tree insertion; callers handle the tree for bulk vs dynamic paths).

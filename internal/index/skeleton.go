@@ -160,5 +160,11 @@ func (idx *Index) SkeletonDist(q, p indoor.Position) float64 {
 // automatically after topological updates that involve staircases, and
 // callers may invoke it after out-of-band building mutations.
 func (idx *Index) RebuildSkeleton() {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	idx.rebuildSkeletonLocked()
+}
+
+func (idx *Index) rebuildSkeletonLocked() {
 	idx.skeleton = buildSkeleton(idx.b, idx)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/distance"
 	"repro/internal/index"
@@ -23,7 +24,20 @@ import (
 // cached engines; callers route them through the monitor (SetDoorClosed,
 // InvalidateTopology) so every standing query is refreshed and membership
 // changes are reported.
+//
+// Concurrency: the monitor is safe for concurrent use. Update operations
+// (Register, Unregister, ObjectMoved, ObjectInserted, ObjectDeleted,
+// SetDoorClosed, InvalidateTopology) serialise on an internal mutex, so
+// the event streams they return are consistent with SOME serial order of
+// the operations — replaying that order serially yields the same events
+// and the same final memberships. Results and NumStanding are readers and
+// run in parallel with each other and with ordinary queries. While the
+// monitor is in concurrent use, route every index update that should be
+// reflected in standing results through the monitor; direct index writes
+// are still safe but may interleave between an update and its
+// reconciliation.
 type Monitor struct {
+	mu       sync.RWMutex
 	p        *Processor
 	standing map[int]*standingQuery
 	nextID   int
@@ -54,18 +68,22 @@ func NewMonitor(idx *index.Index, opts Options) *Monitor {
 // Register installs a standing range query and returns its handle and the
 // initial members (ascending by id).
 func (m *Monitor) Register(q indoor.Position, r float64) (int, []object.ID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	s := &standingQuery{id: m.nextID, q: q, r: r, members: make(map[object.ID]bool)}
 	if err := m.refresh(s); err != nil {
 		return 0, nil, err
 	}
 	m.nextID++
 	m.standing[s.id] = s
-	return s.id, m.Results(s.id), nil
+	return s.id, membersSorted(s), nil
 }
 
 // refresh re-runs the filtering and subgraph phases for a standing query
-// and re-evaluates every candidate object.
+// and re-evaluates every candidate object, under the index's read lock.
 func (m *Monitor) refresh(s *standingQuery) error {
+	m.p.idx.RLock()
+	defer m.p.idx.RUnlock()
 	units, cands := m.p.rangeSearch(s.q, s.r)
 	eng, err := distance.New(m.p.idx, s.q, units, math.Inf(1))
 	if err != nil {
@@ -125,6 +143,8 @@ func (m *Monitor) evalObject(s *standingQuery, oid object.ID) (bool, error) {
 
 // Unregister removes a standing query, reporting whether it existed.
 func (m *Monitor) Unregister(id int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, ok := m.standing[id]; !ok {
 		return false
 	}
@@ -134,10 +154,16 @@ func (m *Monitor) Unregister(id int) bool {
 
 // Results returns the current members of a standing query, ascending.
 func (m *Monitor) Results(id int) []object.ID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	s := m.standing[id]
 	if s == nil {
 		return nil
 	}
+	return membersSorted(s)
+}
+
+func membersSorted(s *standingQuery) []object.ID {
 	out := make([]object.ID, 0, len(s.members))
 	for oid := range s.members {
 		out = append(out, oid)
@@ -159,8 +185,10 @@ func (m *Monitor) queryIDs() []int {
 
 // reconcile re-evaluates one object against the standing queries whose
 // footprint it touches (before or after the update) or whose result it was
-// part of, emitting membership events.
+// part of, emitting membership events. Runs under the index's read lock.
 func (m *Monitor) reconcile(oid object.ID, touched map[index.UnitID]bool) ([]Event, error) {
+	m.p.idx.RLock()
+	defer m.p.idx.RUnlock()
 	var events []Event
 	for _, id := range m.queryIDs() {
 		s := m.standing[id]
@@ -193,37 +221,47 @@ func (m *Monitor) reconcile(oid object.ID, touched map[index.UnitID]bool) ([]Eve
 	return events, nil
 }
 
+// addTouched records the units an object currently occupies, under the
+// index's read lock.
+func (m *Monitor) addTouched(oid object.ID, touched map[index.UnitID]bool) {
+	m.p.idx.RLock()
+	defer m.p.idx.RUnlock()
+	for _, u := range m.p.idx.ObjectUnits(oid) {
+		touched[u] = true
+	}
+}
+
 // ObjectMoved applies the adjacency-accelerated location update and
 // reconciles the affected standing queries.
 func (m *Monitor) ObjectMoved(o *object.Object) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	touched := make(map[index.UnitID]bool)
-	for _, u := range m.p.idx.ObjectUnits(o.ID) {
-		touched[u] = true
-	}
+	m.addTouched(o.ID, touched)
 	if err := m.p.idx.MoveObject(o); err != nil {
 		return nil, err
 	}
-	for _, u := range m.p.idx.ObjectUnits(o.ID) {
-		touched[u] = true
-	}
+	m.addTouched(o.ID, touched)
 	return m.reconcile(o.ID, touched)
 }
 
 // ObjectInserted indexes a new object and reconciles.
 func (m *Monitor) ObjectInserted(o *object.Object) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := m.p.idx.InsertObject(o); err != nil {
 		return nil, err
 	}
 	touched := make(map[index.UnitID]bool)
-	for _, u := range m.p.idx.ObjectUnits(o.ID) {
-		touched[u] = true
-	}
+	m.addTouched(o.ID, touched)
 	return m.reconcile(o.ID, touched)
 }
 
 // ObjectDeleted removes an object, emitting leave events for every
 // standing query it was a member of.
 func (m *Monitor) ObjectDeleted(id object.ID) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := m.p.idx.DeleteObject(id); err != nil {
 		return nil, err
 	}
@@ -241,15 +279,23 @@ func (m *Monitor) ObjectDeleted(id object.ID) ([]Event, error) {
 // SetDoorClosed toggles a door and refreshes every standing query (door
 // distances changed), emitting membership events.
 func (m *Monitor) SetDoorClosed(did indoor.DoorID, closed bool) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := m.p.idx.SetDoorClosed(did, closed); err != nil {
 		return nil, err
 	}
-	return m.InvalidateTopology()
+	return m.invalidateTopology()
 }
 
 // InvalidateTopology refreshes every standing query after an out-of-band
 // topological change, returning the membership deltas.
 func (m *Monitor) InvalidateTopology() ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.invalidateTopology()
+}
+
+func (m *Monitor) invalidateTopology() ([]Event, error) {
 	var events []Event
 	for _, id := range m.queryIDs() {
 		s := m.standing[id]
@@ -281,9 +327,13 @@ func (m *Monitor) InvalidateTopology() ([]Event, error) {
 }
 
 // NumStanding returns the number of registered queries.
-func (m *Monitor) NumStanding() int { return len(m.standing) }
+func (m *Monitor) NumStanding() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.standing)
+}
 
 // String implements fmt.Stringer for diagnostics.
 func (m *Monitor) String() string {
-	return fmt.Sprintf("monitor(%d standing queries)", len(m.standing))
+	return fmt.Sprintf("monitor(%d standing queries)", m.NumStanding())
 }

@@ -238,8 +238,12 @@ func (rf *refiner) exact(o *object.Object) (float64, error) {
 }
 
 // RangeQuery evaluates iRQq,r(O) per Algorithm 1, returning the objects
-// whose expected indoor distance is at most r.
+// whose expected indoor distance is at most r. The whole evaluation runs
+// under the index's read lock, so any number of queries proceed in
+// parallel while each observes one consistent index state.
 func (p *Processor) RangeQuery(q indoor.Position, r float64) ([]Result, *Stats, error) {
+	p.idx.RLock()
+	defer p.idx.RUnlock()
 	st := &Stats{TotalObjects: p.idx.Objects().Len()}
 
 	// Phase 1: filtering.
@@ -396,8 +400,11 @@ func (p *Processor) kSeedsSelection(q indoor.Position, k int) (units []index.Uni
 
 // KNNQuery evaluates ikNNq,k(O) per Algorithm 2, returning k objects with
 // the smallest expected indoor distances (fewer when the index holds fewer
-// reachable objects).
+// reachable objects). Like RangeQuery it holds the index's read lock for
+// the whole evaluation.
 func (p *Processor) KNNQuery(q indoor.Position, k int) ([]Result, *Stats, error) {
+	p.idx.RLock()
+	defer p.idx.RUnlock()
 	st := &Stats{TotalObjects: p.idx.Objects().Len()}
 	if k <= 0 {
 		return nil, st, nil
@@ -524,5 +531,7 @@ func (p *Processor) KNNQuery(q indoor.Position, k int) ([]Result, *Stats, error)
 
 // KSeedsForTest exposes kSeedsSelection for diagnostics and tests.
 func (p *Processor) KSeedsForTest(q indoor.Position, k int) ([]index.UnitID, []object.ID, error) {
+	p.idx.RLock()
+	defer p.idx.RUnlock()
 	return p.kSeedsSelection(q, k)
 }

@@ -53,11 +53,14 @@ func (e *Estimator) multiplicity() float64 {
 	return m
 }
 
-// EstimateRange predicts |iRQ(q, r)|.
+// EstimateRange predicts |iRQ(q, r)|. It holds the index's read lock for
+// the walk, so estimates may run concurrently with queries and updates.
 func (e *Estimator) EstimateRange(q indoor.Position, r float64) float64 {
 	if r < 0 {
 		return 0
 	}
+	e.idx.RLock()
+	defer e.idx.RUnlock()
 	sk := e.idx.Skeleton()
 	var sum float64
 	e.idx.SearchTree(
@@ -90,6 +93,8 @@ func (e *Estimator) EstimateRange(q indoor.Position, r float64) float64 {
 // Calibrate fits Alpha by evaluating true queries at the given points and
 // choosing the factor that minimises the summed absolute cardinality error
 // over a small grid of candidate factors. It returns the fitted factor.
+// Calibrate takes no lock itself (each inner query and estimate does); it
+// mutates Alpha, so do not calibrate while other goroutines estimate.
 func (e *Estimator) Calibrate(points []indoor.Position, r float64) (float64, error) {
 	if len(points) == 0 {
 		return e.Alpha, nil

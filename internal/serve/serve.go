@@ -1,0 +1,181 @@
+// Package serve is the concurrent query-serving layer: a worker pool that
+// fans a batch of iRQ/ikNNQ queries across CPUs against one shared
+// composite index. Each query runs under the index's read lock (taken by
+// the query processor), so any number of workers evaluate in parallel
+// while index mutators wait their turn; the pool adds no locking of its
+// own beyond work distribution.
+//
+// The pool reports per-query results, Stats and latency in request order,
+// plus batch-level aggregates (wall time, queries/sec, latency
+// percentiles) — the figures a serving deployment watches.
+package serve
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/query"
+)
+
+// Config configures a worker pool.
+type Config struct {
+	// Workers is the number of goroutines evaluating queries; 0 means
+	// runtime.GOMAXPROCS(0), the number of CPUs the scheduler uses.
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RangeRequest is one iRQ: objects within expected distance R of Q.
+type RangeRequest struct {
+	Q indoor.Position
+	R float64
+}
+
+// KNNRequest is one ikNNQ: the K objects nearest Q by expected distance.
+type KNNRequest struct {
+	Q indoor.Position
+	K int
+}
+
+// Response is one query's outcome, at the same slice position as its
+// request.
+type Response struct {
+	Results []query.Result
+	Stats   *query.Stats
+	Err     error
+	// Latency is the query's wall time inside the pool, including any
+	// wait for the index's read lock.
+	Latency time.Duration
+}
+
+// Metrics aggregates one batch execution.
+type Metrics struct {
+	Queries int
+	Errors  int
+	Workers int
+	// Wall is the batch's total wall time; Throughput is Queries per
+	// second of it.
+	Wall       time.Duration
+	Throughput float64
+	// Latency distribution over the batch's queries.
+	Mean time.Duration
+	P50  time.Duration
+	P99  time.Duration
+	Max  time.Duration
+}
+
+// Pool evaluates query batches against one index. A Pool is stateless
+// between batches and safe for concurrent use; goroutines are spawned per
+// batch and exit when the batch drains.
+type Pool struct {
+	proc *query.Processor
+	cfg  Config
+}
+
+// NewPool returns a pool over the index with the given query-processor
+// options.
+func NewPool(idx *index.Index, qopts query.Options, cfg Config) *Pool {
+	return &Pool{proc: query.New(idx, qopts), cfg: cfg}
+}
+
+// RangeBatch evaluates a batch of range queries, fanning them across the
+// configured workers. Responses are in request order regardless of which
+// worker served them; with no concurrent index writers a batch is
+// byte-for-byte identical to a serial loop over RangeQuery. Each query
+// takes its own read lock, so under concurrent updates queries of one
+// batch may observe different index states.
+func (p *Pool) RangeBatch(reqs []RangeRequest) ([]Response, Metrics) {
+	return p.run(len(reqs), func(i int) ([]query.Result, *query.Stats, error) {
+		return p.proc.RangeQuery(reqs[i].Q, reqs[i].R)
+	})
+}
+
+// KNNBatch evaluates a batch of k-nearest-neighbour queries.
+func (p *Pool) KNNBatch(reqs []KNNRequest) ([]Response, Metrics) {
+	return p.run(len(reqs), func(i int) ([]query.Result, *query.Stats, error) {
+		return p.proc.KNNQuery(reqs[i].Q, reqs[i].K)
+	})
+}
+
+// run distributes n queries over the workers via an atomic cursor: workers
+// claim the next unserved index until the batch drains, which balances
+// load even when query costs vary wildly across the building.
+func (p *Pool) run(n int, eval func(int) ([]query.Result, *query.Stats, error)) ([]Response, Metrics) {
+	resps := make([]Response, n)
+	workers := p.cfg.workers()
+	if workers > n {
+		workers = n
+	}
+	start := time.Now()
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				t0 := time.Now()
+				res, st, err := eval(i)
+				resps[i] = Response{Results: res, Stats: st, Err: err, Latency: time.Since(t0)}
+			}
+		}()
+	}
+	wg.Wait()
+	return resps, metricsFor(resps, workers, time.Since(start))
+}
+
+func metricsFor(resps []Response, workers int, wall time.Duration) Metrics {
+	m := Metrics{Queries: len(resps), Workers: workers, Wall: wall}
+	if len(resps) == 0 {
+		return m
+	}
+	lats := make([]time.Duration, 0, len(resps))
+	var sum time.Duration
+	for _, r := range resps {
+		if r.Err != nil {
+			m.Errors++
+		}
+		lats = append(lats, r.Latency)
+		sum += r.Latency
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	m.Mean = sum / time.Duration(len(lats))
+	m.P50 = quantile(lats, 0.50)
+	m.P99 = quantile(lats, 0.99)
+	m.Max = lats[len(lats)-1]
+	if s := wall.Seconds(); s > 0 {
+		m.Throughput = float64(len(resps)) / s
+	}
+	return m
+}
+
+// quantile returns the q-th latency by the nearest-rank method over the
+// sorted slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,182 @@
+package indoorq
+
+// Monitor-under-concurrency test: standing-query events produced while
+// several goroutines move disjoint object sets concurrently (with query
+// readers running throughout) must match a serial replay of the same
+// update sequences on an identical database. Objects are disjoint per
+// goroutine and topology is static, so one object's event stream depends
+// only on its own moves — any interleaving must yield the same per-object
+// events and the same final memberships.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/object"
+)
+
+// monitorFixture builds one deterministic instance of the workload and
+// registers the standing queries. Building it twice yields identical
+// databases.
+func monitorFixture(t *testing.T) (*DB, *Monitor, []int, []Position) {
+	t.Helper()
+	b, err := gen.Mall(gen.MallSpec{Floors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := gen.Objects(b, gen.ObjectSpec{N: 300, Radius: 8, Instances: 10, Seed: 81})
+	db, _, err := Open(b, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := gen.QueryPoints(b, 8, 82)
+	mon := db.NewMonitor()
+	ids := make([]int, 6)
+	for i := range ids {
+		id, _, err := mon.Register(queries[i], 60+float64(i%3)*30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return db, mon, ids, queries
+}
+
+// eventKey flattens an event for comparison.
+func eventKey(e MonitorEvent) string {
+	return fmt.Sprintf("q%d:o%d:%v", e.Query, e.Object, e.Entered)
+}
+
+func TestMonitorConcurrentUpdatesMatchSerialReplay(t *testing.T) {
+	db, mon, ids, _ := monitorFixture(t)
+
+	// Precompute the per-goroutine update sequences against the static
+	// topology, so the concurrent run and the serial replay apply the very
+	// same objects.
+	const goroutines = 4
+	const movesEach = 60
+	updates := make([][]*Object, goroutines)
+	for g := 0; g < goroutines; g++ {
+		rng := rand.New(rand.NewSource(int64(900 + g)))
+		stripe := 300 / goroutines
+		for len(updates[g]) < movesEach {
+			oid := ObjectID(g*stripe + len(updates[g])%stripe)
+			cur := db.Object(oid)
+			c := cur.Center
+			next := Pos(c.Pt.X+rng.Float64()*80-40, c.Pt.Y+rng.Float64()*80-40, c.Floor)
+			if db.LocatePartition(next) < 0 {
+				next = c // fall back to re-reporting in place
+			}
+			updates[g] = append(updates[g], object.SampleGaussian(rng, oid, next, cur.Radius, 10))
+		}
+	}
+
+	// Concurrent run: movers apply their sequences through the monitor
+	// while readers poll standing results and run one-shot queries.
+	events := make([][]MonitorEvent, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, upd := range updates[g] {
+				evs, err := mon.ObjectMoved(upd)
+				if err != nil {
+					t.Errorf("mover %d: %v", g, err)
+					return
+				}
+				events[g] = append(events[g], evs...)
+			}
+		}(g)
+	}
+	stopReaders := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stopReaders:
+				return
+			default:
+				for _, id := range ids {
+					mon.Results(id)
+				}
+				mon.NumStanding()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stopReaders)
+	readers.Wait()
+
+	// Serial replay on an identical database.
+	db2, mon2, ids2, _ := monitorFixture(t)
+	if len(ids2) != len(ids) {
+		t.Fatal("fixture mismatch")
+	}
+	serialByObject := make(map[ObjectID][]string)
+	total := 0
+	for g := 0; g < goroutines; g++ {
+		for _, upd := range updates[g] {
+			evs, err := mon2.ObjectMoved(upd)
+			if err != nil {
+				t.Fatalf("replay mover %d: %v", g, err)
+			}
+			for _, e := range evs {
+				serialByObject[e.Object] = append(serialByObject[e.Object], eventKey(e))
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("replay produced no membership events; workload too static to test anything")
+	}
+
+	// Per-object event streams must match: an object's events all come from
+	// its own goroutine, in that goroutine's order.
+	concByObject := make(map[ObjectID][]string)
+	for g := 0; g < goroutines; g++ {
+		for _, e := range events[g] {
+			concByObject[e.Object] = append(concByObject[e.Object], eventKey(e))
+		}
+	}
+	if len(concByObject) != len(serialByObject) {
+		t.Fatalf("event coverage: concurrent touched %d objects, serial %d", len(concByObject), len(serialByObject))
+	}
+	for oid, want := range serialByObject {
+		got := concByObject[oid]
+		if len(got) != len(want) {
+			t.Fatalf("object %d: concurrent run emitted %d events %v, serial %d events %v",
+				oid, len(got), got, len(want), want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("object %d event %d: concurrent %s, serial %s", oid, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Final standing memberships must match exactly.
+	for i := range ids {
+		got, want := mon.Results(ids[i]), mon2.Results(ids2[i])
+		if len(got) != len(want) {
+			t.Fatalf("query %d: concurrent members %v, serial %v", i, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("query %d member %d: concurrent %d, serial %d", i, j, got[j], want[j])
+			}
+		}
+	}
+	if err := db.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("verified %d membership events across %d objects", total, len(serialByObject))
+}

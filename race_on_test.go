@@ -1,0 +1,7 @@
+//go:build race
+
+package indoorq
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions skip under -race, where instrumentation distorts speedups.
+const raceEnabled = true
