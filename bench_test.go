@@ -57,6 +57,20 @@ func runKNN(b *testing.B, f *bench.F, k int, opts query.Options) {
 	}
 }
 
+// BenchmarkRangeQuery is the single-query hot-path benchmark on the
+// default mall workload (§V-A defaults): one iRQ at the default radius per
+// iteration, rotating the query pool. Allocation counts are part of the
+// regression budget — the precompiled door-graph tier keeps the steady
+// state near allocation-free.
+func BenchmarkRangeQuery(b *testing.B) {
+	runIRQ(b, mustFixture(b, bench.Default()), bench.DefaultRange, query.Options{})
+}
+
+// BenchmarkKNNQuery is the ikNNQ counterpart of BenchmarkRangeQuery.
+func BenchmarkKNNQuery(b *testing.B) {
+	runKNN(b, mustFixture(b, bench.Default()), bench.DefaultK, query.Options{})
+}
+
 // BenchmarkIRQVsObjects is Fig 12(a): iRQ time vs |O| ∈ {10K, 20K, 30K} for
 // r ∈ {50, 100, 150}.
 func BenchmarkIRQVsObjects(b *testing.B) {
@@ -420,6 +434,7 @@ func BenchmarkBatchThroughput(b *testing.B) {
 	for _, workers := range bench.ConcurrencyWorkers {
 		b.Run(fmt.Sprintf("iRQ/workers=%d", workers), func(b *testing.B) {
 			f := mustFixture(b, cfg)
+			b.ReportAllocs()
 			b.ResetTimer()
 			var m serve.Metrics
 			for i := 0; i < b.N; i++ {
@@ -435,6 +450,7 @@ func BenchmarkBatchThroughput(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("ikNN/workers=%d", workers), func(b *testing.B) {
 			f := mustFixture(b, cfg)
+			b.ReportAllocs()
 			b.ResetTimer()
 			var m serve.Metrics
 			for i := 0; i < b.N; i++ {
@@ -472,6 +488,7 @@ func BenchmarkBatchUnderWrites(b *testing.B) {
 			i++
 		}
 	}()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var m serve.Metrics
 	for i := 0; i < b.N; i++ {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchfig [-fig 12a,13b,...,conc|all] [-queries N] [-full-precompute]
+//	benchfig [-fig 12a,13b,...,conc,hotpath|all] [-queries N] [-full-precompute]
 //
 // With -fig all (the default) every panel runs; expect several minutes at
 // the paper's default workload sizes. -queries controls how many query
@@ -15,7 +15,9 @@
 // layer's worker pool over 1/2/4/8 workers on the Floors=2, N=1000
 // workload, reporting aggregate queries/sec, speedup over one worker, and
 // p50/p99 latency. Run it on multi-core hardware to see the scaling; on
-// one CPU the series is flat by construction.
+// one CPU the series is flat by construction. The "hotpath" panel reports
+// the precompiled door-graph tier's size, compile time, single-query
+// serial throughput, and the lazy-recompile cost after a topology change.
 package main
 
 import (
@@ -61,7 +63,7 @@ func main() {
 		{"13a", fig13a}, {"13b", fig13b}, {"13c", fig13c}, {"13d", fig13d},
 		{"14a", fig14a}, {"14b", fig14b}, {"14c", fig14c}, {"14d", fig14d},
 		{"15a", fig15a}, {"15b", fig15b}, {"15c", fig15c}, {"15d", fig15d},
-		{"conc", figConc},
+		{"conc", figConc}, {"hotpath", figHotPath},
 	}
 	ran := 0
 	for _, p := range panels {
@@ -526,6 +528,66 @@ func figConc() error {
 			fmt.Printf("%-6s %8d %12.0f %8.2fx %s %s\n",
 				"", w, m.Throughput, m.Throughput/base, ms(m.P50), ms(m.P99))
 		}
+	}
+	return nil
+}
+
+// figHotPath is the door-graph-tier panel (not from the paper): it reports
+// the compiled graph's size and compile time on the default workload, the
+// single-query serial throughput the precompiled tier sustains, and the
+// cost a topology change adds to the next query (the lazy recompile).
+func figHotPath() error {
+	header("Door-graph tier — compile cost and single-query hot path (default workload)")
+	f, err := bench.Fixture(bench.Default())
+	if err != nil {
+		return err
+	}
+	idx := f.Idx
+	idx.RLock()
+	dg := idx.DoorGraph()
+	idx.RUnlock()
+	fmt.Printf("doors %d, unit slots %d, directed edges %d, compile %s ms\n",
+		dg.NumDoors(), dg.NumUnits(), dg.Graph().NumEdges(), ms(f.BuildStats.DoorGraph))
+
+	// Serial single-query throughput over the pool.
+	p := f.Processor(query.Options{})
+	for _, kind := range []string{"iRQ", "ikNN"} {
+		start := time.Now()
+		n := 0
+		for i := 0; i < *queries; i++ {
+			q := f.Queries[i%len(f.Queries)]
+			var err error
+			if kind == "iRQ" {
+				_, _, err = p.RangeQuery(q, bench.DefaultRange)
+			} else {
+				_, _, err = p.KNNQuery(q, bench.DefaultK)
+			}
+			if err != nil {
+				return err
+			}
+			n++
+		}
+		el := time.Since(start)
+		fmt.Printf("%-5s %4d queries in %s ms (%8.0f queries/sec serial)\n",
+			kind, n, ms(el), float64(n)/el.Seconds())
+	}
+
+	// Lazy-recompile latency: a door toggle invalidates the tier; the next
+	// query pays one compile.
+	var door indoor.DoorID = -1
+	for _, d := range f.B.Doors() {
+		door = d.ID
+		break
+	}
+	if door >= 0 {
+		if err := idx.SetDoorClosed(door, false); err != nil {
+			return err
+		}
+		start := time.Now()
+		idx.RLock()
+		idx.DoorGraph()
+		idx.RUnlock()
+		fmt.Printf("recompile after topology change: %s ms\n", ms(time.Since(start)))
 	}
 	return nil
 }

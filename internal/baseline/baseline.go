@@ -133,6 +133,7 @@ func (o *Oracle) AllDistances(q indoor.Position) ([]ObjectDist, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Close()
 	ids := o.idx.Objects().IDs()
 	out := make([]ObjectDist, 0, len(ids))
 	for _, id := range ids {

@@ -15,9 +15,7 @@ package distance
 import (
 	"fmt"
 	"math"
-	"sort"
 
-	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/index"
 	"repro/internal/indoor"
@@ -29,14 +27,26 @@ import (
 // via the cap discipline (see ExactDistBracket and the package note in
 // expected.go), which query refinement resolves through an escalation
 // ladder of wider engines.
+//
+// An Engine never assembles a graph: it slices the index's precompiled
+// door-graph tier by unit-set membership, seeding a Dijkstra whose working
+// storage (distances, heap, marks) comes from the shared scratch pool in
+// internal/graph. Call Close when done with the engine to return the
+// scratch to the pool; a forgotten Close costs pooling, not correctness.
+// An Engine is not safe for concurrent use.
 type Engine struct {
-	idx   *index.Index
-	q     indoor.Position
-	qUnit *index.Unit
-	inSet map[index.UnitID]bool
-	node  map[*index.DoorRef]int
-	dist  []float64
-	full  bool
+	idx    *index.Index
+	q      indoor.Position
+	qUnit  *index.Unit
+	dg     *index.DoorGraph
+	sc     *graph.Scratch
+	anchor *index.SkelAnchor
+	full   bool
+
+	// Reusable evaluation buffers (see expected.go).
+	evalBuf []subEval
+	doorBuf []doorW
+	sufBuf  []float64
 
 	// Stats counts which expected-distance case (§II-C) each evaluated
 	// subregion hit.
@@ -58,13 +68,8 @@ func New(idx *index.Index, q indoor.Position, unitIDs []index.UnitID, bound floa
 	if qUnit == nil {
 		return nil, fmt.Errorf("distance: query point %v is outside every partition", q)
 	}
-	inSet := make(map[index.UnitID]bool, len(unitIDs)+1)
-	inSet[qUnit.ID] = true
-	for _, id := range unitIDs {
-		inSet[id] = true
-	}
-	e := &Engine{idx: idx, q: q, qUnit: qUnit, inSet: inSet}
-	e.run(bound)
+	e := &Engine{idx: idx, q: q, qUnit: qUnit}
+	e.run(unitIDs, bound)
 	return e, nil
 }
 
@@ -76,64 +81,51 @@ func NewFull(idx *index.Index, q indoor.Position) (*Engine, error) {
 	if qUnit == nil {
 		return nil, fmt.Errorf("distance: query point %v is outside every partition", q)
 	}
-	inSet := make(map[index.UnitID]bool)
-	idx.SearchTree(
-		func(geom.Rect3) bool { return true },
-		func(u *index.Unit) { inSet[u.ID] = true },
-	)
-	e := &Engine{idx: idx, q: q, qUnit: qUnit, inSet: inSet, full: true}
-	e.run(math.Inf(1))
+	e := &Engine{idx: idx, q: q, qUnit: qUnit, full: true}
+	e.run(nil, math.Inf(1))
 	return e, nil
 }
 
-// run performs the subgraph phase: assemble the directed doors graph over
-// the unit set (an edge a→b through unit u exists iff a permits entry into
-// u; weights are intra-unit walking distances) and run Dijkstra seeded at
-// the doors of the query point's unit.
-func (e *Engine) run(bound float64) {
-	// Deterministic unit order.
-	units := make([]index.UnitID, 0, len(e.inSet))
-	for id := range e.inSet {
-		units = append(units, id)
-	}
-	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
-
-	e.node = make(map[*index.DoorRef]int)
-	g := graph.New(0)
-	nodeOf := func(d *index.DoorRef) int {
-		n, ok := e.node[d]
-		if !ok {
-			n = g.AddNode()
-			e.node[d] = n
+// run performs the subgraph phase against the precompiled door-graph tier:
+// mark the unit set's slots, seed the doors of the query point's unit, and
+// run the membership-restricted Dijkstra in pooled scratch storage. A full
+// engine skips the marking and runs unrestricted.
+func (e *Engine) run(unitIDs []index.UnitID, bound float64) {
+	e.dg = e.idx.DoorGraph()
+	e.anchor = e.idx.NewSkelAnchor(e.q)
+	e.sc = graph.AcquireScratch()
+	e.sc.Reset(e.dg.NumDoors(), e.dg.NumUnits())
+	if !e.full {
+		for _, id := range unitIDs {
+			if s := e.dg.UnitSlot(id); s >= 0 {
+				e.sc.Mark(s)
+			}
 		}
-		return n
+		if s := e.dg.UnitSlot(e.qUnit.ID); s >= 0 {
+			e.sc.Mark(s)
+		}
 	}
-	for _, uid := range units {
-		u := e.idx.Unit(uid)
-		if u == nil {
+	for _, d := range e.qUnit.Doors {
+		gid := e.dg.DoorID(d)
+		if gid < 0 {
 			continue
 		}
-		for _, a := range u.Doors {
-			if !a.CanEnter(u) {
-				continue
-			}
-			na := nodeOf(a)
-			for _, b := range u.Doors {
-				if b == a {
-					continue
-				}
-				g.AddEdge(na, nodeOf(b), u.WalkDist(a.Position(), b.Position()))
-			}
+		w := e.qUnit.WalkDist(e.q, d.Position())
+		if w <= bound && e.sc.Improve(gid, w) {
+			e.sc.Push(gid, w)
 		}
 	}
-	var sources []graph.Source
-	for _, b := range e.qUnit.Doors {
-		sources = append(sources, graph.Source{
-			Node: nodeOf(b),
-			Dist: e.qUnit.WalkDist(e.q, b.Position()),
-		})
+	e.dg.Graph().Dijkstra(e.sc, bound, !e.full)
+}
+
+// Close releases the engine's pooled scratch storage. The engine must not
+// be used afterwards; Close is idempotent and safe on a nil engine.
+func (e *Engine) Close() {
+	if e == nil || e.sc == nil {
+		return
 	}
-	e.dist = g.Dijkstra(sources, bound)
+	e.sc.Release()
+	e.sc = nil
 }
 
 // Full reports whether the engine covers every unit.
@@ -148,11 +140,20 @@ func (e *Engine) QueryUnit() *index.Unit { return e.qUnit }
 // DoorDist returns the indoor distance from the query point to a door
 // (+Inf when the door is outside the engine's unit set or unreachable).
 func (e *Engine) DoorDist(d *index.DoorRef) float64 {
-	n, ok := e.node[d]
-	if !ok {
+	n := e.dg.DoorID(d)
+	if n < 0 {
 		return math.Inf(1)
 	}
-	return e.dist[n]
+	return e.sc.Dist(n)
+}
+
+// inUnitSet reports whether a unit belongs to the engine's restricted set.
+func (e *Engine) inUnitSet(id index.UnitID) bool {
+	if e.full {
+		return true
+	}
+	s := e.dg.UnitSlot(id)
+	return s >= 0 && e.sc.Marked(s)
 }
 
 // PointDist returns the indoor distance |q, p|I to a fixed point. The
@@ -168,7 +169,7 @@ func (e *Engine) PointDist(p indoor.Position) (float64, bool) {
 	if u.ID == e.qUnit.ID {
 		best = u.WalkDist(e.q, p)
 	}
-	complete := e.full || e.inSet[u.ID]
+	complete := e.inUnitSet(u.ID)
 	for _, d := range u.Doors {
 		if !d.CanEnter(u) {
 			continue

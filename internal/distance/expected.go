@@ -2,7 +2,6 @@ package distance
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/index"
@@ -38,6 +37,48 @@ type subEval struct {
 	sub        *index.Subregion
 	prob       float64
 	tmin, tmax float64
+}
+
+// doorW pairs an enterable door with its restricted distance (base, an
+// upper view) and the capped sound lower view.
+type doorW struct {
+	d    *index.DoorRef
+	base float64
+	low  float64
+}
+
+// evalScratch returns the engine's reusable subEval buffer sized to n; the
+// contents are overwritten by the caller. Keeping it on the engine makes
+// per-object bound evaluation allocation-free in the steady state.
+func (e *Engine) evalScratch(n int) []subEval {
+	if cap(e.evalBuf) < n {
+		e.evalBuf = make([]subEval, n)
+	}
+	e.evalBuf = e.evalBuf[:n]
+	return e.evalBuf
+}
+
+// doorScratch is evalScratch's counterpart for per-unit door evaluations.
+func (e *Engine) doorScratch() []doorW {
+	return e.doorBuf[:0]
+}
+
+// sufScratch returns the reusable suffix-maximum buffer sized to n.
+func (e *Engine) sufScratch(n int) []float64 {
+	if cap(e.sufBuf) < n {
+		e.sufBuf = make([]float64, n)
+	}
+	e.sufBuf = e.sufBuf[:n]
+	return e.sufBuf
+}
+
+// sortEvalsByTmin is an allocation-free insertion sort (ascending tmin).
+func sortEvalsByTmin(evals []subEval) {
+	for i := 1; i < len(evals); i++ {
+		for j := i; j > 0 && evals[j].tmin < evals[j-1].tmin; j-- {
+			evals[j], evals[j-1] = evals[j-1], evals[j]
+		}
+	}
 }
 
 // evalSub computes the per-subregion bounds against the cap discipline: for
@@ -104,7 +145,7 @@ func (e *Engine) ObjectBounds(o *object.Object, cap float64) Bounds {
 	if len(subs) == 0 {
 		return Bounds{Lower: math.Inf(1), Upper: math.Inf(1)}
 	}
-	evals := make([]subEval, len(subs))
+	evals := e.evalScratch(len(subs))
 	lo, hi := math.Inf(1), 0.0
 	skel := math.Inf(1)
 	for i := range subs {
@@ -117,7 +158,7 @@ func (e *Engine) ObjectBounds(o *object.Object, cap float64) Bounds {
 		}
 		u := e.idx.Unit(subs[i].Unit)
 		if u != nil {
-			if v := e.idx.Skeleton().MinDistRect(e.q, subs[i].MBR, u.FloorLo, u.FloorHi); v < skel {
+			if v := e.anchor.MinDistRect(subs[i].MBR, u.FloorLo, u.FloorHi); v < skel {
 				skel = v
 			}
 		}
@@ -127,10 +168,13 @@ func (e *Engine) ObjectBounds(o *object.Object, cap float64) Bounds {
 		return b
 	}
 
-	// Probabilistic tightening (Equation 8, strengthened form).
-	sort.Slice(evals, func(i, j int) bool { return evals[i].tmin < evals[j].tmin })
+	// Probabilistic tightening (Equation 8, strengthened form). Subregion
+	// counts are tiny, so an in-place insertion sort avoids the reflection
+	// and closure allocations package sort would add per candidate object.
+	sortEvalsByTmin(evals)
 	m := len(evals)
-	sufMax := make([]float64, m+1)
+	sufMax := e.sufScratch(m + 1)
+	sufMax[m] = 0
 	for i := m - 1; i >= 0; i-- {
 		sufMax[i] = math.Max(sufMax[i+1], evals[i].tmax)
 	}
@@ -212,12 +256,7 @@ func (e *Engine) exactSub(o *object.Object, s *index.Subregion, cap float64) (lo
 	if u == nil {
 		return math.Inf(1), math.Inf(1)
 	}
-	type doorW struct {
-		d    *index.DoorRef
-		base float64 // restricted distance (upper view)
-		low  float64 // min(base, cap): sound lower view
-	}
-	var doors []doorW
+	doors := e.doorScratch()
 	capped := false
 	for _, d := range u.Doors {
 		if !d.CanEnter(u) {
@@ -231,6 +270,7 @@ func (e *Engine) exactSub(o *object.Object, s *index.Subregion, cap float64) (lo
 		}
 		doors = append(doors, doorW{d: d, base: base, low: lowW})
 	}
+	e.doorBuf = doors
 	direct := u.ID == e.qUnit.ID
 
 	if len(doors) == 0 && !direct {

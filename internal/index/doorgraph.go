@@ -1,0 +1,161 @@
+package index
+
+import (
+	"repro/internal/doorgraph"
+)
+
+// DoorGraph is one compiled snapshot of the door-graph tier: the CSR doors
+// graph of internal/doorgraph plus the dense-id translation tables that tie
+// it back to the index's DoorRefs and units. A snapshot is immutable; the
+// epoch it was compiled at decides whether it is still current. Engines
+// hold a snapshot for their whole lifetime, so a recompile never invalidates
+// an in-flight query — it only redirects the next one.
+type DoorGraph struct {
+	epoch uint64
+	g     *doorgraph.Graph
+
+	// doors maps dense door ids back to their references; doorSlot maps a
+	// DoorRef's immutable serial to its dense id (-1 when the door was not
+	// attached at compile time).
+	doors    []*DoorRef
+	doorSlot []int32
+
+	// unitSlot maps UnitID to the dense unit slot edges reference (-1 for
+	// units removed before the compile); unitIDs is the reverse.
+	unitSlot []int32
+	unitIDs  []UnitID
+}
+
+// Graph returns the compiled CSR doors graph.
+func (dg *DoorGraph) Graph() *doorgraph.Graph { return dg.g }
+
+// Epoch returns the topology epoch the snapshot was compiled at.
+func (dg *DoorGraph) Epoch() uint64 { return dg.epoch }
+
+// NumDoors returns the number of door nodes in the snapshot.
+func (dg *DoorGraph) NumDoors() int { return len(dg.doors) }
+
+// NumUnits returns the number of unit slots in the snapshot.
+func (dg *DoorGraph) NumUnits() int { return len(dg.unitIDs) }
+
+// DoorID returns the dense id of a door reference, or -1 when the door is
+// not part of the snapshot.
+func (dg *DoorGraph) DoorID(d *DoorRef) int32 {
+	if d == nil || int(d.serial) >= len(dg.doorSlot) {
+		return -1
+	}
+	return dg.doorSlot[d.serial]
+}
+
+// Door returns the reference of a dense door id.
+func (dg *DoorGraph) Door(id int32) *DoorRef { return dg.doors[id] }
+
+// UnitSlot returns the dense slot of a unit, or -1 when the unit is not
+// part of the snapshot.
+func (dg *DoorGraph) UnitSlot(id UnitID) int32 {
+	if id < 0 || int(id) >= len(dg.unitSlot) {
+		return -1
+	}
+	return dg.unitSlot[id]
+}
+
+// TopoEpoch returns the index's current topology epoch. It advances on
+// every mutation that can change the doors graph (partition insertion or
+// removal, door attach/detach, door closure, split/merge). Callers must
+// hold the read lock.
+func (idx *Index) TopoEpoch() uint64 { return idx.topoEpoch }
+
+// DoorGraph returns the compiled door-graph snapshot for the current
+// topology epoch, recompiling lazily when a mutator has invalidated the
+// cached one. Callers must hold the index's read lock (queries already do),
+// which excludes mutators for the duration; concurrent readers serialise
+// the recompile itself on a side mutex so exactly one of them pays for it.
+func (idx *Index) DoorGraph() *DoorGraph {
+	if dg := idx.doorGraph.Load(); dg != nil && dg.epoch == idx.topoEpoch {
+		return dg
+	}
+	idx.dgMu.Lock()
+	defer idx.dgMu.Unlock()
+	if dg := idx.doorGraph.Load(); dg != nil && dg.epoch == idx.topoEpoch {
+		return dg
+	}
+	dg := idx.compileDoorGraph()
+	idx.doorGraph.Store(dg)
+	return dg
+}
+
+// compileDoorGraph flattens the topological layer into a DoorGraph
+// snapshot: dense unit slots in ascending UnitID order, dense door ids in
+// first-encounter order over that unit order, and one directed CSR edge
+// a→b per unit u and door pair (a, b) with a enterable into u, memoizing
+// the intra-unit walking distance as the edge weight.
+//
+// The unitSlot/doorSlot translation tables are sized by the all-time id
+// counters (UnitIDs and door serials are never reused), so sustained
+// topology churn grows them beyond the live topology: the trade-off buys
+// O(1) id translation without locks or remapping. At int32 table entries
+// this costs 4 bytes per historical unit/door per snapshot — revisit with
+// a compaction pass if a deployment ever churns through millions of
+// partitions.
+func (idx *Index) compileDoorGraph() *DoorGraph {
+	dg := &DoorGraph{
+		epoch:    idx.topoEpoch,
+		unitSlot: make([]int32, idx.nextUnit),
+		doorSlot: make([]int32, idx.nextDoorSerial),
+	}
+	for i := range dg.unitSlot {
+		dg.unitSlot[i] = -1
+	}
+	for i := range dg.doorSlot {
+		dg.doorSlot[i] = -1
+	}
+	dg.unitIDs = make([]UnitID, 0, idx.numUnits)
+	for id, u := range idx.units { // ascending: the registry is id-indexed
+		if u != nil {
+			dg.unitIDs = append(dg.unitIDs, UnitID(id))
+		}
+	}
+	for slot, id := range dg.unitIDs {
+		dg.unitSlot[id] = int32(slot)
+	}
+
+	doorID := func(d *DoorRef) int32 {
+		n := dg.doorSlot[d.serial]
+		if n < 0 {
+			n = int32(len(dg.doors))
+			dg.doorSlot[d.serial] = n
+			dg.doors = append(dg.doors, d)
+		}
+		return n
+	}
+	nEdges := 0
+	for _, id := range dg.unitIDs {
+		u := idx.units[id]
+		for _, d := range u.Doors {
+			doorID(d)
+			if d.CanEnter(u) {
+				nEdges += len(u.Doors) - 1
+			}
+		}
+	}
+
+	b := doorgraph.NewBuilder(len(dg.doors), len(dg.unitIDs))
+	b.Grow(nEdges)
+	for slot, id := range dg.unitIDs {
+		u := idx.units[id]
+		for _, a := range u.Doors {
+			if !a.CanEnter(u) {
+				continue
+			}
+			na := doorID(a)
+			for _, c := range u.Doors {
+				if c == a {
+					continue
+				}
+				b.AddEdge(na, doorID(c), int32(slot), u.WalkDist(a.Position(), c.Position()))
+			}
+		}
+	}
+	dg.g = b.Build()
+	return dg
+}

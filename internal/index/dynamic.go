@@ -35,7 +35,7 @@ func (idx *Index) insertObjectLocked(o *object.Object) error {
 // clearing any previous bucket entries.
 func (idx *Index) indexObject(o *object.Object, locate func(indoor.Position) *Unit) {
 	for _, uid := range idx.oTable[o.ID] {
-		delete(idx.buckets[uid], o.ID)
+		idx.buckets[uid] = removeID(idx.buckets[uid], o.ID)
 	}
 	subs := idx.computeSubregions(o, locate)
 	units := make([]UnitID, len(subs))
@@ -45,12 +45,7 @@ func (idx *Index) indexObject(o *object.Object, locate func(indoor.Position) *Un
 	idx.subregions[o.ID] = subs
 	idx.oTable[o.ID] = units
 	for _, uid := range units {
-		b := idx.buckets[uid]
-		if b == nil {
-			b = make(map[object.ID]bool)
-			idx.buckets[uid] = b
-		}
-		b[o.ID] = true
+		idx.buckets[uid] = insertID(idx.buckets[uid], o.ID)
 	}
 }
 
@@ -67,7 +62,7 @@ func (idx *Index) deleteObjectLocked(id object.ID) error {
 		return fmt.Errorf("index: no object %d", id)
 	}
 	for _, uid := range units {
-		delete(idx.buckets[uid], id)
+		idx.buckets[uid] = removeID(idx.buckets[uid], id)
 	}
 	delete(idx.oTable, id)
 	delete(idx.subregions, id)
@@ -156,6 +151,15 @@ func (idx *Index) moveObjectLocked(o *object.Object) error {
 func (idx *Index) AddPartition(pid indoor.PartitionID) error {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
+	// Validate before bumping the epoch so a rejected call does not force
+	// the next query into a pointless door-graph recompile.
+	if idx.b.Partition(pid) == nil {
+		return fmt.Errorf("index: no partition %d in building", pid)
+	}
+	if len(idx.partUnits[pid]) > 0 {
+		return fmt.Errorf("index: partition %d already indexed", pid)
+	}
+	idx.topoEpoch++
 	return idx.addPartitionLocked(pid)
 }
 
@@ -201,6 +205,7 @@ func (idx *Index) RemovePartition(pid indoor.PartitionID) error {
 	if p == nil {
 		return fmt.Errorf("index: no partition %d", pid)
 	}
+	idx.topoEpoch++
 	wasStair := p.Kind == indoor.Staircase
 	affected := idx.unindexPartitionKeepBuilding(pid)
 	if err := idx.b.RemovePartition(pid); err != nil {
@@ -226,6 +231,7 @@ func (idx *Index) AttachDoor(did indoor.DoorID) error {
 	if idx.doorRefs[did] != nil {
 		return fmt.Errorf("index: door %d already attached", did)
 	}
+	idx.topoEpoch++
 	if err := idx.attachDoor(d); err != nil {
 		return err
 	}
@@ -239,6 +245,10 @@ func (idx *Index) AttachDoor(did indoor.DoorID) error {
 func (idx *Index) DetachDoor(did indoor.DoorID) {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
+	if idx.b.Door(did) == nil && idx.doorRefs[did] == nil {
+		return // unknown door: nothing to detach, keep the epoch
+	}
+	idx.topoEpoch++
 	d := idx.b.Door(did)
 	wasEntrance := d != nil && staircaseSide(idx.b, d) != indoor.NoPartition
 	idx.detachDoor(did)
@@ -270,14 +280,19 @@ func (idx *Index) detachDoor(did indoor.DoorID) {
 	delete(idx.doorRefs, did)
 }
 
-// SetDoorClosed toggles a door's availability. Closure is evaluated lazily
-// by DoorRef.CanEnter, so no structural maintenance is needed — exactly the
-// benefit of indexing without distance pre-computation. The write lock is
-// still required: queries read the closure flag through CanEnter.
+// SetDoorClosed toggles a door's availability. The topological layer needs
+// no structural maintenance (CanEnter evaluates the flag lazily), but the
+// compiled door-graph tier bakes enterability into its edges, so the epoch
+// advances and the next query recompiles. The write lock is still
+// required: queries read the closure flag through CanEnter.
 func (idx *Index) SetDoorClosed(did indoor.DoorID, closed bool) error {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
-	return idx.b.SetDoorClosed(did, closed)
+	if err := idx.b.SetDoorClosed(did, closed); err != nil {
+		return err
+	}
+	idx.topoEpoch++
+	return nil
 }
 
 // SplitPartition mounts a sliding wall through an indexed partition and
@@ -286,6 +301,11 @@ func (idx *Index) SetDoorClosed(did indoor.DoorID, closed bool) error {
 func (idx *Index) SplitPartition(pid indoor.PartitionID, alongX bool, at float64) (a, b indoor.PartitionID, err error) {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
+	// The epoch must advance even when the split is rejected: the
+	// partition is unindexed before validation and the restore path
+	// re-creates its units under fresh ids, which a cached door-graph
+	// snapshot would not know.
+	idx.topoEpoch++
 	affected := idx.unindexPartitionKeepBuilding(pid)
 	pa, pb, err := idx.b.SplitPartition(pid, alongX, at)
 	if err != nil {
@@ -310,6 +330,10 @@ func (idx *Index) SplitPartition(pid indoor.PartitionID, alongX bool, at float64
 func (idx *Index) MergePartitions(pa, pb indoor.PartitionID) (indoor.PartitionID, error) {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
+	// Like SplitPartition, the epoch advances unconditionally: both sides
+	// are unindexed before validation and restored under fresh unit ids on
+	// failure.
+	idx.topoEpoch++
 	affected := idx.unindexPartitionKeepBuilding(pa)
 	affected = append(affected, idx.unindexPartitionKeepBuilding(pb)...)
 	merged, err := idx.b.MergePartitions(pa, pb)
@@ -345,7 +369,7 @@ func (idx *Index) unindexPartitionKeepBuilding(pid indoor.PartitionID) []object.
 	for _, uid := range idx.partUnits[pid] {
 		u := idx.units[uid]
 		idx.tree.Delete(idx.unitBox(u), int(uid))
-		for oid := range idx.buckets[uid] {
+		for _, oid := range idx.buckets[uid] {
 			idx.oTable[oid] = removeUnit(idx.oTable[oid], uid)
 			if !seen[oid] {
 				seen[oid] = true
@@ -354,7 +378,8 @@ func (idx *Index) unindexPartitionKeepBuilding(pid indoor.PartitionID) []object.
 		}
 		delete(idx.buckets, uid)
 		delete(idx.hTable, uid)
-		delete(idx.units, uid)
+		idx.units[uid] = nil
+		idx.numUnits--
 	}
 	delete(idx.partUnits, pid)
 	delete(idx.virtualRefs, pid)
@@ -379,6 +404,34 @@ func removeUnit(list []UnitID, uid UnitID) []UnitID {
 		}
 	}
 	return list
+}
+
+// insertID adds id to a sorted bucket slice, keeping ascending order; a
+// duplicate insert is a no-op.
+func insertID(list []object.ID, id object.ID) []object.ID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	if i < len(list) && list[i] == id {
+		return list
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = id
+	return list
+}
+
+// removeID deletes id from a sorted bucket slice if present.
+func removeID(list []object.ID, id object.ID) []object.ID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	if i < len(list) && list[i] == id {
+		return append(list[:i], list[i+1:]...)
+	}
+	return list
+}
+
+// bucketHas reports sorted-bucket membership.
+func bucketHas(list []object.ID, id object.ID) bool {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	return i < len(list) && list[i] == id
 }
 
 // CheckInvariants validates cross-layer consistency for tests: h-table and
@@ -413,7 +466,7 @@ func (idx *Index) CheckInvariants() error {
 	}
 	for oid, list := range idx.oTable {
 		for _, uid := range list {
-			if !idx.buckets[uid][oid] {
+			if !bucketHas(idx.buckets[uid], oid) {
 				return fmt.Errorf("index: o-table says object %d in unit %d but bucket disagrees", oid, uid)
 			}
 		}
@@ -431,7 +484,10 @@ func (idx *Index) CheckInvariants() error {
 		}
 	}
 	for uid, bucket := range idx.buckets {
-		for oid := range bucket {
+		if !sort.SliceIsSorted(bucket, func(i, j int) bool { return bucket[i] < bucket[j] }) {
+			return fmt.Errorf("index: bucket %d is not sorted", uid)
+		}
+		for _, oid := range bucket {
 			found := false
 			for _, u := range idx.oTable[oid] {
 				if u == uid {
@@ -445,6 +501,9 @@ func (idx *Index) CheckInvariants() error {
 		}
 	}
 	for _, u := range idx.units {
+		if u == nil {
+			continue
+		}
 		for _, d := range u.Doors {
 			if d.U1 != u.ID && d.U2 != u.ID {
 				return fmt.Errorf("index: unit %d lists foreign door ref", u.ID)
@@ -455,13 +514,13 @@ func (idx *Index) CheckInvariants() error {
 	idx.tree.Search(
 		func(geom.Rect3) bool { return true },
 		func(id int, _ geom.Rect3) {
-			if idx.units[UnitID(id)] != nil {
+			if idx.unitAt(UnitID(id)) != nil {
 				count++
 			}
 		},
 	)
-	if count != len(idx.units) {
-		return fmt.Errorf("index: tree holds %d live units, map has %d", count, len(idx.units))
+	if count != idx.numUnits {
+		return fmt.Errorf("index: tree holds %d live units, registry has %d", count, idx.numUnits)
 	}
 	return nil
 }

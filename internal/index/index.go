@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -76,6 +77,10 @@ type DoorRef struct {
 	Real  *indoor.Door // nil for virtual doors
 	U1    UnitID
 	U2    UnitID // NoUnit for exterior doors
+
+	// serial is the reference's immutable creation number, the key the
+	// door-graph tier translates to dense ids. Never reused.
+	serial int32
 }
 
 // Virtual reports whether the reference is a decomposition-internal door.
@@ -139,6 +144,10 @@ type BuildStats struct {
 	TopoLayer    time.Duration
 	ObjectLayer  time.Duration
 	SkeletonTier time.Duration
+	// DoorGraph is the door-graph tier compile time. It is excluded from
+	// Total, which reports the paper's four layers; the compiled graph is a
+	// derived cache the paper's index does not carry.
+	DoorGraph time.Duration
 }
 
 // Total returns the full construction time.
@@ -165,7 +174,11 @@ type Index struct {
 	b    *indoor.Building
 	opts Options
 
-	units    map[UnitID]*Unit
+	// units is indexed by UnitID (ids are dense and never reused; removed
+	// units leave nil holes), so the query hot path resolves units without
+	// map hashing. numUnits counts the live entries.
+	units    []*Unit
+	numUnits int
 	nextUnit UnitID
 	tree     *rtree.Tree
 
@@ -179,14 +192,24 @@ type Index struct {
 	doorRefs    map[indoor.DoorID]*DoorRef
 	virtualRefs map[indoor.PartitionID][]*DoorRef
 
-	// Object layer: o-table, per-unit buckets (§III-A.3) and the cached
+	// Object layer: o-table, per-unit buckets (§III-A.3, kept as ascending
+	// id slices so queries iterate them without allocating) and the cached
 	// subregion split of every object (§II-B).
 	objects    *object.Store
 	oTable     map[object.ID][]UnitID
-	buckets    map[UnitID]map[object.ID]bool
+	buckets    map[UnitID][]object.ID
 	subregions map[object.ID][]Subregion
 
 	skeleton *Skeleton
+
+	// Door-graph tier: nextDoorSerial numbers DoorRefs at creation;
+	// topoEpoch advances on every topology mutation; doorGraph caches the
+	// snapshot compiled at some epoch (recompiled lazily when stale, the
+	// recompile serialised on dgMu).
+	nextDoorSerial int32
+	topoEpoch      uint64
+	dgMu           sync.Mutex
+	doorGraph      atomic.Pointer[DoorGraph]
 }
 
 // Build constructs the composite index over the building and object set,
@@ -196,14 +219,13 @@ func Build(b *indoor.Building, objs []*object.Object, opts Options) (*Index, Bui
 	idx := &Index{
 		b:           b,
 		opts:        opts,
-		units:       make(map[UnitID]*Unit),
 		hTable:      make(map[UnitID]indoor.PartitionID),
 		partUnits:   make(map[indoor.PartitionID][]UnitID),
 		doorRefs:    make(map[indoor.DoorID]*DoorRef),
 		virtualRefs: make(map[indoor.PartitionID][]*DoorRef),
 		objects:     object.NewStore(),
 		oTable:      make(map[object.ID][]UnitID),
-		buckets:     make(map[UnitID]map[object.ID]bool),
+		buckets:     make(map[UnitID][]object.ID),
 		subregions:  make(map[object.ID][]Subregion),
 	}
 	var stats BuildStats
@@ -247,6 +269,13 @@ func Build(b *indoor.Building, objs []*object.Object, opts Options) (*Index, Bui
 	}
 	stats.ObjectLayer = time.Since(start)
 
+	// Door-graph tier: compile the static doors graph once so the first
+	// query pays no compile latency. Mutators bump topoEpoch to invalidate.
+	start = time.Now()
+	idx.topoEpoch = 1
+	idx.doorGraph.Store(idx.compileDoorGraph())
+	stats.DoorGraph = time.Since(start)
+
 	return idx, stats, nil
 }
 
@@ -279,7 +308,8 @@ func (idx *Index) makeUnits(p *indoor.Partition) []*Unit {
 			stairLen: p.StairLength,
 		}
 		idx.nextUnit++
-		idx.units[u.ID] = u
+		idx.units = append(idx.units, u)
+		idx.numUnits++
 		idx.hTable[u.ID] = p.ID
 		idx.partUnits[p.ID] = append(idx.partUnits[p.ID], u.ID)
 		units = append(units, u)
@@ -310,7 +340,8 @@ func (idx *Index) linkSiblingUnits(pid indoor.PartitionID) {
 	floor := idx.units[ids[0]].FloorLo
 	for _, l := range indoor.UnitAdjacency(rects) {
 		ua, ub := idx.units[ids[l.I]], idx.units[ids[l.J]]
-		ref := &DoorRef{Pos: l.Mid, Floor: floor, U1: ua.ID, U2: ub.ID}
+		ref := &DoorRef{Pos: l.Mid, Floor: floor, U1: ua.ID, U2: ub.ID, serial: idx.nextDoorSerial}
+		idx.nextDoorSerial++
 		ua.Doors = append(ua.Doors, ref)
 		ub.Doors = append(ub.Doors, ref)
 		idx.virtualRefs[pid] = append(idx.virtualRefs[pid], ref)
@@ -332,7 +363,8 @@ func (idx *Index) attachDoor(d *indoor.Door) error {
 		}
 		u2 = u.ID
 	}
-	ref := &DoorRef{Pos: d.Pos, Floor: d.Floor, Real: d, U1: u1.ID, U2: u2}
+	ref := &DoorRef{Pos: d.Pos, Floor: d.Floor, Real: d, U1: u1.ID, U2: u2, serial: idx.nextDoorSerial}
+	idx.nextDoorSerial++
 	u1.Doors = append(u1.Doors, ref)
 	if u2 != NoUnit {
 		idx.units[u2].Doors = append(idx.units[u2].Doors, ref)
@@ -368,10 +400,19 @@ func (idx *Index) Objects() *object.Store { return idx.objects }
 func (idx *Index) Skeleton() *Skeleton { return idx.skeleton }
 
 // Unit returns the unit with the given id, or nil.
-func (idx *Index) Unit(id UnitID) *Unit { return idx.units[id] }
+func (idx *Index) Unit(id UnitID) *Unit { return idx.unitAt(id) }
+
+// unitAt resolves a UnitID against the dense unit slice (nil for removed
+// or out-of-range ids).
+func (idx *Index) unitAt(id UnitID) *Unit {
+	if id < 0 || int(id) >= len(idx.units) {
+		return nil
+	}
+	return idx.units[id]
+}
 
 // NumUnits returns the number of index units.
-func (idx *Index) NumUnits() int { return len(idx.units) }
+func (idx *Index) NumUnits() int { return idx.numUnits }
 
 // TreeHeight exposes the tree tier's height (diagnostics).
 func (idx *Index) TreeHeight() int { return idx.tree.Height() }
@@ -387,20 +428,30 @@ func (idx *Index) UnitsOf(pid indoor.PartitionID) []UnitID {
 }
 
 // ObjectUnits implements the o-table lookup: the units an object's
-// instances occupy.
+// instances occupy. The slice is a copy.
 func (idx *Index) ObjectUnits(id object.ID) []UnitID {
 	return append([]UnitID(nil), idx.oTable[id]...)
 }
 
-// BucketObjects returns the ids in a unit's object bucket, ascending.
+// ObjectUnitsView is ObjectUnits without the copy. The slice is owned by
+// the index: callers must hold the read lock and must not modify or retain
+// it.
+func (idx *Index) ObjectUnitsView(id object.ID) []UnitID {
+	return idx.oTable[id]
+}
+
+// BucketObjects returns a copy of the ids in a unit's object bucket,
+// ascending.
 func (idx *Index) BucketObjects(u UnitID) []object.ID {
-	bucket := idx.buckets[u]
-	out := make([]object.ID, 0, len(bucket))
-	for id := range bucket {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]object.ID(nil), idx.buckets[u]...)
+}
+
+// BucketObjectsView returns the ids in a unit's object bucket, ascending.
+// The slice is owned by the index: callers must hold the read lock for the
+// duration of use and must not modify or retain it. The query hot path uses
+// this accessor to iterate buckets without copying.
+func (idx *Index) BucketObjectsView(u UnitID) []object.ID {
+	return idx.buckets[u]
 }
 
 // LocateUnit finds the index unit containing pos through the tree tier

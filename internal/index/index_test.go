@@ -105,9 +105,9 @@ func TestTopologicalLayerConnectivity(t *testing.T) {
 	b := mall(t, 2)
 	idx := buildIdx(t, b, nil)
 	start := UnitID(-1)
-	for uid := range idx.units {
-		if start == -1 || uid < start {
-			start = uid
+	for uid, u := range idx.units {
+		if u != nil && (start == -1 || UnitID(uid) < start) {
+			start = UnitID(uid)
 		}
 	}
 	visited := map[UnitID]bool{start: true}

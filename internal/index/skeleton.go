@@ -6,6 +6,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/indoor"
+	"repro/internal/object"
 )
 
 // Skeleton is the skeleton tier of §III-A.5: a small graph whose nodes are
@@ -140,6 +141,90 @@ func (sk *Skeleton) MinDistRect(q indoor.Position, r geom.Rect, lo, hi int) floa
 	return best
 }
 
+// SkelAnchor caches one query position's skeleton reachability: for every
+// entrance j, the cheapest cost of reaching j from q through the skeleton
+// (min over same-floor entrances i of |q, e_i| + Ms2s[i, j]). Anchoring
+// turns every subsequent Equation 10 evaluation from a double loop over
+// entrance pairs into a single loop over the target floor's entrances —
+// the filtering phase evaluates the bound against thousands of tree boxes
+// per query, so the factor matters. The anchor snapshots the skeleton it
+// was created from and must be used under the same read lock span (or,
+// like the query processors, within one query evaluation).
+type SkelAnchor struct {
+	sk *Skeleton
+	q  indoor.Position
+	to []float64 // per entrance: cheapest q→entrance route, +Inf if none
+}
+
+// NewSkelAnchor anchors q against the current skeleton tier.
+func (idx *Index) NewSkelAnchor(q indoor.Position) *SkelAnchor {
+	sk := idx.skeleton
+	a := &SkelAnchor{sk: sk, q: q, to: make([]float64, len(sk.entrances))}
+	for j := range a.to {
+		a.to[j] = math.Inf(1)
+	}
+	for _, i := range sk.byFloor[q.Floor] {
+		base := q.Pt.DistTo(sk.entrances[i].pos)
+		for j := range a.to {
+			if d := base + sk.m[i][j]; d < a.to[j] {
+				a.to[j] = d
+			}
+		}
+	}
+	return a
+}
+
+// MinDistRect is Skeleton.MinDistRect evaluated through the anchor; the
+// two agree exactly.
+func (a *SkelAnchor) MinDistRect(r geom.Rect, lo, hi int) float64 {
+	if a.q.Floor >= lo && a.q.Floor <= hi {
+		return r.MinDist(a.q.Pt)
+	}
+	best := math.Inf(1)
+	for _, f := range []int{lo, hi} {
+		for _, j := range a.sk.byFloor[f] {
+			if a.to[j] >= best {
+				continue
+			}
+			if d := a.to[j] + r.MinDist(a.sk.entrances[j].pos); d < best {
+				best = d
+			}
+		}
+		if lo == hi {
+			break
+		}
+	}
+	return best
+}
+
+// MinDistBox evaluates Equation 10 against a tree-tier box through the
+// anchor (the anchored MinSkelDistBox).
+func (idx *Index) AnchorMinDistBox(a *SkelAnchor, b geom.Rect3) float64 {
+	lo, hi := idx.FloorsOfBox(b)
+	return a.MinDistRect(b.Rect, lo, hi)
+}
+
+// AnchorMinDistUnit evaluates Equation 10 against an index unit through
+// the anchor.
+func (idx *Index) AnchorMinDistUnit(a *SkelAnchor, u *Unit) float64 {
+	return a.MinDistRect(u.Rect, u.FloorLo, u.FloorHi)
+}
+
+// AnchorObjectMinSkel is ObjectMinSkel through the anchor.
+func (idx *Index) AnchorObjectMinSkel(a *SkelAnchor, id object.ID) float64 {
+	best := math.Inf(1)
+	for _, s := range idx.subregions[id] {
+		u := idx.units[s.Unit]
+		if u == nil {
+			continue
+		}
+		if v := a.MinDistRect(s.MBR, u.FloorLo, u.FloorHi); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
 // MinSkelDistBox evaluates Equation 10 against a tree-tier box.
 func (idx *Index) MinSkelDistBox(q indoor.Position, b geom.Rect3) float64 {
 	lo, hi := idx.FloorsOfBox(b)
@@ -158,10 +243,13 @@ func (idx *Index) SkeletonDist(q, p indoor.Position) float64 {
 
 // RebuildSkeleton recomputes the skeleton tier; the index calls this
 // automatically after topological updates that involve staircases, and
-// callers may invoke it after out-of-band building mutations.
+// callers may invoke it after out-of-band building mutations. Because an
+// out-of-band mutation may also have changed doors, the topology epoch
+// advances so the door-graph tier recompiles too.
 func (idx *Index) RebuildSkeleton() {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
+	idx.topoEpoch++
 	idx.rebuildSkeletonLocked()
 }
 

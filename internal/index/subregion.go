@@ -104,9 +104,12 @@ func (idx *Index) MultiPartition(id object.ID) bool {
 	if len(subs) < 2 {
 		return false
 	}
-	first := idx.hTable[subs[0].Unit]
+	u0 := idx.unitAt(subs[0].Unit)
+	if u0 == nil {
+		return false
+	}
 	for _, s := range subs[1:] {
-		if idx.hTable[s.Unit] != first {
+		if u := idx.unitAt(s.Unit); u != nil && u.Part != u0.Part {
 			return true
 		}
 	}

@@ -187,21 +187,42 @@ func PointObject(id ID, pos indoor.Position) *Object {
 // Store is an id-addressed collection of objects with deterministic
 // iteration order. It is the backing container of the composite index's
 // object layer.
+//
+// Every live object also carries a dense *slot index* in [0, SlotBound()):
+// slots are assigned at insertion, recycled on removal, and stay put while
+// the object lives. Query processors key per-query visited stamps by slot,
+// so the stamp arrays stay proportional to the number of live objects even
+// when the ID space is sparse.
 type Store struct {
-	objs map[ID]*Object
-	next ID
+	objs  map[ID]*Object
+	slots map[ID]int32
+	free  []int32
+	nSlot int32
+	next  ID
 }
 
 // NewStore returns an empty store.
-func NewStore() *Store { return &Store{objs: make(map[ID]*Object)} }
+func NewStore() *Store {
+	return &Store{objs: make(map[ID]*Object), slots: make(map[ID]int32)}
+}
 
 // Add inserts o, assigning it the next free ID when o.ID is negative.
+// Re-adding a live id replaces the object and keeps its slot.
 func (s *Store) Add(o *Object) ID {
 	if o.ID < 0 {
 		o.ID = s.next
 	}
 	if o.ID >= s.next {
 		s.next = o.ID + 1
+	}
+	if _, ok := s.slots[o.ID]; !ok {
+		if n := len(s.free); n > 0 {
+			s.slots[o.ID] = s.free[n-1]
+			s.free = s.free[:n-1]
+		} else {
+			s.slots[o.ID] = s.nSlot
+			s.nSlot++
+		}
 	}
 	s.objs[o.ID] = o
 	return o.ID
@@ -210,12 +231,25 @@ func (s *Store) Add(o *Object) ID {
 // Get returns the object with the given id, or nil.
 func (s *Store) Get(id ID) *Object { return s.objs[id] }
 
+// SlotOf returns the dense slot index of a live object, or -1.
+func (s *Store) SlotOf(id ID) int32 {
+	if slot, ok := s.slots[id]; ok {
+		return slot
+	}
+	return -1
+}
+
+// SlotBound returns an exclusive upper bound on live slot indices.
+func (s *Store) SlotBound() int { return int(s.nSlot) }
+
 // Remove deletes the object with the given id and reports whether it
-// existed.
+// existed. Its slot is recycled for a future insertion.
 func (s *Store) Remove(id ID) bool {
 	if _, ok := s.objs[id]; !ok {
 		return false
 	}
+	s.free = append(s.free, s.slots[id])
+	delete(s.slots, id)
 	delete(s.objs, id)
 	return true
 }

@@ -48,9 +48,19 @@ type standingQuery struct {
 	q       indoor.Position
 	r       float64
 	unitSet map[index.UnitID]bool
+	anchor  *index.SkelAnchor
 	eng     *distance.Engine
 	rf      *refiner
 	members map[object.ID]bool
+}
+
+// release returns the standing query's cached engines to the scratch pool.
+func (s *standingQuery) release() {
+	s.eng.Close()
+	if s.rf != nil {
+		s.rf.Close()
+	}
+	s.eng, s.rf = nil, nil
 }
 
 // Event reports one membership change of a standing query.
@@ -81,6 +91,10 @@ func (m *Monitor) Register(q indoor.Position, r float64) (int, []object.ID, erro
 
 // refresh re-runs the filtering and subgraph phases for a standing query
 // and re-evaluates every candidate object, under the index's read lock.
+// The previous cached engines (phase and escalation) release their pooled
+// scratch only after the new engine exists, so a failed refresh (e.g. the
+// query point's partition was removed) leaves the old engines in place
+// instead of a nil engine that would panic on the next reconcile.
 func (m *Monitor) refresh(s *standingQuery) error {
 	m.p.idx.RLock()
 	defer m.p.idx.RUnlock()
@@ -89,10 +103,12 @@ func (m *Monitor) refresh(s *standingQuery) error {
 	if err != nil {
 		return err
 	}
+	s.release()
 	s.unitSet = make(map[index.UnitID]bool, len(units))
 	for _, u := range units {
 		s.unitSet[u] = true
 	}
+	s.anchor = m.p.anchor(s.q)
 	s.eng = eng
 	s.rf = &refiner{p: m.p, q: s.q, r: s.r, eng: eng, stats: &Stats{}}
 	s.members = make(map[object.ID]bool)
@@ -118,7 +134,7 @@ func (m *Monitor) evalObject(s *standingQuery, oid object.ID) (bool, error) {
 	// The object must touch the candidate footprint at all (Lemma 6
 	// guarantees objects fully outside it are beyond r).
 	touches := false
-	for _, u := range m.p.idx.ObjectUnits(oid) {
+	for _, u := range m.p.idx.ObjectUnitsView(oid) {
 		if s.unitSet[u] {
 			touches = true
 			break
@@ -127,7 +143,7 @@ func (m *Monitor) evalObject(s *standingQuery, oid object.ID) (bool, error) {
 	if !touches {
 		return false, nil
 	}
-	if m.p.objectBound(s.q, oid) > s.r {
+	if m.p.objectBound(s.anchor, s.q, oid) > s.r {
 		return false, nil
 	}
 	b := s.eng.ObjectBounds(o, s.r)
@@ -145,9 +161,11 @@ func (m *Monitor) evalObject(s *standingQuery, oid object.ID) (bool, error) {
 func (m *Monitor) Unregister(id int) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.standing[id]; !ok {
+	s, ok := m.standing[id]
+	if !ok {
 		return false
 	}
+	s.release()
 	delete(m.standing, id)
 	return true
 }

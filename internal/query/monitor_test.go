@@ -172,3 +172,37 @@ func TestMonitorUnregister(t *testing.T) {
 		t.Error("standing count wrong")
 	}
 }
+
+// A refresh that fails (the standing query's partition was removed) must
+// leave the old cached engines in place: later reconciles use them instead
+// of panicking on a nil engine.
+func TestMonitorSurvivesFailedRefresh(t *testing.T) {
+	f := newFixture(t, 1, 100, 5)
+	m := NewMonitor(f.idx, Options{})
+	q := gen.QueryPoints(f.b, 1, 607)[0]
+	if _, _, err := m.Register(q, 60); err != nil {
+		t.Fatal(err)
+	}
+	pid := f.idx.LocatePartition(q)
+	if pid == indoor.NoPartition {
+		t.Fatal("query point not locatable")
+	}
+	if err := f.idx.RemovePartition(pid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.InvalidateTopology(); err == nil {
+		t.Fatal("refresh over a removed query partition must error")
+	}
+	for _, s := range m.standing {
+		if s.eng == nil {
+			t.Fatal("failed refresh dropped the cached engine")
+		}
+	}
+	// The standing query is stale but must stay usable: object updates
+	// keep flowing through reconcile without a crash.
+	for _, o := range f.objs {
+		if _, err := m.ObjectMoved(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package query
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/distance"
 	"repro/internal/geom"
+	"repro/internal/graph"
 	"repro/internal/index"
 	"repro/internal/indoor"
 	"repro/internal/object"
@@ -93,39 +95,67 @@ func New(idx *index.Index, opts Options) *Processor {
 	return &Processor{idx: idx, opts: opts}
 }
 
-// geomBound returns the geometric lower bound used by the filtering phase:
-// Equation 10 by default, plain 3D Euclidean under the ablation.
-func (p *Processor) geomBound(q indoor.Position, box geom.Rect3) float64 {
+// Warm ensures the index's door-graph tier is compiled for the current
+// topology epoch, so the first query after a topology change does not pay
+// the recompile inside its own latency. The serving layer calls this once
+// per batch; it is cheap when the graph is already current.
+func (p *Processor) Warm() {
+	p.idx.RLock()
+	defer p.idx.RUnlock()
+	p.idx.DoorGraph()
+}
+
+// anchor prepares the per-query skeleton anchor the geometric bounds
+// evaluate through (nil under the skeleton ablation, which uses Euclidean
+// bounds instead).
+func (p *Processor) anchor(q indoor.Position) *index.SkelAnchor {
 	if p.opts.DisableSkeleton {
+		return nil
+	}
+	return p.idx.NewSkelAnchor(q)
+}
+
+// geomBound returns the geometric lower bound used by the filtering phase:
+// Equation 10 (through the query's anchor) by default, plain 3D Euclidean
+// under the ablation.
+func (p *Processor) geomBound(a *index.SkelAnchor, q indoor.Position, box geom.Rect3) float64 {
+	if a == nil {
 		qz := geom.Pt3(q.Pt.X, q.Pt.Y, p.idx.Building().Elevation(q.Floor))
 		return box.MinDist3(qz)
 	}
-	return p.idx.MinSkelDistBox(q, box)
+	return p.idx.AnchorMinDistBox(a, box)
 }
 
 // objectBound is the object-level geometric lower bound.
-func (p *Processor) objectBound(q indoor.Position, id object.ID) float64 {
-	if p.opts.DisableSkeleton {
+func (p *Processor) objectBound(a *index.SkelAnchor, q indoor.Position, id object.ID) float64 {
+	if a == nil {
 		return p.idx.ObjectMinEuclid3(q, id)
 	}
-	return p.idx.ObjectMinSkel(q, id)
+	return p.idx.AnchorObjectMinSkel(a, id)
 }
 
 // rangeSearch is Algorithm 4: it walks the tree tier pruning with the
 // geometric lower bound, returning the candidate units Rp and candidate
-// objects Ro.
+// objects Ro. The cross-unit seen-set is a pooled visited stamp keyed by
+// the object store's slot index, so the walk allocates no per-query map.
 func (p *Processor) rangeSearch(q indoor.Position, r float64) (units []index.UnitID, objs []object.ID) {
-	seen := make(map[object.ID]bool)
+	store := p.idx.Objects()
+	sc := graph.AcquireScratch()
+	defer sc.Release()
+	sc.Reset(0, store.SlotBound())
+	a := p.anchor(q)
 	p.idx.SearchTree(
-		func(box geom.Rect3) bool { return p.geomBound(q, box) <= r },
+		func(box geom.Rect3) bool { return p.geomBound(a, q, box) <= r },
 		func(u *index.Unit) {
 			units = append(units, u.ID)
-			for _, oid := range p.idx.BucketObjects(u.ID) {
-				if !seen[oid] {
-					seen[oid] = true
-					if p.objectBound(q, oid) <= r {
-						objs = append(objs, oid)
-					}
+			for _, oid := range p.idx.BucketObjectsView(u.ID) {
+				slot := store.SlotOf(oid)
+				if slot < 0 || sc.Marked(slot) {
+					continue
+				}
+				sc.Mark(slot)
+				if p.objectBound(a, q, oid) <= r {
+					objs = append(objs, oid)
 				}
 			}
 		},
@@ -138,8 +168,9 @@ func (p *Processor) rangeSearch(q indoor.Position, r float64) (units []index.Uni
 // extended refinement engines without paying the object-side work.
 func (p *Processor) rangeUnits(q indoor.Position, r float64) []index.UnitID {
 	var units []index.UnitID
+	a := p.anchor(q)
 	p.idx.SearchTree(
-		func(box geom.Rect3) bool { return p.geomBound(q, box) <= r },
+		func(box geom.Rect3) bool { return p.geomBound(a, q, box) <= r },
 		func(u *index.Unit) { units = append(units, u.ID) },
 	)
 	return units
@@ -159,6 +190,13 @@ type refiner struct {
 	extR  float64
 	full  *distance.Engine
 	stats *Stats
+}
+
+// Close releases the escalation engines' pooled scratch storage (the phase
+// engine is owned by the caller). Idempotent.
+func (rf *refiner) Close() {
+	rf.ext.Close()
+	rf.full.Close()
 }
 
 func (rf *refiner) ensureExt() error {
@@ -261,6 +299,7 @@ func (p *Processor) RangeQuery(q indoor.Position, r float64) ([]Result, *Stats, 
 	if err != nil {
 		return nil, st, err
 	}
+	defer eng.Close()
 	st.Subgraph = time.Since(start)
 
 	var results []Result
@@ -292,6 +331,7 @@ func (p *Processor) RangeQuery(q indoor.Position, r float64) ([]Result, *Stats, 
 	// far subregions.
 	start = time.Now()
 	rf := &refiner{p: p, q: q, r: r, eng: eng, stats: st}
+	defer rf.Close()
 	for _, oid := range undetermined {
 		o := p.idx.Objects().Get(oid)
 		st.Refined++
@@ -309,6 +349,33 @@ func (p *Processor) RangeQuery(q indoor.Position, r float64) ([]Result, *Stats, 
 	return results, st, nil
 }
 
+// seedFrontier is the kSeedsSelection priority queue: a container/heap of
+// (unit, geometric-bound key) entries popped nearest-first with the
+// deterministic (key, uid) tie-break the old linear scan used.
+type seedFrontier []seedEntry
+
+type seedEntry struct {
+	uid index.UnitID
+	key float64
+}
+
+func (h seedFrontier) Len() int { return len(h) }
+func (h seedFrontier) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].uid < h[j].uid
+}
+func (h seedFrontier) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *seedFrontier) Push(x interface{}) { *h = append(*h, x.(seedEntry)) }
+func (h *seedFrontier) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
 // kSeedsSelection is Algorithm 5: expand units outward from the query
 // point's unit through the topological links (nearest unit first by the
 // geometric bound), collecting bucket objects, until at least k objects are
@@ -320,11 +387,10 @@ func (p *Processor) kSeedsSelection(q indoor.Position, k int) (units []index.Uni
 	if start == nil {
 		return nil, nil, fmt.Errorf("query: point %v is outside every partition", q)
 	}
-	type heapEntry struct {
-		uid index.UnitID
-		key float64
-	}
-	h := []heapEntry{{uid: start.ID, key: 0}}
+	// The seed flood always keys on the skeleton bound (the ablation only
+	// swaps the filtering bound), so anchor unconditionally.
+	anchor := p.idx.NewSkelAnchor(q)
+	h := seedFrontier{{uid: start.ID, key: 0}}
 	queued := map[index.UnitID]bool{start.ID: true}
 	popped := make(map[index.UnitID]bool)
 	seen := make(map[object.ID]bool)
@@ -333,17 +399,7 @@ func (p *Processor) kSeedsSelection(q indoor.Position, k int) (units []index.Uni
 	closed := 0
 
 	for len(h) > 0 && closed < k {
-		// Pop the nearest unit (a linear scan: the frontier stays small
-		// relative to query cost, and determinism matters more).
-		best := 0
-		for i := 1; i < len(h); i++ {
-			if h[i].key < h[best].key ||
-				(h[i].key == h[best].key && h[i].uid < h[best].uid) {
-				best = i
-			}
-		}
-		cur := h[best]
-		h = append(h[:best], h[best+1:]...)
+		cur := heap.Pop(&h).(seedEntry)
 
 		u := p.idx.Unit(cur.uid)
 		if u == nil {
@@ -359,13 +415,13 @@ func (p *Processor) kSeedsSelection(q indoor.Position, k int) (units []index.Uni
 			}
 		}
 		delete(waiting, cur.uid)
-		for _, oid := range p.idx.BucketObjects(cur.uid) {
+		for _, oid := range p.idx.BucketObjectsView(cur.uid) {
 			if seen[oid] {
 				continue
 			}
 			seen[oid] = true
 			rem := 0
-			for _, ou := range p.idx.ObjectUnits(oid) {
+			for _, ou := range p.idx.ObjectUnitsView(oid) {
 				if !popped[ou] {
 					// The flood stays door-connected: the missing unit
 					// will be queued by door expansion, keeping every
@@ -392,7 +448,7 @@ func (p *Processor) kSeedsSelection(q indoor.Position, k int) (units []index.Uni
 				continue
 			}
 			queued[next] = true
-			h = append(h, heapEntry{uid: next, key: p.idx.MinSkelDistUnit(q, nu)})
+			heap.Push(&h, seedEntry{uid: next, key: p.idx.AnchorMinDistUnit(anchor, nu)})
 		}
 	}
 	return units, objs, nil
@@ -432,6 +488,7 @@ func (p *Processor) KNNQuery(q indoor.Position, k int) ([]Result, *Stats, error)
 		for _, oid := range seeds {
 			tlus = append(tlus, seedEng.TLU(p.idx.Objects().Get(oid)))
 		}
+		seedEng.Close()
 		sort.Float64s(tlus)
 		kbound = tlus[k-1]
 	}
@@ -446,6 +503,7 @@ func (p *Processor) KNNQuery(q indoor.Position, k int) ([]Result, *Stats, error)
 	if err != nil {
 		return nil, st, err
 	}
+	defer eng.Close()
 	st.Subgraph = time.Since(start)
 
 	// Phase 3: pruning around the k-th smallest upper bound.
@@ -502,6 +560,7 @@ func (p *Processor) KNNQuery(q indoor.Position, k int) ([]Result, *Stats, error)
 	// ordering uses true expected distances.
 	start = time.Now()
 	rf := &refiner{p: p, q: q, r: kbound, eng: eng, stats: st}
+	defer rf.Close()
 	exact := make([]Result, 0, len(undetermined))
 	for _, oid := range undetermined {
 		o := p.idx.Objects().Get(oid)

@@ -110,13 +110,17 @@ func (p *Pool) KNNBatch(reqs []KNNRequest) ([]Response, Metrics) {
 
 // run distributes n queries over the workers via an atomic cursor: workers
 // claim the next unserved index until the batch drains, which balances
-// load even when query costs vary wildly across the building.
+// load even when query costs vary wildly across the building. Before the
+// fan-out the pool warms the index's door-graph tier once, so a pending
+// topology-epoch recompile is paid up front instead of inside the first
+// worker's query latency.
 func (p *Pool) run(n int, eval func(int) ([]query.Result, *query.Stats, error)) ([]Response, Metrics) {
 	resps := make([]Response, n)
 	workers := p.cfg.workers()
 	if workers > n {
 		workers = n
 	}
+	p.proc.Warm()
 	start := time.Now()
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
