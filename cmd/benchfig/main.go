@@ -17,7 +17,12 @@
 // p50/p99 latency. Run it on multi-core hardware to see the scaling; on
 // one CPU the series is flat by construction. The "hotpath" panel reports
 // the precompiled door-graph tier's size, compile time, single-query
-// serial throughput, and the lazy-recompile cost after a topology change.
+// serial throughput, and the snapshot-republication cost of a topology
+// change. The "mvcc" panel sweeps writer churn rate against batch query
+// p50/p99 under MVCC snapshot isolation: the writer re-reports object
+// positions at a fixed offered rate through coalesced ApplyObjectUpdates
+// ticks while query batches run, reporting reader latency, the sustained
+// update rate, and snapshot swaps per second.
 package main
 
 import (
@@ -26,6 +31,8 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/baseline"
@@ -63,7 +70,7 @@ func main() {
 		{"13a", fig13a}, {"13b", fig13b}, {"13c", fig13c}, {"13d", fig13d},
 		{"14a", fig14a}, {"14b", fig14b}, {"14c", fig14c}, {"14d", fig14d},
 		{"15a", fig15a}, {"15b", fig15b}, {"15c", fig15c}, {"15d", fig15d},
-		{"conc", figConc}, {"hotpath", figHotPath},
+		{"conc", figConc}, {"hotpath", figHotPath}, {"mvcc", figMVCC},
 	}
 	ran := 0
 	for _, p := range panels {
@@ -572,22 +579,107 @@ func figHotPath() error {
 			kind, n, ms(el), float64(n)/el.Seconds())
 	}
 
-	// Lazy-recompile latency: a door toggle invalidates the tier; the next
-	// query pays one compile.
+	// Topology-republication latency: under MVCC a door toggle clones the
+	// topological layer, rebakes enterability and recompiles the doors
+	// graph into a new snapshot before returning — queries never pay for
+	// it, the mutator does. Measure the whole mutation.
 	var door indoor.DoorID = -1
 	for _, d := range f.B.Doors() {
 		door = d.ID
 		break
 	}
 	if door >= 0 {
+		start := time.Now()
 		if err := idx.SetDoorClosed(door, false); err != nil {
 			return err
 		}
+		fmt.Printf("topology mutation incl. graph recompile + snapshot publish: %s ms\n", ms(time.Since(start)))
+	}
+	return nil
+}
+
+// --- MVCC read/write interference (not in the paper) ---
+
+// figMVCC sweeps offered writer churn against batch query latency: the
+// read/write-interference profile of the snapshot-isolated serving layer.
+// Offered churn arrives as coalesced movement ticks (ApplyObjectUpdates,
+// one snapshot swap per tick); batches of range queries run throughout.
+// Reported per churn rate: batch p50/p99, batch throughput, the SUSTAINED
+// update rate (how much of the offered churn the writer absorbed — a
+// global lock sheds load here, snapshot isolation should not), and
+// snapshot swaps per second.
+func figMVCC() error {
+	header(fmt.Sprintf("MVCC — batch query latency vs writer churn (GOMAXPROCS=%d)",
+		runtime.GOMAXPROCS(0)))
+	f, err := bench.Fixture(bench.ServeWorkload())
+	if err != nil {
+		return err
+	}
+	const (
+		tickEvery = 10 * time.Millisecond
+		batch     = 200
+		rounds    = 8
+	)
+	fmt.Printf("%12s %12s %12s %12s %10s %10s\n",
+		"offered/s", "sustained/s", "swaps/sec", "queries/sec", "p50 (ms)", "p99 (ms)")
+	for _, perTick := range []int{0, 10, 50, 200} {
+		offered := perTick * int(time.Second/tickEvery)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var applied atomic.Int64
+		swapsBefore := f.Idx.SnapshotSwaps()
+		if perTick > 0 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				next := time.Now()
+				i := 0
+				ups := make([]index.ObjectUpdate, perTick)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					next = next.Add(tickEvery)
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					for j := range ups {
+						ups[j] = index.ObjectUpdate{Op: index.UpdateMove, Object: f.Objs[(i+j)%len(f.Objs)]}
+					}
+					i += perTick
+					if err := f.Idx.ApplyObjectUpdates(ups); err != nil {
+						return
+					}
+					applied.Add(int64(perTick))
+				}
+			}()
+		}
+		var agg serve.Metrics
 		start := time.Now()
-		idx.RLock()
-		idx.DoorGraph()
-		idx.RUnlock()
-		fmt.Printf("recompile after topology change: %s ms\n", ms(time.Since(start)))
+		for r := 0; r < rounds; r++ {
+			m, err := bench.RunBatchIRQ(f, bench.DefaultRange, batch, 4, query.Options{})
+			if err != nil {
+				close(stop)
+				wg.Wait()
+				return err
+			}
+			if r == 0 || m.P99 > agg.P99 {
+				agg.P99 = m.P99
+			}
+			agg.P50 += m.P50
+			agg.Throughput += m.Throughput
+		}
+		elapsed := time.Since(start)
+		close(stop)
+		wg.Wait()
+		agg.P50 /= time.Duration(rounds)
+		agg.Throughput /= rounds
+		sustained := float64(applied.Load()) / elapsed.Seconds()
+		swapsPerSec := float64(f.Idx.SnapshotSwaps()-swapsBefore) / elapsed.Seconds()
+		fmt.Printf("%12d %12.0f %12.1f %12.0f %s %s\n",
+			offered, sustained, swapsPerSec, agg.Throughput, ms(agg.P50), ms(agg.P99))
 	}
 	return nil
 }

@@ -24,17 +24,29 @@
 //
 // # Concurrency
 //
-// A DB is safe for concurrent use. Readers run in parallel and writers
-// get exclusive access: RangeQuery, KNNQuery, LocatePartition, Object,
-// NumObjects, Save, RenderSVG and the batch APIs may be called from any
-// number of goroutines at once, each observing one consistent index
-// state; InsertObject, DeleteObject, UpdateObject, MoveObject,
-// SetDoorClosed, AddPartition, RemovePartition, AttachDoor, DetachDoor,
-// SplitPartition and MergePartitions serialise against all readers and
-// each other. The Monitor serialises its update operations internally, so
-// its event streams match a serial replay of the same updates; while
-// serving concurrently, mutate the building only through the DB (or the
-// Monitor), never through *Building directly.
+// A DB is safe for concurrent use and serves reads under MVCC snapshot
+// isolation. The index state lives in immutable snapshots published
+// through an atomic pointer: every query pins the current snapshot with
+// one wait-free load and evaluates against it with no locking, so
+// *writers never block readers and readers never block writers*. Each of
+// RangeQuery, KNNQuery, LocatePartition, Object and NumObjects observes
+// one consistent point-in-time state; a batch (BatchRangeQuery,
+// BatchKNNQuery) pins ONE snapshot for the whole batch, so all its
+// queries agree with each other. Mutators — InsertObject, DeleteObject,
+// UpdateObject, MoveObject, ApplyObjectUpdates, SetDoorClosed,
+// AddPartition, RemovePartition, AttachDoor, DetachDoor, SplitPartition
+// and MergePartitions — serialise only against each other: they build the
+// successor snapshot copy-on-write (object updates share the whole
+// topology; topology updates share the object store's untouched storage)
+// and publish it atomically, so no reader ever observes a half-applied
+// mutation. High-rate movement should go through ApplyObjectUpdates,
+// which coalesces a batch of updates into one snapshot swap.
+//
+// Save and RenderSVG briefly exclude mutators (they read the building's
+// partition/door structure directly). The Monitor serialises its update
+// operations internally, so its event streams match a serial replay of
+// the same updates; while serving concurrently, mutate the building only
+// through the DB (or the Monitor), never through *Building directly.
 //
 // For throughput, fan query batches across CPUs with the serving layer:
 //
@@ -161,17 +173,15 @@ func (db *DB) Index() *index.Index { return db.idx }
 // Building returns the indexed building.
 func (db *DB) Building() *Building { return db.idx.Building() }
 
-// NumObjects returns the number of indexed objects.
+// NumObjects returns the number of indexed objects in the current
+// snapshot.
 func (db *DB) NumObjects() int {
-	db.idx.RLock()
-	defer db.idx.RUnlock()
 	return db.idx.Objects().Len()
 }
 
-// Object returns an indexed object by id, or nil.
+// Object returns an indexed object by id from the current snapshot, or
+// nil.
 func (db *DB) Object(id ObjectID) *Object {
-	db.idx.RLock()
-	defer db.idx.RUnlock()
 	return db.idx.Objects().Get(id)
 }
 
@@ -205,9 +215,11 @@ type (
 
 // BatchRangeQuery evaluates the requests concurrently on a worker pool and
 // returns per-query responses in request order plus aggregate throughput
-// metrics. With no concurrent writers, results are identical to calling
-// RangeQuery in a loop; under concurrent updates each query of the batch
-// observes its own consistent index state, not one batch-wide snapshot.
+// metrics. The batch pins ONE index snapshot: results are identical to
+// calling RangeQuery in a loop with no concurrent writers, and under
+// concurrent updates every query of the batch still observes the same
+// consistent point-in-time state. Writers are never blocked by a running
+// batch; their snapshots take effect from the next batch.
 func (db *DB) BatchRangeQuery(reqs []RangeRequest, cfg ServeConfig) ([]BatchResponse, BatchMetrics) {
 	return serve.NewPool(db.idx, db.qopts, cfg).RangeBatch(reqs)
 }
@@ -230,6 +242,39 @@ func (db *DB) UpdateObject(o *Object) error { return db.idx.UpdateObject(o) }
 // MoveObject is the adjacency-accelerated location update for frequently
 // reporting objects.
 func (db *DB) MoveObject(o *Object) error { return db.idx.MoveObject(o) }
+
+// ObjectUpdate is one element of an ApplyObjectUpdates batch.
+type ObjectUpdate = index.ObjectUpdate
+
+// UpdateOp selects the mutation an ObjectUpdate applies.
+type UpdateOp = index.UpdateOp
+
+// Object-update operations for ApplyObjectUpdates.
+const (
+	// UpdateMove is the adjacency-accelerated location update (MoveObject).
+	UpdateMove = index.UpdateMove
+	// UpdateInsert indexes a new object (InsertObject).
+	UpdateInsert = index.UpdateInsert
+	// UpdateDelete removes the object with ID (DeleteObject).
+	UpdateDelete = index.UpdateDelete
+	// UpdateReplace swaps an object's uncertainty information
+	// (UpdateObject).
+	UpdateReplace = index.UpdateReplace
+)
+
+// ApplyObjectUpdates applies a batch of object-layer mutations as one
+// copy-on-write edit publishing ONE snapshot: a movement tick over many
+// objects costs a single swap instead of one per object, and concurrent
+// readers observe the whole tick atomically. The batch is transactional —
+// on the first error nothing is applied.
+func (db *DB) ApplyObjectUpdates(ups []ObjectUpdate) error {
+	return db.idx.ApplyObjectUpdates(ups)
+}
+
+// SnapshotSwaps returns the number of index snapshots published so far
+// (opening the DB counts as one). It is the observability hook for update
+// coalescing: a movement tick through ApplyObjectUpdates advances it once.
+func (db *DB) SnapshotSwaps() uint64 { return db.idx.SnapshotSwaps() }
 
 // AddPartition indexes a partition previously added to the building.
 func (db *DB) AddPartition(pid PartitionID) error { return db.idx.AddPartition(pid) }
@@ -262,11 +307,9 @@ func (db *DB) MergePartitions(pa, pb PartitionID) (PartitionID, error) {
 	return db.idx.MergePartitions(pa, pb)
 }
 
-// LocatePartition returns the partition containing a position via the tree
-// tier, or -1.
+// LocatePartition returns the partition containing a position via the
+// current snapshot's tree tier, or -1.
 func (db *DB) LocatePartition(q Position) PartitionID {
-	db.idx.RLock()
-	defer db.idx.RUnlock()
 	return db.idx.LocatePartition(q)
 }
 
@@ -289,17 +332,20 @@ type Estimator = query.Estimator
 // NewEstimator returns a selectivity estimator over the database's index.
 func (db *DB) NewEstimator() *Estimator { return query.NewEstimator(db.idx) }
 
-// Save writes the building and every indexed object as JSON. The snapshot
-// is encoded to memory under the read lock and written to w outside it, so
-// a slow destination never stalls index writers.
+// Save writes the building and every indexed object as JSON. The object
+// set comes from a pinned snapshot; the building structure is read under
+// the writer mutex's read side (mutators are briefly excluded, queries are
+// not). Encoding goes to memory first and to w outside the lock, so a
+// slow destination never stalls index writers.
 func (db *DB) Save(w io.Writer) error {
 	var buf bytes.Buffer
 	err := func() error {
 		db.idx.RLock()
 		defer db.idx.RUnlock()
-		objs := make([]*Object, 0, db.idx.Objects().Len())
-		for _, id := range db.idx.Objects().IDs() {
-			objs = append(objs, db.idx.Objects().Get(id))
+		snap := db.idx.Current()
+		objs := make([]*Object, 0, snap.Objects().Len())
+		for _, id := range snap.Objects().IDs() {
+			objs = append(objs, snap.Objects().Get(id))
 		}
 		return serde.Encode(&buf, db.idx.Building(), objs)
 	}()

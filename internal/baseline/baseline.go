@@ -127,17 +127,19 @@ type ObjectDist struct {
 }
 
 // AllDistances computes the exact expected indoor distance from q to every
-// object, ascending by distance (ties by ID).
+// object, ascending by distance (ties by ID). It pins one snapshot, so it
+// is consistent even while the index is being mutated.
 func (o *Oracle) AllDistances(q indoor.Position) ([]ObjectDist, error) {
-	eng, err := distance.NewFull(o.idx, q)
+	s := o.idx.Current()
+	eng, err := distance.NewFull(s, q)
 	if err != nil {
 		return nil, err
 	}
 	defer eng.Close()
-	ids := o.idx.Objects().IDs()
+	ids := s.Objects().IDs()
 	out := make([]ObjectDist, 0, len(ids))
 	for _, id := range ids {
-		d, _ := eng.ExactDist(o.idx.Objects().Get(id))
+		d, _ := eng.ExactDist(s.Objects().Get(id))
 		out = append(out, ObjectDist{ID: id, D: d})
 	}
 	sort.Slice(out, func(i, j int) bool {

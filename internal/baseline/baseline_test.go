@@ -116,7 +116,7 @@ func TestOracleConsistency(t *testing.T) {
 		}
 	}
 	// Oracle distances agree with a directly-built full engine.
-	eng, err := distance.NewFull(idx, q)
+	eng, err := distance.NewFull(idx.Current(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

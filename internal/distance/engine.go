@@ -35,7 +35,7 @@ import (
 // scratch to the pool; a forgotten Close costs pooling, not correctness.
 // An Engine is not safe for concurrent use.
 type Engine struct {
-	idx    *index.Index
+	idx    *index.Snapshot
 	q      indoor.Position
 	qUnit  *index.Unit
 	dg     *index.DoorGraph
@@ -61,9 +61,10 @@ type CaseStats struct {
 }
 
 // New builds an engine over the given candidate units (the output of the
-// filtering phase). The query point's own unit is always included. Dijkstra
-// expansion stops beyond bound; pass math.Inf(1) for an unbounded search.
-func New(idx *index.Index, q indoor.Position, unitIDs []index.UnitID, bound float64) (*Engine, error) {
+// filtering phase) against one pinned index snapshot. The query point's
+// own unit is always included. Dijkstra expansion stops beyond bound; pass
+// math.Inf(1) for an unbounded search.
+func New(idx *index.Snapshot, q indoor.Position, unitIDs []index.UnitID, bound float64) (*Engine, error) {
 	qUnit := idx.LocateUnit(q)
 	if qUnit == nil {
 		return nil, fmt.Errorf("distance: query point %v is outside every partition", q)
@@ -76,7 +77,7 @@ func New(idx *index.Index, q indoor.Position, unitIDs []index.UnitID, bound floa
 // NewFull builds an engine over every unit of the index: the reference
 // evaluator used for refinement fallback and as the test oracle's
 // counterpart.
-func NewFull(idx *index.Index, q indoor.Position) (*Engine, error) {
+func NewFull(idx *index.Snapshot, q indoor.Position) (*Engine, error) {
 	qUnit := idx.LocateUnit(q)
 	if qUnit == nil {
 		return nil, fmt.Errorf("distance: query point %v is outside every partition", q)
@@ -117,6 +118,25 @@ func (e *Engine) run(unitIDs []index.UnitID, bound float64) {
 	}
 	e.dg.Graph().Dijkstra(e.sc, bound, !e.full)
 }
+
+// Rebind switches the engine's object-layer reads to a newer snapshot and
+// reports whether it could. It succeeds only when the snapshots share the
+// same topology epoch: the engine's cached door distances, query unit,
+// anchor and compiled graph are all topology-derived, so they stay exact,
+// while subsequent ObjectBounds/TLU/ExactDist calls read the new
+// snapshot's object records. The continuous-query monitor rebinds its
+// standing engines after every object update instead of re-running the
+// subgraph phase; a topology change fails the rebind and forces a refresh.
+func (e *Engine) Rebind(s *index.Snapshot) bool {
+	if s.TopoEpoch() != e.idx.TopoEpoch() {
+		return false
+	}
+	e.idx = s
+	return true
+}
+
+// Snapshot returns the index snapshot the engine is bound to.
+func (e *Engine) Snapshot() *index.Snapshot { return e.idx }
 
 // Close releases the engine's pooled scratch storage. The engine must not
 // be used afterwards; Close is idempotent and safe on a nil engine.

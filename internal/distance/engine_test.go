@@ -31,7 +31,7 @@ func corridor3(t *testing.T) (*indoor.Building, [3]*indoor.Partition) {
 
 func fullEngine(t *testing.T, idx *index.Index, q indoor.Position) *Engine {
 	t.Helper()
-	e, err := NewFull(idx, q)
+	e, err := NewFull(idx.Current(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,10 +280,10 @@ func TestEngineErrorsOutsideBuilding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewFull(idx, indoor.Pos(-5, -5, 0)); err == nil {
+	if _, err := NewFull(idx.Current(), indoor.Pos(-5, -5, 0)); err == nil {
 		t.Error("query outside the building must error")
 	}
-	if _, err := New(idx, indoor.Pos(-5, -5, 0), nil, math.Inf(1)); err == nil {
+	if _, err := New(idx.Current(), indoor.Pos(-5, -5, 0), nil, math.Inf(1)); err == nil {
 		t.Error("restricted engine outside the building must error")
 	}
 }
@@ -299,7 +299,7 @@ func TestExactDistBracketCapDiscipline(t *testing.T) {
 	// through the shared door at (20,5), whose restricted distance (15) is
 	// exact, so a cap at or above 15 closes the bracket at the true value.
 	units := append(idx.UnitsOf(parts[0].ID), idx.UnitsOf(parts[1].ID)...)
-	e, err := New(idx, indoor.Pos(5, 5, 0), units, math.Inf(1))
+	e, err := New(idx.Current(), indoor.Pos(5, 5, 0), units, math.Inf(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +398,7 @@ func TestRestrictedAgreesWithFullOnMall(t *testing.T) {
 		func(box geom.Rect3) bool { return idx.MinSkelDistBox(q, box) <= 250 },
 		func(u *index.Unit) { units = append(units, u.ID) },
 	)
-	e, err := New(idx, q, units, math.Inf(1))
+	e, err := New(idx.Current(), q, units, math.Inf(1))
 	if err != nil {
 		t.Fatal(err)
 	}

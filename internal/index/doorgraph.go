@@ -6,10 +6,13 @@ import (
 
 // DoorGraph is one compiled snapshot of the door-graph tier: the CSR doors
 // graph of internal/doorgraph plus the dense-id translation tables that tie
-// it back to the index's DoorRefs and units. A snapshot is immutable; the
-// epoch it was compiled at decides whether it is still current. Engines
-// hold a snapshot for their whole lifetime, so a recompile never invalidates
-// an in-flight query — it only redirects the next one.
+// it back to the index's DoorRefs and units. It is immutable and owned by
+// exactly one index Snapshot — under MVCC the "is it stale?" question
+// disappears, because a topology mutation publishes a new snapshot with a
+// freshly compiled graph and pinned snapshots keep the one they were born
+// with. Engines hold the snapshot (and with it the graph) for their whole
+// lifetime, so a topology change never invalidates an in-flight query — it
+// only redirects the next one.
 type DoorGraph struct {
 	epoch uint64
 	g     *doorgraph.Graph
@@ -59,36 +62,13 @@ func (dg *DoorGraph) UnitSlot(id UnitID) int32 {
 	return dg.unitSlot[id]
 }
 
-// TopoEpoch returns the index's current topology epoch. It advances on
-// every mutation that can change the doors graph (partition insertion or
-// removal, door attach/detach, door closure, split/merge). Callers must
-// hold the read lock.
-func (idx *Index) TopoEpoch() uint64 { return idx.topoEpoch }
-
-// DoorGraph returns the compiled door-graph snapshot for the current
-// topology epoch, recompiling lazily when a mutator has invalidated the
-// cached one. Callers must hold the index's read lock (queries already do),
-// which excludes mutators for the duration; concurrent readers serialise
-// the recompile itself on a side mutex so exactly one of them pays for it.
-func (idx *Index) DoorGraph() *DoorGraph {
-	if dg := idx.doorGraph.Load(); dg != nil && dg.epoch == idx.topoEpoch {
-		return dg
-	}
-	idx.dgMu.Lock()
-	defer idx.dgMu.Unlock()
-	if dg := idx.doorGraph.Load(); dg != nil && dg.epoch == idx.topoEpoch {
-		return dg
-	}
-	dg := idx.compileDoorGraph()
-	idx.doorGraph.Store(dg)
-	return dg
-}
-
-// compileDoorGraph flattens the topological layer into a DoorGraph
-// snapshot: dense unit slots in ascending UnitID order, dense door ids in
-// first-encounter order over that unit order, and one directed CSR edge
-// a→b per unit u and door pair (a, b) with a enterable into u, memoizing
-// the intra-unit walking distance as the edge weight.
+// compileDoorGraph flattens a topological layer into a DoorGraph: dense
+// unit slots in ascending UnitID order, dense door ids in first-encounter
+// order over that unit order, and one directed CSR edge a→b per unit u and
+// door pair (a, b) with a enterable into u, memoizing the intra-unit
+// walking distance as the edge weight. Freeze calls it once per topology
+// edit, so the compiled graph and the layer it indexes always publish
+// together.
 //
 // The unitSlot/doorSlot translation tables are sized by the all-time id
 // counters (UnitIDs and door serials are never reused), so sustained
@@ -97,11 +77,11 @@ func (idx *Index) DoorGraph() *DoorGraph {
 // this costs 4 bytes per historical unit/door per snapshot — revisit with
 // a compaction pass if a deployment ever churns through millions of
 // partitions.
-func (idx *Index) compileDoorGraph() *DoorGraph {
+func compileDoorGraph(t *topoLayer) *DoorGraph {
 	dg := &DoorGraph{
-		epoch:    idx.topoEpoch,
-		unitSlot: make([]int32, idx.nextUnit),
-		doorSlot: make([]int32, idx.nextDoorSerial),
+		epoch:    t.epoch,
+		unitSlot: make([]int32, t.nextUnit),
+		doorSlot: make([]int32, t.nextDoorSerial),
 	}
 	for i := range dg.unitSlot {
 		dg.unitSlot[i] = -1
@@ -109,8 +89,8 @@ func (idx *Index) compileDoorGraph() *DoorGraph {
 	for i := range dg.doorSlot {
 		dg.doorSlot[i] = -1
 	}
-	dg.unitIDs = make([]UnitID, 0, idx.numUnits)
-	for id, u := range idx.units { // ascending: the registry is id-indexed
+	dg.unitIDs = make([]UnitID, 0, t.numUnits)
+	for id, u := range t.units { // ascending: the registry is id-indexed
 		if u != nil {
 			dg.unitIDs = append(dg.unitIDs, UnitID(id))
 		}
@@ -130,7 +110,7 @@ func (idx *Index) compileDoorGraph() *DoorGraph {
 	}
 	nEdges := 0
 	for _, id := range dg.unitIDs {
-		u := idx.units[id]
+		u := t.units[id]
 		for _, d := range u.Doors {
 			doorID(d)
 			if d.CanEnter(u) {
@@ -142,7 +122,7 @@ func (idx *Index) compileDoorGraph() *DoorGraph {
 	b := doorgraph.NewBuilder(len(dg.doors), len(dg.unitIDs))
 	b.Grow(nEdges)
 	for slot, id := range dg.unitIDs {
-		u := idx.units[id]
+		u := t.units[id]
 		for _, a := range u.Doors {
 			if !a.CanEnter(u) {
 				continue

@@ -4,10 +4,17 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/geom"
 	"repro/internal/indoor"
 	"repro/internal/object"
 )
+
+// Every public mutator follows the same MVCC protocol: take the writer
+// mutex, open a copy-on-write editor over the current snapshot, apply the
+// §III-C maintenance algorithm to the edit, and publish the successor
+// snapshot — or, on any validation error, drop the editor and leave both
+// the published snapshot and the building exactly as they were. Readers
+// pinning snapshots are never blocked and never observe a half-applied
+// mutation.
 
 // InsertObject adds an object to the object layer (§III-C.2): its instances
 // are located through the tree tier, the buckets of the overlapping units
@@ -15,37 +22,43 @@ import (
 func (idx *Index) InsertObject(o *object.Object) error {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
-	return idx.insertObjectLocked(o)
+	ed := idx.edit()
+	if err := ed.insertObject(o); err != nil {
+		return err
+	}
+	idx.publish(ed.freeze())
+	return nil
 }
 
-func (idx *Index) insertObjectLocked(o *object.Object) error {
+func (ed *editor) insertObject(o *object.Object) error {
 	if err := o.Validate(); err != nil {
 		return err
 	}
-	if idx.objects.Get(o.ID) != nil {
+	if o.ID >= 0 && ed.storeGet(o.ID) != nil {
 		return fmt.Errorf("index: object %d already present", o.ID)
 	}
-	idx.objects.Add(o)
-	idx.indexObject(o, idx.LocateUnit)
+	ed.storeMut().Put(o)
+	ed.indexObject(o, ed.locateUnit)
 	return nil
 }
 
 // indexObject (re)computes an object's subregion split with the given
-// locator and installs it in the subregion cache, o-table and buckets,
-// clearing any previous bucket entries.
-func (idx *Index) indexObject(o *object.Object, locate func(indoor.Position) *Unit) {
-	for _, uid := range idx.oTable[o.ID] {
-		idx.buckets[uid] = removeID(idx.buckets[uid], o.ID)
+// locator and installs it in the object layer, clearing any previous
+// bucket entries.
+func (ed *editor) indexObject(o *object.Object, locate func(indoor.Position) *Unit) {
+	slot := ed.slotOf(o.ID)
+	old := ed.entryAt(slot)
+	for _, uid := range old.units {
+		ed.bucketRemove(uid, o.ID)
 	}
-	subs := idx.computeSubregions(o, locate)
+	subs := computeSubregions(o, locate)
 	units := make([]UnitID, len(subs))
 	for i, s := range subs {
 		units[i] = s.Unit
 	}
-	idx.subregions[o.ID] = subs
-	idx.oTable[o.ID] = units
+	ed.setEntry(slot, objEntry{units: units, subs: subs})
 	for _, uid := range units {
-		idx.buckets[uid] = insertID(idx.buckets[uid], o.ID)
+		ed.bucketInsert(uid, o.ID)
 	}
 }
 
@@ -53,33 +66,43 @@ func (idx *Index) indexObject(o *object.Object, locate func(indoor.Position) *Un
 func (idx *Index) DeleteObject(id object.ID) error {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
-	return idx.deleteObjectLocked(id)
+	ed := idx.edit()
+	if err := ed.deleteObject(id); err != nil {
+		return err
+	}
+	idx.publish(ed.freeze())
+	return nil
 }
 
-func (idx *Index) deleteObjectLocked(id object.ID) error {
-	units, ok := idx.oTable[id]
-	if !ok {
+func (ed *editor) deleteObject(id object.ID) error {
+	slot := ed.slotOf(id)
+	if slot < 0 {
 		return fmt.Errorf("index: no object %d", id)
 	}
-	for _, uid := range units {
-		idx.buckets[uid] = removeID(idx.buckets[uid], id)
+	e := ed.entryAt(slot)
+	for _, uid := range e.units {
+		ed.bucketRemove(uid, id)
 	}
-	delete(idx.oTable, id)
-	delete(idx.subregions, id)
-	idx.objects.Remove(id)
+	ed.setEntry(slot, objEntry{})
+	ed.storeMut().Remove(id)
 	return nil
 }
 
 // UpdateObject replaces an object's uncertainty information, implemented as
-// deletion followed by insertion per §III-C.2. The two steps run under one
-// write lock, so no reader observes the object half-removed.
+// deletion followed by insertion per §III-C.2. Both steps land in one
+// published snapshot, so no reader observes the object half-removed.
 func (idx *Index) UpdateObject(o *object.Object) error {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
-	if err := idx.deleteObjectLocked(o.ID); err != nil {
+	ed := idx.edit()
+	if err := ed.deleteObject(o.ID); err != nil {
 		return err
 	}
-	return idx.insertObjectLocked(o)
+	if err := ed.insertObject(o); err != nil {
+		return err
+	}
+	idx.publish(ed.freeze())
+	return nil
 }
 
 // MoveObject is the adjacency-accelerated update of §III-C.2: when location
@@ -90,37 +113,43 @@ func (idx *Index) UpdateObject(o *object.Object) error {
 func (idx *Index) MoveObject(o *object.Object) error {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
-	return idx.moveObjectLocked(o)
+	ed := idx.edit()
+	if err := ed.moveObject(o); err != nil {
+		return err
+	}
+	idx.publish(ed.freeze())
+	return nil
 }
 
-func (idx *Index) moveObjectLocked(o *object.Object) error {
-	old, ok := idx.oTable[o.ID]
-	if !ok {
+func (ed *editor) moveObject(o *object.Object) error {
+	slot := ed.slotOf(o.ID)
+	if slot < 0 {
 		return fmt.Errorf("index: no object %d", o.ID)
 	}
+	t := ed.curTopo()
 	// Candidate units: previous units, their partition siblings, and units
 	// reachable through one door.
 	cand := make(map[UnitID]*Unit)
 	addUnit := func(uid UnitID) {
-		if u := idx.units[uid]; u != nil {
+		if u := t.unitAt(uid); u != nil {
 			cand[uid] = u
 		}
 	}
-	for _, uid := range old {
-		u := idx.units[uid]
+	for _, uid := range ed.entryAt(slot).units {
+		u := t.unitAt(uid)
 		if u == nil {
 			continue
 		}
-		for _, sib := range idx.partUnits[u.Part] {
+		for _, sib := range t.partUnits[u.Part] {
 			addUnit(sib)
 		}
 		for _, d := range u.Doors {
 			if o2 := d.OtherUnit(uid); o2 != NoUnit {
-				u2 := idx.units[o2]
+				u2 := t.unitAt(o2)
 				if u2 == nil {
 					continue
 				}
-				for _, sib := range idx.partUnits[u2.Part] {
+				for _, sib := range t.partUnits[u2.Part] {
 					addUnit(sib)
 				}
 			}
@@ -137,10 +166,68 @@ func (idx *Index) moveObjectLocked(o *object.Object) error {
 		if best != nil {
 			return best
 		}
-		return idx.LocateUnit(pos)
+		return ed.locateUnit(pos)
 	}
-	idx.objects.Add(o) // replace stored object
-	idx.indexObject(o, locate)
+	ed.storeMut().Put(o) // replace stored object, keeping its slot
+	ed.indexObject(o, locate)
+	return nil
+}
+
+// UpdateOp selects the mutation an ObjectUpdate applies.
+type UpdateOp uint8
+
+const (
+	// UpdateMove is the adjacency-accelerated location update (MoveObject).
+	UpdateMove UpdateOp = iota
+	// UpdateInsert indexes a new object (InsertObject).
+	UpdateInsert
+	// UpdateDelete removes the object with ID (DeleteObject).
+	UpdateDelete
+	// UpdateReplace swaps an object's uncertainty information
+	// (UpdateObject: delete followed by insert).
+	UpdateReplace
+)
+
+// ObjectUpdate is one element of a coalesced object-layer batch.
+type ObjectUpdate struct {
+	Op     UpdateOp
+	Object *object.Object // all ops except UpdateDelete
+	ID     object.ID      // UpdateDelete only
+}
+
+// ApplyObjectUpdates applies a batch of object-layer mutations as ONE
+// copy-on-write edit and publishes ONE successor snapshot: high-rate
+// movement coalesces into a single swap instead of one per update, which
+// both amortises the copy-on-write cost and hands concurrent readers a
+// single consistent step. The batch is transactional — on the first error
+// nothing is published and the index is unchanged.
+func (idx *Index) ApplyObjectUpdates(ups []ObjectUpdate) error {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	ed := idx.edit()
+	for i, up := range ups {
+		var err error
+		switch up.Op {
+		case UpdateMove:
+			err = ed.moveObject(up.Object)
+		case UpdateInsert:
+			err = ed.insertObject(up.Object)
+		case UpdateDelete:
+			err = ed.deleteObject(up.ID)
+		case UpdateReplace:
+			if err = ed.deleteObject(up.Object.ID); err == nil {
+				err = ed.insertObject(up.Object)
+			}
+		default:
+			err = fmt.Errorf("unknown op %d", up.Op)
+		}
+		if err != nil {
+			return fmt.Errorf("index: object update %d: %w", i, err)
+		}
+	}
+	if len(ups) > 0 {
+		idx.publish(ed.freeze())
+	}
 	return nil
 }
 
@@ -151,46 +238,43 @@ func (idx *Index) moveObjectLocked(o *object.Object) error {
 func (idx *Index) AddPartition(pid indoor.PartitionID) error {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
-	// Validate before bumping the epoch so a rejected call does not force
-	// the next query into a pointless door-graph recompile.
-	if idx.b.Partition(pid) == nil {
-		return fmt.Errorf("index: no partition %d in building", pid)
+	ed := idx.edit()
+	if err := ed.addPartition(pid); err != nil {
+		return err
 	}
-	if len(idx.partUnits[pid]) > 0 {
-		return fmt.Errorf("index: partition %d already indexed", pid)
-	}
-	idx.topoEpoch++
-	return idx.addPartitionLocked(pid)
+	idx.publish(ed.freeze())
+	return nil
 }
 
-func (idx *Index) addPartitionLocked(pid indoor.PartitionID) error {
-	p := idx.b.Partition(pid)
+func (ed *editor) addPartition(pid indoor.PartitionID) error {
+	p := ed.b.Partition(pid)
 	if p == nil {
 		return fmt.Errorf("index: no partition %d in building", pid)
 	}
-	if len(idx.partUnits[pid]) > 0 {
+	if len(ed.curTopo().partUnits[pid]) > 0 {
 		return fmt.Errorf("index: partition %d already indexed", pid)
 	}
-	for _, u := range idx.makeUnits(p) {
-		idx.tree.Insert(idx.unitBox(u), int(u.ID))
+	t := ed.ownTopo()
+	for _, u := range t.makeUnits(p, ed.opts) {
+		t.tree.Insert(unitBox(ed.b, u), int(u.ID))
 	}
-	idx.linkSiblingUnits(pid)
+	t.linkSiblingUnits(pid)
 	for _, did := range p.Doors {
-		d := idx.b.Door(did)
-		if d == nil || idx.doorRefs[did] != nil {
+		d := ed.b.Door(did)
+		if d == nil || t.doorRefs[did] != nil {
 			continue
 		}
 		// Attach only when every side of the door is indexed.
 		other := d.Other(pid)
-		if other != indoor.NoPartition && len(idx.partUnits[other]) == 0 {
+		if other != indoor.NoPartition && len(t.partUnits[other]) == 0 {
 			continue
 		}
-		if err := idx.attachDoor(d); err != nil {
+		if err := t.attachDoor(d); err != nil {
 			return err
 		}
 	}
 	if p.Kind == indoor.Staircase {
-		idx.rebuildSkeletonLocked()
+		ed.rebuildSkel = true
 	}
 	return nil
 }
@@ -205,16 +289,18 @@ func (idx *Index) RemovePartition(pid indoor.PartitionID) error {
 	if p == nil {
 		return fmt.Errorf("index: no partition %d", pid)
 	}
-	idx.topoEpoch++
+	ed := idx.edit()
+	ed.ownTopo()
 	wasStair := p.Kind == indoor.Staircase
-	affected := idx.unindexPartitionKeepBuilding(pid)
+	affected := ed.unindexPartitionKeepBuilding(pid)
 	if err := idx.b.RemovePartition(pid); err != nil {
 		return err
 	}
-	idx.relocateObjects(affected)
+	ed.relocateObjects(affected)
 	if wasStair {
-		idx.rebuildSkeletonLocked()
+		ed.rebuildSkel = true
 	}
+	idx.publish(ed.freeze())
 	return nil
 }
 
@@ -228,16 +314,17 @@ func (idx *Index) AttachDoor(did indoor.DoorID) error {
 	if d == nil {
 		return fmt.Errorf("index: no door %d", did)
 	}
-	if idx.doorRefs[did] != nil {
+	if idx.Current().topo.doorRefs[did] != nil {
 		return fmt.Errorf("index: door %d already attached", did)
 	}
-	idx.topoEpoch++
-	if err := idx.attachDoor(d); err != nil {
+	ed := idx.edit()
+	if err := ed.ownTopo().attachDoor(d); err != nil {
 		return err
 	}
 	if staircaseSide(idx.b, d) != indoor.NoPartition {
-		idx.rebuildSkeletonLocked()
+		ed.rebuildSkel = true
 	}
+	idx.publish(ed.freeze())
 	return nil
 }
 
@@ -245,84 +332,62 @@ func (idx *Index) AttachDoor(did indoor.DoorID) error {
 func (idx *Index) DetachDoor(did indoor.DoorID) {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
-	if idx.b.Door(did) == nil && idx.doorRefs[did] == nil {
-		return // unknown door: nothing to detach, keep the epoch
-	}
-	idx.topoEpoch++
 	d := idx.b.Door(did)
+	if d == nil && idx.Current().topo.doorRefs[did] == nil {
+		return // unknown door: nothing to detach
+	}
+	ed := idx.edit()
 	wasEntrance := d != nil && staircaseSide(idx.b, d) != indoor.NoPartition
-	idx.detachDoor(did)
+	ed.ownTopo().detachDoor(did)
 	idx.b.RemoveDoor(did)
 	if wasEntrance {
-		idx.rebuildSkeletonLocked()
+		ed.rebuildSkel = true
 	}
-}
-
-// detachDoor removes a door reference from the topological layer.
-func (idx *Index) detachDoor(did indoor.DoorID) {
-	ref := idx.doorRefs[did]
-	if ref == nil {
-		return
-	}
-	for _, uid := range []UnitID{ref.U1, ref.U2} {
-		if uid == NoUnit {
-			continue
-		}
-		if u := idx.units[uid]; u != nil {
-			for i, dr := range u.Doors {
-				if dr == ref {
-					u.Doors = append(u.Doors[:i], u.Doors[i+1:]...)
-					break
-				}
-			}
-		}
-	}
-	delete(idx.doorRefs, did)
+	idx.publish(ed.freeze())
 }
 
 // SetDoorClosed toggles a door's availability. The topological layer needs
-// no structural maintenance (CanEnter evaluates the flag lazily), but the
-// compiled door-graph tier bakes enterability into its edges, so the epoch
-// advances and the next query recompiles. The write lock is still
-// required: queries read the closure flag through CanEnter.
+// no structural maintenance, but enterability is baked into the published
+// layer (door refs and the compiled doors graph), so the edit clones the
+// layer and the freshly baked flags land with the next snapshot; pinned
+// snapshots keep answering with the closure state they were published
+// with.
 func (idx *Index) SetDoorClosed(did indoor.DoorID, closed bool) error {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
 	if err := idx.b.SetDoorClosed(did, closed); err != nil {
 		return err
 	}
-	idx.topoEpoch++
+	ed := idx.edit()
+	ed.ownTopo()
+	idx.publish(ed.freeze())
 	return nil
 }
 
 // SplitPartition mounts a sliding wall through an indexed partition and
 // reindexes the two halves. Objects bucketed in the old units are
-// re-located into the new ones.
+// re-located into the new ones. A rejected split (bad line, staircase,
+// non-rectangular shape) publishes nothing and leaves the index untouched.
 func (idx *Index) SplitPartition(pid indoor.PartitionID, alongX bool, at float64) (a, b indoor.PartitionID, err error) {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
-	// The epoch must advance even when the split is rejected: the
-	// partition is unindexed before validation and the restore path
-	// re-creates its units under fresh ids, which a cached door-graph
-	// snapshot would not know.
-	idx.topoEpoch++
-	affected := idx.unindexPartitionKeepBuilding(pid)
+	ed := idx.edit()
+	ed.ownTopo()
+	affected := ed.unindexPartitionKeepBuilding(pid)
 	pa, pb, err := idx.b.SplitPartition(pid, alongX, at)
 	if err != nil {
-		// Restore the index for the untouched partition.
-		if rerr := idx.addPartitionLocked(pid); rerr != nil {
-			return indoor.NoPartition, indoor.NoPartition, fmt.Errorf("%v (restore failed: %v)", err, rerr)
-		}
-		idx.relocateObjects(affected)
+		// The building rejects a bad split before mutating anything, and
+		// the edit was never published: dropping it is the whole rollback.
 		return indoor.NoPartition, indoor.NoPartition, err
 	}
-	if err := idx.addPartitionLocked(pa.ID); err != nil {
+	if err := ed.addPartition(pa.ID); err != nil {
 		return indoor.NoPartition, indoor.NoPartition, err
 	}
-	if err := idx.addPartitionLocked(pb.ID); err != nil {
+	if err := ed.addPartition(pb.ID); err != nil {
 		return indoor.NoPartition, indoor.NoPartition, err
 	}
-	idx.relocateObjects(affected)
+	ed.relocateObjects(affected)
+	idx.publish(ed.freeze())
 	return pa.ID, pb.ID, nil
 }
 
@@ -330,100 +395,96 @@ func (idx *Index) SplitPartition(pid indoor.PartitionID, alongX bool, at float64
 func (idx *Index) MergePartitions(pa, pb indoor.PartitionID) (indoor.PartitionID, error) {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
-	// Like SplitPartition, the epoch advances unconditionally: both sides
-	// are unindexed before validation and restored under fresh unit ids on
-	// failure.
-	idx.topoEpoch++
-	affected := idx.unindexPartitionKeepBuilding(pa)
-	affected = append(affected, idx.unindexPartitionKeepBuilding(pb)...)
+	ed := idx.edit()
+	ed.ownTopo()
+	affected := ed.unindexPartitionKeepBuilding(pa)
+	affected = append(affected, ed.unindexPartitionKeepBuilding(pb)...)
 	merged, err := idx.b.MergePartitions(pa, pb)
 	if err != nil {
-		for _, pid := range []indoor.PartitionID{pa, pb} {
-			if rerr := idx.addPartitionLocked(pid); rerr != nil {
-				return indoor.NoPartition, fmt.Errorf("%v (restore failed: %v)", err, rerr)
-			}
-		}
-		idx.relocateObjects(affected)
 		return indoor.NoPartition, err
 	}
-	if err := idx.addPartitionLocked(merged.ID); err != nil {
+	if err := ed.addPartition(merged.ID); err != nil {
 		return indoor.NoPartition, err
 	}
-	idx.relocateObjects(affected)
+	ed.relocateObjects(affected)
+	idx.publish(ed.freeze())
 	return merged.ID, nil
 }
 
 // unindexPartitionKeepBuilding removes a partition's units and door
-// references from the index without touching the building, returning the
+// references from the edit without touching the building, returning the
 // ids of objects that lost bucket entries.
-func (idx *Index) unindexPartitionKeepBuilding(pid indoor.PartitionID) []object.ID {
-	p := idx.b.Partition(pid)
+func (ed *editor) unindexPartitionKeepBuilding(pid indoor.PartitionID) []object.ID {
+	p := ed.b.Partition(pid)
 	if p == nil {
 		return nil
 	}
+	t := ed.ownTopo()
 	for _, did := range p.Doors {
-		idx.detachDoor(did)
+		t.detachDoor(did)
 	}
 	seen := make(map[object.ID]bool)
 	var affected []object.ID
-	for _, uid := range idx.partUnits[pid] {
-		u := idx.units[uid]
-		idx.tree.Delete(idx.unitBox(u), int(uid))
-		for _, oid := range idx.buckets[uid] {
-			idx.oTable[oid] = removeUnit(idx.oTable[oid], uid)
+	for _, uid := range t.partUnits[pid] {
+		u := t.units[uid]
+		t.tree.Delete(unitBox(ed.b, u), int(uid))
+		for _, oid := range ed.bucketAt(uid) {
+			slot := ed.slotOf(oid)
+			e := ed.entryAt(slot)
+			ed.setEntry(slot, objEntry{units: removeUnit(e.units, uid), subs: e.subs})
 			if !seen[oid] {
 				seen[oid] = true
 				affected = append(affected, oid)
 			}
 		}
-		delete(idx.buckets, uid)
-		delete(idx.hTable, uid)
-		idx.units[uid] = nil
-		idx.numUnits--
+		if m := ed.bucketsMut(); int(uid) < m.Len() {
+			m.Set(int(uid), nil)
+		}
+		delete(t.hTable, uid)
+		t.units[uid] = nil
+		t.numUnits--
 	}
-	delete(idx.partUnits, pid)
-	delete(idx.virtualRefs, pid)
+	delete(t.partUnits, pid)
+	delete(t.virtualRefs, pid)
 	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
 	return affected
 }
 
 // relocateObjects re-runs instance location for objects whose bucket
-// entries were invalidated by a topological change.
-func (idx *Index) relocateObjects(ids []object.ID) {
+// entries were invalidated by a topological change. Their subregion splits
+// are recomputed wholesale, restoring the o-table/subregion pairing
+// invariant.
+func (ed *editor) relocateObjects(ids []object.ID) {
 	for _, oid := range ids {
-		if o := idx.objects.Get(oid); o != nil {
-			idx.indexObject(o, idx.LocateUnit)
+		if o := ed.storeGet(oid); o != nil {
+			ed.indexObject(o, ed.locateUnit)
 		}
 	}
 }
 
+// RebuildSkeleton recomputes the skeleton tier; the index does this
+// automatically after topological updates that involve staircases, and
+// callers may invoke it after out-of-band building mutations. The topology
+// epoch advances (the doors graph recompiles) because an out-of-band
+// mutation may also have changed doors.
+func (idx *Index) RebuildSkeleton() {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	ed := idx.edit()
+	ed.ownTopo()
+	ed.rebuildSkel = true
+	idx.publish(ed.freeze())
+}
+
+// removeUnit returns list without uid; the slice is copied, never mutated
+// (older snapshots may alias it).
 func removeUnit(list []UnitID, uid UnitID) []UnitID {
 	for i, u := range list {
 		if u == uid {
-			return append(list[:i], list[i+1:]...)
+			out := make([]UnitID, 0, len(list)-1)
+			out = append(out, list[:i]...)
+			return append(out, list[i+1:]...)
 		}
-	}
-	return list
-}
-
-// insertID adds id to a sorted bucket slice, keeping ascending order; a
-// duplicate insert is a no-op.
-func insertID(list []object.ID, id object.ID) []object.ID {
-	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
-	if i < len(list) && list[i] == id {
-		return list
-	}
-	list = append(list, 0)
-	copy(list[i+1:], list[i:])
-	list[i] = id
-	return list
-}
-
-// removeID deletes id from a sorted bucket slice if present.
-func removeID(list []object.ID, id object.ID) []object.ID {
-	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
-	if i < len(list) && list[i] == id {
-		return append(list[:i], list[i+1:]...)
 	}
 	return list
 }
@@ -432,95 +493,4 @@ func removeID(list []object.ID, id object.ID) []object.ID {
 func bucketHas(list []object.ID, id object.ID) bool {
 	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
 	return i < len(list) && list[i] == id
-}
-
-// CheckInvariants validates cross-layer consistency for tests: h-table and
-// partUnits are inverse, o-table and buckets are inverse, every door ref is
-// attached to the units it names, and every unit's box is in the tree. It
-// takes the read lock itself, so stress tests may call it concurrently
-// with mutators.
-func (idx *Index) CheckInvariants() error {
-	idx.mu.RLock()
-	defer idx.mu.RUnlock()
-	for uid, pid := range idx.hTable {
-		found := false
-		for _, u := range idx.partUnits[pid] {
-			if u == uid {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return fmt.Errorf("index: h-table names unit %d under partition %d but partUnits disagrees", uid, pid)
-		}
-	}
-	for pid, list := range idx.partUnits {
-		for _, uid := range list {
-			if idx.hTable[uid] != pid {
-				return fmt.Errorf("index: partUnits[%d] lists unit %d with h-table %d", pid, uid, idx.hTable[uid])
-			}
-			if idx.units[uid] == nil {
-				return fmt.Errorf("index: partUnits[%d] lists missing unit %d", pid, uid)
-			}
-		}
-	}
-	for oid, list := range idx.oTable {
-		for _, uid := range list {
-			if !bucketHas(idx.buckets[uid], oid) {
-				return fmt.Errorf("index: o-table says object %d in unit %d but bucket disagrees", oid, uid)
-			}
-		}
-		subs := idx.subregions[oid]
-		if len(subs) != len(list) {
-			return fmt.Errorf("index: object %d has %d subregions but %d o-table units", oid, len(subs), len(list))
-		}
-		for i, s := range subs {
-			if s.Unit != list[i] {
-				return fmt.Errorf("index: object %d subregion %d unit mismatch", oid, i)
-			}
-			if idx.units[s.Unit] == nil {
-				return fmt.Errorf("index: object %d subregion references dead unit %d", oid, s.Unit)
-			}
-		}
-	}
-	for uid, bucket := range idx.buckets {
-		if !sort.SliceIsSorted(bucket, func(i, j int) bool { return bucket[i] < bucket[j] }) {
-			return fmt.Errorf("index: bucket %d is not sorted", uid)
-		}
-		for _, oid := range bucket {
-			found := false
-			for _, u := range idx.oTable[oid] {
-				if u == uid {
-					found = true
-					break
-				}
-			}
-			if !found {
-				return fmt.Errorf("index: bucket %d holds object %d missing from o-table", uid, oid)
-			}
-		}
-	}
-	for _, u := range idx.units {
-		if u == nil {
-			continue
-		}
-		for _, d := range u.Doors {
-			if d.U1 != u.ID && d.U2 != u.ID {
-				return fmt.Errorf("index: unit %d lists foreign door ref", u.ID)
-			}
-		}
-	}
-	count := 0
-	idx.tree.Search(
-		func(geom.Rect3) bool { return true },
-		func(id int, _ geom.Rect3) {
-			if idx.unitAt(UnitID(id)) != nil {
-				count++
-			}
-		},
-	)
-	if count != idx.numUnits {
-		return fmt.Errorf("index: tree holds %d live units, registry has %d", count, idx.numUnits)
-	}
-	return nil
 }

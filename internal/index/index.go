@@ -9,8 +9,6 @@
 package index
 
 import (
-	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,7 +33,8 @@ const NoUnit UnitID = -1
 // Unit is one index unit: a convex rectangle obtained from Algorithm 3,
 // belonging to exactly one indoor partition (the h-table mapping), spanning
 // the floor interval [FloorLo, FloorHi] (staircases span two floors), and
-// carrying the attached door references of the topological layer.
+// carrying the attached door references of the topological layer. Units
+// reachable from a published Snapshot are immutable.
 type Unit struct {
 	ID       UnitID
 	Part     indoor.PartitionID
@@ -81,6 +80,13 @@ type DoorRef struct {
 	// serial is the reference's immutable creation number, the key the
 	// door-graph tier translates to dense ids. Never reused.
 	serial int32
+
+	// enter1/enter2 bake the door's current enterability per side (into
+	// the partition of U1 / of U2). Queries read these instead of the live
+	// building's door flags, so a pinned snapshot keeps answering with the
+	// closure state it was published with; a door toggle republishes the
+	// topological layer with fresh flags.
+	enter1, enter2 bool
 }
 
 // Virtual reports whether the reference is a decomposition-internal door.
@@ -97,21 +103,38 @@ func (d *DoorRef) OtherUnit(u UnitID) UnitID {
 	return NoUnit
 }
 
-// CanEnter reports whether movement through the door into the partition of
-// unit u is currently permitted. Together with the subgraph construction it
+// CanEnter reports whether movement through the door into unit u is
+// permitted in this snapshot. Together with the subgraph construction it
 // realises the directed doors graph of §II-A: an edge a→b through unit u
 // exists iff a permits entry into u.
 func (d *DoorRef) CanEnter(u *Unit) bool {
+	switch u.ID {
+	case d.U1:
+		return d.enter1
+	case d.U2:
+		return d.enter2
+	}
+	return false
+}
+
+// bake recomputes the enterability flags from the underlying door's
+// current state, given the partitions on the reference's two sides. Called
+// at reference creation and when a topology edit republishes the layer.
+func (d *DoorRef) bake(p1, p2 indoor.PartitionID) {
 	if d.Real == nil {
-		return true
+		d.enter1, d.enter2 = true, true
+		return
 	}
 	if d.Real.Closed {
-		return false
+		d.enter1, d.enter2 = false, false
+		return
 	}
-	if d.Real.OneWay {
-		return d.Real.To == u.Part
+	if !d.Real.OneWay {
+		d.enter1, d.enter2 = true, true
+		return
 	}
-	return true
+	d.enter1 = p1 == d.Real.To
+	d.enter2 = p2 != indoor.NoPartition && p2 == d.Real.To
 }
 
 // Position returns the door's indoor position.
@@ -157,98 +180,66 @@ func (s BuildStats) Total() time.Duration {
 
 // Index is the composite index over one building and its objects.
 //
-// Concurrency: the index follows a readers-writer discipline. Every
-// exported mutator (InsertObject, MoveObject, SetDoorClosed,
-// SplitPartition, ...) takes the write lock internally, so mutators may be
-// called from any goroutine. The read accessors (LocateUnit, SearchTree,
-// BucketObjects, the skeleton bounds, ...) are deliberately lock-free so
-// that a query can compose many of them under ONE consistent read lock:
-// concurrent readers must bracket their work with RLock/RUnlock. The query
-// processor, monitor, estimator and the indoorq facade all do this; code
-// that only ever uses the index from a single goroutine needs no locking
-// at all. The building must be mutated only through the index once the
-// index is shared between goroutines.
+// Concurrency — MVCC snapshot isolation. The index state lives in
+// immutable Snapshots published through an atomic head pointer. Readers
+// never lock: Current() pins the latest snapshot wait-free, and every read
+// accessor on the pinned snapshot observes one consistent point-in-time
+// state for as long as the snapshot is held (the query processors pin one
+// snapshot per query; the serving layer pins one per batch). Mutators
+// serialise on a writer mutex, build the successor snapshot copy-on-write
+// — object updates share the whole topology, topology updates share the
+// object store's untouched storage — and publish it with one atomic swap,
+// so writers never block readers and readers never block writers.
+//
+// The read accessors mirrored on Index itself (LocateUnit, SearchTree,
+// BucketObjects, ...) are conveniences that pin the current snapshot per
+// call; code composing several reads that must agree should pin one
+// Snapshot and read through it.
+//
+// The building is owned by the writer side. RLock/RUnlock bracket direct
+// reads of the building's partition/door structure (rendering,
+// serialisation) against mutators; queries never need them. The building
+// must be mutated only through the index once the index is shared between
+// goroutines.
 type Index struct {
+	// mu is the writer mutex: mutators hold it exclusively while editing
+	// and publishing; RLock takes its read side to still the building.
 	mu sync.RWMutex
 
 	b    *indoor.Building
 	opts Options
 
-	// units is indexed by UnitID (ids are dense and never reused; removed
-	// units leave nil holes), so the query hot path resolves units without
-	// map hashing. numUnits counts the live entries.
-	units    []*Unit
-	numUnits int
-	nextUnit UnitID
-	tree     *rtree.Tree
-
-	// hTable maps index units to their indoor partition; partUnits is the
-	// reverse (§III-A.2).
-	hTable    map[UnitID]indoor.PartitionID
-	partUnits map[indoor.PartitionID][]UnitID
-
-	// doorRefs maps real doors to their references; virtualRefs stores the
-	// decomposition-internal links per partition.
-	doorRefs    map[indoor.DoorID]*DoorRef
-	virtualRefs map[indoor.PartitionID][]*DoorRef
-
-	// Object layer: o-table, per-unit buckets (§III-A.3, kept as ascending
-	// id slices so queries iterate them without allocating) and the cached
-	// subregion split of every object (§II-B).
-	objects    *object.Store
-	oTable     map[object.ID][]UnitID
-	buckets    map[UnitID][]object.ID
-	subregions map[object.ID][]Subregion
-
-	skeleton *Skeleton
-
-	// Door-graph tier: nextDoorSerial numbers DoorRefs at creation;
-	// topoEpoch advances on every topology mutation; doorGraph caches the
-	// snapshot compiled at some epoch (recompiled lazily when stale, the
-	// recompile serialised on dgMu).
-	nextDoorSerial int32
-	topoEpoch      uint64
-	dgMu           sync.Mutex
-	doorGraph      atomic.Pointer[DoorGraph]
+	head  atomic.Pointer[Snapshot]
+	swaps atomic.Uint64
 }
 
 // Build constructs the composite index over the building and object set,
 // reporting per-layer construction times.
 func Build(b *indoor.Building, objs []*object.Object, opts Options) (*Index, BuildStats, error) {
 	opts = opts.withDefaults()
-	idx := &Index{
-		b:           b,
-		opts:        opts,
-		hTable:      make(map[UnitID]indoor.PartitionID),
-		partUnits:   make(map[indoor.PartitionID][]UnitID),
-		doorRefs:    make(map[indoor.DoorID]*DoorRef),
-		virtualRefs: make(map[indoor.PartitionID][]*DoorRef),
-		objects:     object.NewStore(),
-		oTable:      make(map[object.ID][]UnitID),
-		buckets:     make(map[UnitID][]object.ID),
-		subregions:  make(map[object.ID][]Subregion),
-	}
+	idx := &Index{b: b, opts: opts}
+	ed := newBuildEditor(idx)
 	var stats BuildStats
 
 	// Tree tier: decompose every partition and bulk-load the indR-tree.
 	start := time.Now()
 	var entries []rtree.Entry
 	for _, p := range b.Partitions() {
-		for _, u := range idx.makeUnits(p) {
-			entries = append(entries, rtree.Entry{Box: idx.unitBox(u), ID: int(u.ID)})
+		for _, u := range ed.topo.makeUnits(p, opts) {
+			entries = append(entries, rtree.Entry{Box: unitBox(b, u), ID: int(u.ID)})
 		}
 	}
-	idx.tree = rtree.Bulk(opts.Fanout, entries)
+	ed.topo.tree = rtree.Bulk(opts.Fanout, entries)
 	stats.TreeTier = time.Since(start)
 
 	// Topological layer: virtual doors between sibling units, then real
 	// door references.
 	start = time.Now()
 	for _, p := range b.Partitions() {
-		idx.linkSiblingUnits(p.ID)
+		ed.topo.linkSiblingUnits(p.ID)
 	}
 	for _, d := range b.Doors() {
-		if err := idx.attachDoor(d); err != nil {
+		if err := ed.topo.attachDoor(d); err != nil {
 			return nil, stats, err
 		}
 	}
@@ -256,252 +247,138 @@ func Build(b *indoor.Building, objs []*object.Object, opts Options) (*Index, Bui
 
 	// Skeleton tier.
 	start = time.Now()
-	idx.skeleton = buildSkeleton(b, idx)
+	ed.topo.skeleton = buildSkeleton(b)
 	stats.SkeletonTier = time.Since(start)
 
-	// Object layer. The index is not yet published to other goroutines, so
-	// the unlocked insertion path is used directly.
+	// Object layer.
 	start = time.Now()
 	for _, o := range objs {
-		if err := idx.insertObjectLocked(o); err != nil {
+		if err := ed.insertObject(o); err != nil {
 			return nil, stats, err
 		}
 	}
 	stats.ObjectLayer = time.Since(start)
 
-	// Door-graph tier: compile the static doors graph once so the first
-	// query pays no compile latency. Mutators bump topoEpoch to invalidate.
+	// Door-graph tier: compile the static doors graph as part of the first
+	// snapshot, so the first query pays no compile latency.
 	start = time.Now()
-	idx.topoEpoch = 1
-	idx.doorGraph.Store(idx.compileDoorGraph())
+	ed.topo.epoch = 1
+	ed.topo.graph = compileDoorGraph(ed.topo)
 	stats.DoorGraph = time.Since(start)
 
+	idx.publish(ed.freeze())
 	return idx, stats, nil
 }
 
-// RLock takes the index's read lock. Any number of readers may hold it at
-// once; it excludes mutators. Use it to bracket a sequence of read
-// accessors that must observe one consistent index state (the query
-// processor brackets a whole query evaluation).
+// Current pins the latest published snapshot. The load is wait-free;
+// snapshots are immutable, so the caller may use it from any goroutine for
+// any length of time. Long-held snapshots only cost memory (they keep
+// their version of the layers alive).
+func (idx *Index) Current() *Snapshot { return idx.head.Load() }
+
+// publish installs s as the new head. Callers hold the writer mutex (or
+// own the index exclusively, as Build does).
+func (idx *Index) publish(s *Snapshot) {
+	s.seq = idx.swaps.Add(1)
+	idx.head.Store(s)
+}
+
+// SnapshotSwaps returns the number of snapshots published so far (the
+// freshly built index counts as one). Batched updates advance it once per
+// batch — the coalescing win ApplyObjectUpdates exists for.
+func (idx *Index) SnapshotSwaps() uint64 { return idx.swaps.Load() }
+
+// RLock stills the *building* (it takes the read side of the writer
+// mutex): hold it while reading the building's partition/door structure
+// directly, e.g. for rendering or serialisation. Queries do not need it —
+// they pin snapshots. Mutators are excluded while it is held.
 func (idx *Index) RLock() { idx.mu.RLock() }
 
-// RUnlock releases the read lock.
+// RUnlock releases the read side of the writer mutex.
 func (idx *Index) RUnlock() { idx.mu.RUnlock() }
-
-// makeUnits decomposes a partition into units and registers them (without
-// tree insertion; callers handle the tree for bulk vs dynamic paths).
-func (idx *Index) makeUnits(p *indoor.Partition) []*Unit {
-	var rects []geom.Rect
-	if p.Kind == indoor.Staircase {
-		// Staircases stay whole: their geometry is the footprint and their
-		// distance semantics are the stair run.
-		rects = []geom.Rect{p.Bounds()}
-	} else {
-		rects = indoor.Decompose(p.Shape, idx.opts.Tshape)
-	}
-	lo, hi := p.FloorSpan()
-	units := make([]*Unit, 0, len(rects))
-	for _, r := range rects {
-		u := &Unit{
-			ID: idx.nextUnit, Part: p.ID, Rect: r,
-			FloorLo: lo, FloorHi: hi,
-			stairLen: p.StairLength,
-		}
-		idx.nextUnit++
-		idx.units = append(idx.units, u)
-		idx.numUnits++
-		idx.hTable[u.ID] = p.ID
-		idx.partUnits[p.ID] = append(idx.partUnits[p.ID], u.ID)
-		units = append(units, u)
-	}
-	return units
-}
 
 // unitBox returns the 3D box stored in the tree tier for a unit: the planar
 // rectangle with the 1 cm sliver starting at the unit's floor elevation;
 // staircase units span up to their upper floor.
-func (idx *Index) unitBox(u *Unit) geom.Rect3 {
-	zlo := idx.b.Elevation(u.FloorLo)
-	zhi := idx.b.Elevation(u.FloorHi) + zSliver
+func unitBox(b *indoor.Building, u *Unit) geom.Rect3 {
+	zlo := b.Elevation(u.FloorLo)
+	zhi := b.Elevation(u.FloorHi) + zSliver
 	return geom.R3(u.Rect, zlo, zhi)
 }
 
-// linkSiblingUnits creates virtual doors between touching units of one
-// partition.
-func (idx *Index) linkSiblingUnits(pid indoor.PartitionID) {
-	ids := idx.partUnits[pid]
-	if len(ids) < 2 {
-		return
-	}
-	rects := make([]geom.Rect, len(ids))
-	for i, id := range ids {
-		rects[i] = idx.units[id].Rect
-	}
-	floor := idx.units[ids[0]].FloorLo
-	for _, l := range indoor.UnitAdjacency(rects) {
-		ua, ub := idx.units[ids[l.I]], idx.units[ids[l.J]]
-		ref := &DoorRef{Pos: l.Mid, Floor: floor, U1: ua.ID, U2: ub.ID, serial: idx.nextDoorSerial}
-		idx.nextDoorSerial++
-		ua.Doors = append(ua.Doors, ref)
-		ub.Doors = append(ub.Doors, ref)
-		idx.virtualRefs[pid] = append(idx.virtualRefs[pid], ref)
-	}
-}
-
-// attachDoor creates the reference for a real door, resolving the index
-// unit on each side by position.
-func (idx *Index) attachDoor(d *indoor.Door) error {
-	u1, err := idx.unitForDoor(d, d.P1)
-	if err != nil {
-		return err
-	}
-	u2 := NoUnit
-	if d.P2 != indoor.NoPartition {
-		u, err := idx.unitForDoor(d, d.P2)
-		if err != nil {
-			return err
-		}
-		u2 = u.ID
-	}
-	ref := &DoorRef{Pos: d.Pos, Floor: d.Floor, Real: d, U1: u1.ID, U2: u2, serial: idx.nextDoorSerial}
-	idx.nextDoorSerial++
-	u1.Doors = append(u1.Doors, ref)
-	if u2 != NoUnit {
-		idx.units[u2].Doors = append(idx.units[u2].Doors, ref)
-	}
-	idx.doorRefs[d.ID] = ref
-	return nil
-}
-
-// unitForDoor finds the unit of partition pid whose rectangle touches the
-// door position; the smallest UnitID wins for determinism.
-func (idx *Index) unitForDoor(d *indoor.Door, pid indoor.PartitionID) (*Unit, error) {
-	var best *Unit
-	for _, uid := range idx.partUnits[pid] {
-		u := idx.units[uid]
-		if u.Rect.Contains(d.Pos) && (best == nil || u.ID < best.ID) {
-			best = u
-		}
-	}
-	if best == nil {
-		return nil, fmt.Errorf("index: door %d at %v touches no unit of partition %d",
-			d.ID, d.Pos, pid)
-	}
-	return best, nil
-}
+// The accessors below mirror Snapshot's read API, pinning the current
+// snapshot per call. They keep single-goroutine code and diagnostics
+// simple; multi-read consistency needs an explicitly pinned Snapshot.
 
 // Building returns the indexed building.
 func (idx *Index) Building() *indoor.Building { return idx.b }
 
-// Objects returns the object store of the object layer.
-func (idx *Index) Objects() *object.Store { return idx.objects }
+// Objects returns the object store of the current snapshot.
+func (idx *Index) Objects() *object.Store { return idx.Current().Objects() }
 
-// Skeleton returns the skeleton tier.
-func (idx *Index) Skeleton() *Skeleton { return idx.skeleton }
+// Skeleton returns the current skeleton tier.
+func (idx *Index) Skeleton() *Skeleton { return idx.Current().Skeleton() }
 
-// Unit returns the unit with the given id, or nil.
-func (idx *Index) Unit(id UnitID) *Unit { return idx.unitAt(id) }
-
-// unitAt resolves a UnitID against the dense unit slice (nil for removed
-// or out-of-range ids).
-func (idx *Index) unitAt(id UnitID) *Unit {
-	if id < 0 || int(id) >= len(idx.units) {
-		return nil
-	}
-	return idx.units[id]
-}
+// Unit returns the unit with the given id in the current snapshot, or nil.
+func (idx *Index) Unit(id UnitID) *Unit { return idx.Current().Unit(id) }
 
 // NumUnits returns the number of index units.
-func (idx *Index) NumUnits() int { return idx.numUnits }
+func (idx *Index) NumUnits() int { return idx.Current().NumUnits() }
 
 // TreeHeight exposes the tree tier's height (diagnostics).
-func (idx *Index) TreeHeight() int { return idx.tree.Height() }
+func (idx *Index) TreeHeight() int { return idx.Current().TreeHeight() }
 
 // PartitionOf implements the h-table lookup.
-func (idx *Index) PartitionOf(u UnitID) indoor.PartitionID { return idx.hTable[u] }
+func (idx *Index) PartitionOf(u UnitID) indoor.PartitionID { return idx.Current().PartitionOf(u) }
 
 // UnitsOf returns the index units of a partition, ascending.
-func (idx *Index) UnitsOf(pid indoor.PartitionID) []UnitID {
-	ids := append([]UnitID(nil), idx.partUnits[pid]...)
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
+func (idx *Index) UnitsOf(pid indoor.PartitionID) []UnitID { return idx.Current().UnitsOf(pid) }
 
-// ObjectUnits implements the o-table lookup: the units an object's
-// instances occupy. The slice is a copy.
-func (idx *Index) ObjectUnits(id object.ID) []UnitID {
-	return append([]UnitID(nil), idx.oTable[id]...)
-}
+// ObjectUnits implements the o-table lookup. The slice is a copy.
+func (idx *Index) ObjectUnits(id object.ID) []UnitID { return idx.Current().ObjectUnits(id) }
 
-// ObjectUnitsView is ObjectUnits without the copy. The slice is owned by
-// the index: callers must hold the read lock and must not modify or retain
-// it.
-func (idx *Index) ObjectUnitsView(id object.ID) []UnitID {
-	return idx.oTable[id]
-}
+// ObjectUnitsView is ObjectUnits without the copy; the slice must not be
+// modified.
+func (idx *Index) ObjectUnitsView(id object.ID) []UnitID { return idx.Current().ObjectUnitsView(id) }
 
-// BucketObjects returns a copy of the ids in a unit's object bucket,
-// ascending.
-func (idx *Index) BucketObjects(u UnitID) []object.ID {
-	return append([]object.ID(nil), idx.buckets[u]...)
-}
+// BucketObjects returns a copy of the ids in a unit's object bucket.
+func (idx *Index) BucketObjects(u UnitID) []object.ID { return idx.Current().BucketObjects(u) }
 
-// BucketObjectsView returns the ids in a unit's object bucket, ascending.
-// The slice is owned by the index: callers must hold the read lock for the
-// duration of use and must not modify or retain it. The query hot path uses
-// this accessor to iterate buckets without copying.
-func (idx *Index) BucketObjectsView(u UnitID) []object.ID {
-	return idx.buckets[u]
-}
+// BucketObjectsView returns a unit's bucket without the copy; the slice
+// must not be modified.
+func (idx *Index) BucketObjectsView(u UnitID) []object.ID { return idx.Current().BucketObjectsView(u) }
 
-// LocateUnit finds the index unit containing pos through the tree tier
-// (point-location; the r = 0 degenerate range query of §III-B). Ties on
-// shared boundaries resolve to the smallest UnitID.
-func (idx *Index) LocateUnit(pos indoor.Position) *Unit {
-	z := idx.b.Elevation(pos.Floor) + zSliver/2
-	probe := geom.R3(geom.Rect{
-		MinX: pos.Pt.X, MinY: pos.Pt.Y, MaxX: pos.Pt.X, MaxY: pos.Pt.Y,
-	}, z-zSliver, z+zSliver)
-	var best *Unit
-	idx.tree.Search(
-		func(b geom.Rect3) bool { return b.Intersects3(probe) },
-		func(id int, _ geom.Rect3) {
-			u := idx.units[UnitID(id)]
-			if u != nil && u.Contains(pos) && (best == nil || u.ID < best.ID) {
-				best = u
-			}
-		},
-	)
-	return best
-}
+// LocateUnit finds the index unit containing pos in the current snapshot.
+func (idx *Index) LocateUnit(pos indoor.Position) *Unit { return idx.Current().LocateUnit(pos) }
 
-// LocatePartition returns the partition containing pos via the tree tier,
-// or indoor.NoPartition.
+// LocatePartition returns the partition containing pos, or NoPartition.
 func (idx *Index) LocatePartition(pos indoor.Position) indoor.PartitionID {
-	if u := idx.LocateUnit(pos); u != nil {
-		return u.Part
-	}
-	return indoor.NoPartition
+	return idx.Current().LocatePartition(pos)
 }
 
-// SearchTree walks the tree tier, descending into boxes accepted by descend
-// and emitting accepted leaf units. It is the raw traversal behind
-// Algorithm 4.
+// SearchTree walks the current snapshot's tree tier.
 func (idx *Index) SearchTree(descend func(geom.Rect3) bool, emit func(*Unit)) {
-	idx.tree.Search(descend, func(id int, _ geom.Rect3) {
-		if u := idx.units[UnitID(id)]; u != nil {
-			emit(u)
-		}
-	})
+	idx.Current().SearchTree(descend, emit)
 }
 
 // FloorsOfBox recovers the floor interval covered by a tree-tier box.
-func (idx *Index) FloorsOfBox(b geom.Rect3) (lo, hi int) {
-	h := idx.b.FloorHeight
-	lo = int((b.MinZ + zSliver/2) / h)
-	hi = int((b.MaxZ - zSliver/2) / h)
-	if hi < lo {
-		hi = lo
-	}
-	return lo, hi
+func (idx *Index) FloorsOfBox(b geom.Rect3) (lo, hi int) { return idx.Current().FloorsOfBox(b) }
+
+// TopoEpoch returns the current snapshot's topology epoch.
+func (idx *Index) TopoEpoch() uint64 { return idx.Current().TopoEpoch() }
+
+// DoorGraph returns the current snapshot's compiled door-graph tier.
+func (idx *Index) DoorGraph() *DoorGraph { return idx.Current().DoorGraph() }
+
+// ObjectSubregions returns the current subregion split of an object.
+func (idx *Index) ObjectSubregions(id object.ID) []Subregion {
+	return idx.Current().ObjectSubregions(id)
 }
+
+// MultiPartition reports whether the object spans several partitions.
+func (idx *Index) MultiPartition(id object.ID) bool { return idx.Current().MultiPartition(id) }
+
+// CheckInvariants validates cross-layer consistency of the current
+// snapshot. Snapshots are immutable, so stress tests may call it
+// concurrently with mutators.
+func (idx *Index) CheckInvariants() error { return idx.Current().CheckInvariants() }

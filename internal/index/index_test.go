@@ -104,8 +104,9 @@ func TestTopologicalLayerConnectivity(t *testing.T) {
 	// a connected graph in the mall).
 	b := mall(t, 2)
 	idx := buildIdx(t, b, nil)
+	units := idx.Current().topo.units
 	start := UnitID(-1)
-	for uid, u := range idx.units {
+	for uid, u := range units {
 		if u != nil && (start == -1 || UnitID(uid) < start) {
 			start = UnitID(uid)
 		}
@@ -115,12 +116,12 @@ func TestTopologicalLayerConnectivity(t *testing.T) {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, d := range idx.units[cur].Doors {
+		for _, d := range units[cur].Doors {
 			next := d.OtherUnit(cur)
 			if next == NoUnit || visited[next] {
 				continue
 			}
-			if !d.CanEnter(idx.units[next]) {
+			if !d.CanEnter(units[next]) {
 				continue
 			}
 			visited[next] = true
@@ -137,7 +138,7 @@ func TestVirtualDoorsAlwaysEnterable(t *testing.T) {
 	b := mall(t, 1)
 	idx := buildIdx(t, b, nil)
 	virtuals := 0
-	for _, u := range idx.units {
+	for _, u := range idx.Current().topo.units {
 		for _, d := range u.Doors {
 			if d.Virtual() {
 				virtuals++
@@ -166,12 +167,12 @@ func TestDoorRefDirectionality(t *testing.T) {
 		if !d.OneWay {
 			continue
 		}
-		ref := idx.doorRefs[d.ID]
+		ref := idx.Current().topo.doorRefs[d.ID]
 		if ref == nil {
 			t.Fatalf("door %d has no ref", d.ID)
 		}
-		intoRoom := idx.units[ref.U1]
-		other := idx.units[ref.U2]
+		intoRoom := idx.Unit(ref.U1)
+		other := idx.Unit(ref.U2)
 		if intoRoom.Part != d.To {
 			intoRoom, other = other, intoRoom
 		}
@@ -192,7 +193,7 @@ func TestStaircaseUnits(t *testing.T) {
 	b := mall(t, 2)
 	idx := buildIdx(t, b, nil)
 	stairs := 0
-	for _, u := range idx.units {
+	for _, u := range idx.Current().topo.units {
 		if !u.IsStair() {
 			continue
 		}

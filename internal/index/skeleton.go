@@ -36,7 +36,7 @@ type entrance struct {
 //	(2) same-floor entrances: straight Euclidean distance;
 //	(3) entrances of one staircase: the stair run length;
 //	(4) otherwise: shortest path in the skeleton graph.
-func buildSkeleton(b *indoor.Building, idx *Index) *Skeleton {
+func buildSkeleton(b *indoor.Building) *Skeleton {
 	sk := &Skeleton{byFloor: make(map[int][]int)}
 	for _, d := range b.Doors() {
 		stair := staircaseSide(b, d)
@@ -66,7 +66,6 @@ func buildSkeleton(b *indoor.Building, idx *Index) *Skeleton {
 		}
 	}
 	sk.m = g.FloydWarshall()
-	_ = idx
 	return sk
 }
 
@@ -147,18 +146,18 @@ func (sk *Skeleton) MinDistRect(q indoor.Position, r geom.Rect, lo, hi int) floa
 // turns every subsequent Equation 10 evaluation from a double loop over
 // entrance pairs into a single loop over the target floor's entrances —
 // the filtering phase evaluates the bound against thousands of tree boxes
-// per query, so the factor matters. The anchor snapshots the skeleton it
-// was created from and must be used under the same read lock span (or,
-// like the query processors, within one query evaluation).
+// per query, so the factor matters. The anchor is bound to the skeleton of
+// the snapshot that created it; like the snapshot itself it stays valid
+// indefinitely.
 type SkelAnchor struct {
 	sk *Skeleton
 	q  indoor.Position
 	to []float64 // per entrance: cheapest q→entrance route, +Inf if none
 }
 
-// NewSkelAnchor anchors q against the current skeleton tier.
-func (idx *Index) NewSkelAnchor(q indoor.Position) *SkelAnchor {
-	sk := idx.skeleton
+// NewSkelAnchor anchors q against the snapshot's skeleton tier.
+func (s *Snapshot) NewSkelAnchor(q indoor.Position) *SkelAnchor {
+	sk := s.topo.skeleton
 	a := &SkelAnchor{sk: sk, q: q, to: make([]float64, len(sk.entrances))}
 	for j := range a.to {
 		a.to[j] = math.Inf(1)
@@ -197,28 +196,28 @@ func (a *SkelAnchor) MinDistRect(r geom.Rect, lo, hi int) float64 {
 	return best
 }
 
-// MinDistBox evaluates Equation 10 against a tree-tier box through the
-// anchor (the anchored MinSkelDistBox).
-func (idx *Index) AnchorMinDistBox(a *SkelAnchor, b geom.Rect3) float64 {
-	lo, hi := idx.FloorsOfBox(b)
+// AnchorMinDistBox evaluates Equation 10 against a tree-tier box through
+// the anchor (the anchored MinSkelDistBox).
+func (s *Snapshot) AnchorMinDistBox(a *SkelAnchor, b geom.Rect3) float64 {
+	lo, hi := s.FloorsOfBox(b)
 	return a.MinDistRect(b.Rect, lo, hi)
 }
 
 // AnchorMinDistUnit evaluates Equation 10 against an index unit through
 // the anchor.
-func (idx *Index) AnchorMinDistUnit(a *SkelAnchor, u *Unit) float64 {
+func (s *Snapshot) AnchorMinDistUnit(a *SkelAnchor, u *Unit) float64 {
 	return a.MinDistRect(u.Rect, u.FloorLo, u.FloorHi)
 }
 
 // AnchorObjectMinSkel is ObjectMinSkel through the anchor.
-func (idx *Index) AnchorObjectMinSkel(a *SkelAnchor, id object.ID) float64 {
+func (s *Snapshot) AnchorObjectMinSkel(a *SkelAnchor, id object.ID) float64 {
 	best := math.Inf(1)
-	for _, s := range idx.subregions[id] {
-		u := idx.units[s.Unit]
+	for _, sub := range s.entryOf(id).subs {
+		u := s.topo.unitAt(sub.Unit)
 		if u == nil {
 			continue
 		}
-		if v := a.MinDistRect(s.MBR, u.FloorLo, u.FloorHi); v < best {
+		if v := a.MinDistRect(sub.MBR, u.FloorLo, u.FloorHi); v < best {
 			best = v
 		}
 	}
@@ -226,33 +225,38 @@ func (idx *Index) AnchorObjectMinSkel(a *SkelAnchor, id object.ID) float64 {
 }
 
 // MinSkelDistBox evaluates Equation 10 against a tree-tier box.
+func (s *Snapshot) MinSkelDistBox(q indoor.Position, b geom.Rect3) float64 {
+	lo, hi := s.FloorsOfBox(b)
+	return s.topo.skeleton.MinDistRect(q, b.Rect, lo, hi)
+}
+
+// MinSkelDistUnit evaluates Equation 10 against an index unit.
+func (s *Snapshot) MinSkelDistUnit(q indoor.Position, u *Unit) float64 {
+	return s.topo.skeleton.MinDistRect(q, u.Rect, u.FloorLo, u.FloorHi)
+}
+
+// SkeletonDist is Definition 2 for two indoor positions.
+func (s *Snapshot) SkeletonDist(q, p indoor.Position) float64 {
+	return s.topo.skeleton.Dist(q, p)
+}
+
+// Index-level skeleton conveniences over the current snapshot. Anchors
+// deliberately have no Index-level counterparts: a SkelAnchor is bound to
+// the snapshot that created it, and evaluating it against a *different*
+// (current) snapshot would mix index versions — pin a Snapshot and anchor
+// through it instead.
+
+// MinSkelDistBox evaluates Equation 10 against a tree-tier box.
 func (idx *Index) MinSkelDistBox(q indoor.Position, b geom.Rect3) float64 {
-	lo, hi := idx.FloorsOfBox(b)
-	return idx.skeleton.MinDistRect(q, b.Rect, lo, hi)
+	return idx.Current().MinSkelDistBox(q, b)
 }
 
 // MinSkelDistUnit evaluates Equation 10 against an index unit.
 func (idx *Index) MinSkelDistUnit(q indoor.Position, u *Unit) float64 {
-	return idx.skeleton.MinDistRect(q, u.Rect, u.FloorLo, u.FloorHi)
+	return idx.Current().MinSkelDistUnit(q, u)
 }
 
 // SkeletonDist is Definition 2 for two indoor positions.
 func (idx *Index) SkeletonDist(q, p indoor.Position) float64 {
-	return idx.skeleton.Dist(q, p)
-}
-
-// RebuildSkeleton recomputes the skeleton tier; the index calls this
-// automatically after topological updates that involve staircases, and
-// callers may invoke it after out-of-band building mutations. Because an
-// out-of-band mutation may also have changed doors, the topology epoch
-// advances so the door-graph tier recompiles too.
-func (idx *Index) RebuildSkeleton() {
-	idx.mu.Lock()
-	defer idx.mu.Unlock()
-	idx.topoEpoch++
-	idx.rebuildSkeletonLocked()
-}
-
-func (idx *Index) rebuildSkeletonLocked() {
-	idx.skeleton = buildSkeleton(idx.b, idx)
+	return idx.Current().SkeletonDist(q, p)
 }

@@ -90,7 +90,7 @@ func TestSkeletonDistCrossFloor(t *testing.T) {
 func TestSkeletonDistUnreachableWithoutStairs(t *testing.T) {
 	b := mall(t, 1) // single floor: no staircases
 	idx := buildIdx(t, b, nil)
-	d := idx.skeleton.Dist(indoor.Pos(10, 10, 0), indoor.Pos(10, 10, 5))
+	d := idx.Skeleton().Dist(indoor.Pos(10, 10, 0), indoor.Pos(10, 10, 5))
 	if !math.IsInf(d, 1) {
 		t.Errorf("skeleton dist without stairs = %g, want +Inf", d)
 	}
@@ -105,15 +105,15 @@ func TestMinSkelDistMonotoneInContainment(t *testing.T) {
 	inner := geom.R(400, 400, 420, 420)
 	outer := geom.R(390, 390, 470, 470)
 	for _, floors := range [][2]int{{0, 0}, {1, 1}, {1, 2}} {
-		di := idx.skeleton.MinDistRect(q, inner, floors[0], floors[1])
-		do := idx.skeleton.MinDistRect(q, outer, floors[0], floors[1])
+		di := idx.Skeleton().MinDistRect(q, inner, floors[0], floors[1])
+		do := idx.Skeleton().MinDistRect(q, outer, floors[0], floors[1])
 		if do > di+1e-9 {
 			t.Errorf("floors %v: outer box farther than inner (%g > %g)", floors, do, di)
 		}
 	}
 	// Widening the floor interval to include q's floor can only shrink it.
-	dNarrow := idx.skeleton.MinDistRect(q, inner, 1, 1)
-	dWide := idx.skeleton.MinDistRect(q, inner, 0, 1)
+	dNarrow := idx.Skeleton().MinDistRect(q, inner, 1, 1)
+	dWide := idx.Skeleton().MinDistRect(q, inner, 0, 1)
 	if dWide > dNarrow+1e-9 {
 		t.Errorf("wider floor span increased the bound: %g > %g", dWide, dNarrow)
 	}
@@ -145,8 +145,8 @@ func TestMinSkelDistBoxLowerBoundsPoints(t *testing.T) {
 func TestFloorsOfBox(t *testing.T) {
 	b := mall(t, 5)
 	idx := buildIdx(t, b, nil)
-	for _, u := range idx.units {
-		box := idx.unitBox(u)
+	for _, u := range idx.Current().topo.units {
+		box := unitBox(b, u)
 		lo, hi := idx.FloorsOfBox(box)
 		if lo != u.FloorLo || hi != u.FloorHi {
 			t.Fatalf("unit %d floors [%d,%d] recovered as [%d,%d]",

@@ -22,11 +22,11 @@ type Subregion struct {
 }
 
 // computeSubregions groups an object's instances by index unit using the
-// supplied locator (the tree tier by default; MoveObject passes an
+// supplied locator (the tree tier by default; moveObject passes an
 // adjacency-accelerated locator). Instances the locator cannot place are
 // dropped from subregions; the generator keeps all instances inside
 // walkable space, so this only occurs transiently during topology changes.
-func (idx *Index) computeSubregions(o *object.Object, locate func(indoor.Position) *Unit) []Subregion {
+func computeSubregions(o *object.Object, locate func(indoor.Position) *Unit) []Subregion {
 	byUnit := make(map[UnitID]*Subregion)
 	var order []UnitID
 	for i, in := range o.Instances {
@@ -56,22 +56,22 @@ func (idx *Index) computeSubregions(o *object.Object, locate func(indoor.Positio
 }
 
 // ObjectSubregions returns the cached subregion split of an object, or nil
-// for unknown objects. The returned slice is owned by the index.
-func (idx *Index) ObjectSubregions(id object.ID) []Subregion {
-	return idx.subregions[id]
+// for unknown objects. The returned slice is owned by the snapshot.
+func (s *Snapshot) ObjectSubregions(id object.ID) []Subregion {
+	return s.entryOf(id).subs
 }
 
 // ObjectMinSkel returns the minimum skeleton distance (Equation 10) from q
 // to any subregion of the object — the object-level geometric lower bound
 // used by the filtering phase. Unknown objects report +Inf.
-func (idx *Index) ObjectMinSkel(q indoor.Position, id object.ID) float64 {
+func (s *Snapshot) ObjectMinSkel(q indoor.Position, id object.ID) float64 {
 	best := math.Inf(1)
-	for _, s := range idx.subregions[id] {
-		u := idx.units[s.Unit]
+	for _, sub := range s.entryOf(id).subs {
+		u := s.topo.unitAt(sub.Unit)
 		if u == nil {
 			continue
 		}
-		if v := idx.skeleton.MinDistRect(q, s.MBR, u.FloorLo, u.FloorHi); v < best {
+		if v := s.topo.skeleton.MinDistRect(q, sub.MBR, u.FloorLo, u.FloorHi); v < best {
 			best = v
 		}
 	}
@@ -81,15 +81,15 @@ func (idx *Index) ObjectMinSkel(q indoor.Position, id object.ID) float64 {
 // ObjectMinEuclid3 returns the 3D Euclidean lower bound from q to any
 // subregion MBR — the weaker geometric bound used when the skeleton tier is
 // disabled (the Fig 15(a) ablation).
-func (idx *Index) ObjectMinEuclid3(q indoor.Position, id object.ID) float64 {
-	qz := geom.Pt3(q.Pt.X, q.Pt.Y, idx.b.Elevation(q.Floor))
+func (s *Snapshot) ObjectMinEuclid3(q indoor.Position, id object.ID) float64 {
+	qz := geom.Pt3(q.Pt.X, q.Pt.Y, s.b.Elevation(q.Floor))
 	best := math.Inf(1)
-	for _, s := range idx.subregions[id] {
-		u := idx.units[s.Unit]
+	for _, sub := range s.entryOf(id).subs {
+		u := s.topo.unitAt(sub.Unit)
 		if u == nil {
 			continue
 		}
-		box := geom.R3(s.MBR, idx.b.Elevation(u.FloorLo), idx.b.Elevation(u.FloorHi))
+		box := geom.R3(sub.MBR, s.b.Elevation(u.FloorLo), s.b.Elevation(u.FloorHi))
 		if v := box.MinDist3(qz); v < best {
 			best = v
 		}
@@ -99,17 +99,17 @@ func (idx *Index) ObjectMinEuclid3(q indoor.Position, id object.ID) float64 {
 
 // MultiPartition reports whether the object's subregions span more than one
 // indoor partition (the case routed to probabilistic bounds in Table III).
-func (idx *Index) MultiPartition(id object.ID) bool {
-	subs := idx.subregions[id]
+func (s *Snapshot) MultiPartition(id object.ID) bool {
+	subs := s.entryOf(id).subs
 	if len(subs) < 2 {
 		return false
 	}
-	u0 := idx.unitAt(subs[0].Unit)
+	u0 := s.topo.unitAt(subs[0].Unit)
 	if u0 == nil {
 		return false
 	}
-	for _, s := range subs[1:] {
-		if u := idx.unitAt(s.Unit); u != nil && u.Part != u0.Part {
+	for _, sub := range subs[1:] {
+		if u := s.topo.unitAt(sub.Unit); u != nil && u.Part != u0.Part {
 			return true
 		}
 	}

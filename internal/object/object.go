@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/indoor"
+	"repro/internal/pvec"
 )
 
 // ID identifies an uncertain object within a Store or index.
@@ -184,89 +186,165 @@ func PointObject(id ID, pos indoor.Position) *Object {
 	}
 }
 
-// Store is an id-addressed collection of objects with deterministic
-// iteration order. It is the backing container of the composite index's
-// object layer.
+// Store is a persistent (copy-on-write) id-addressed collection of
+// objects: the backing container of the composite index's object layer. A
+// Store is immutable once built — readers may use it from any goroutine
+// with no locking — and editing goes through Mutate, which produces a new
+// Store sharing untouched storage with the old one.
 //
-// Every live object also carries a dense *slot index* in [0, SlotBound()):
+// Every live object carries a dense *slot index* in [0, SlotBound()):
 // slots are assigned at insertion, recycled on removal, and stay put while
-// the object lives. Query processors key per-query visited stamps by slot,
-// so the stamp arrays stay proportional to the number of live objects even
-// when the ID space is sparse.
+// the object lives (re-adding a live id keeps its slot). Slot stability
+// across versions is what makes the store "slot-versioned": index layers
+// keyed by slot stay valid across every edit that does not remove the
+// object, and query processors key per-query visited stamps by slot so
+// stamp arrays stay proportional to the number of live objects even when
+// the ID space is sparse.
 type Store struct {
-	objs  map[ID]*Object
-	slots map[ID]int32
-	free  []int32
-	nSlot int32
-	next  ID
+	byID map[ID]int32      // id → slot
+	recs pvec.Vec[*Object] // slot → object (nil for freed slots)
+	free []int32
+	next ID
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{objs: make(map[ID]*Object), slots: make(map[ID]int32)}
-}
-
-// Add inserts o, assigning it the next free ID when o.ID is negative.
-// Re-adding a live id replaces the object and keeps its slot.
-func (s *Store) Add(o *Object) ID {
-	if o.ID < 0 {
-		o.ID = s.next
-	}
-	if o.ID >= s.next {
-		s.next = o.ID + 1
-	}
-	if _, ok := s.slots[o.ID]; !ok {
-		if n := len(s.free); n > 0 {
-			s.slots[o.ID] = s.free[n-1]
-			s.free = s.free[:n-1]
-		} else {
-			s.slots[o.ID] = s.nSlot
-			s.nSlot++
-		}
-	}
-	s.objs[o.ID] = o
-	return o.ID
+	return &Store{byID: make(map[ID]int32)}
 }
 
 // Get returns the object with the given id, or nil.
-func (s *Store) Get(id ID) *Object { return s.objs[id] }
+func (s *Store) Get(id ID) *Object {
+	slot, ok := s.byID[id]
+	if !ok {
+		return nil
+	}
+	return s.recs.At(int(slot))
+}
 
 // SlotOf returns the dense slot index of a live object, or -1.
 func (s *Store) SlotOf(id ID) int32 {
-	if slot, ok := s.slots[id]; ok {
+	if slot, ok := s.byID[id]; ok {
 		return slot
 	}
 	return -1
 }
 
 // SlotBound returns an exclusive upper bound on live slot indices.
-func (s *Store) SlotBound() int { return int(s.nSlot) }
-
-// Remove deletes the object with the given id and reports whether it
-// existed. Its slot is recycled for a future insertion.
-func (s *Store) Remove(id ID) bool {
-	if _, ok := s.objs[id]; !ok {
-		return false
-	}
-	s.free = append(s.free, s.slots[id])
-	delete(s.slots, id)
-	delete(s.objs, id)
-	return true
-}
+func (s *Store) SlotBound() int { return s.recs.Len() }
 
 // Len returns the number of stored objects.
-func (s *Store) Len() int { return len(s.objs) }
+func (s *Store) Len() int { return len(s.byID) }
 
 // IDs returns all object ids in ascending order.
 func (s *Store) IDs() []ID {
-	out := make([]ID, 0, len(s.objs))
-	for id := range s.objs {
+	out := make([]ID, 0, len(s.byID))
+	for id := range s.byID {
 		out = append(out, id)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// Mutate opens an edit session. Replacing a live object is cheap (no map
+// copy — the id/slot structure is untouched); the first insertion or
+// removal of a session pays one copy of the id map. The base store and
+// every previously frozen version stay untouched whatever the session
+// does.
+func (s *Store) Mutate() *StoreMut {
+	return &StoreMut{byID: s.byID, recs: s.recs.Mutate(), free: s.free, next: s.next}
+}
+
+// StoreMut is a mutable edit session over a Store. Not safe for concurrent
+// use.
+type StoreMut struct {
+	byID  map[ID]int32
+	recs  *pvec.Mut[*Object]
+	free  []int32
+	next  ID
+	owned bool // byID and free are private copies
+}
+
+// ownMaps clones the id/slot structure before the first structural change.
+func (m *StoreMut) ownMaps() {
+	if m.owned {
+		return
+	}
+	fresh := make(map[ID]int32, len(m.byID)+1)
+	for id, slot := range m.byID {
+		fresh[id] = slot
+	}
+	m.byID = fresh
+	m.free = append([]int32(nil), m.free...)
+	m.owned = true
+}
+
+// Put inserts o, assigning it the next free ID when o.ID is negative.
+// Re-adding a live id replaces the object and keeps its slot.
+func (m *StoreMut) Put(o *Object) ID {
+	if o.ID < 0 {
+		o.ID = m.next
+	}
+	if o.ID >= m.next {
+		m.next = o.ID + 1
+	}
+	slot, ok := m.byID[o.ID]
+	if !ok {
+		m.ownMaps()
+		if n := len(m.free); n > 0 {
+			slot = m.free[n-1]
+			m.free = m.free[:n-1]
+			m.recs.Set(int(slot), o)
+		} else {
+			slot = int32(m.recs.Append(o))
+		}
+		m.byID[o.ID] = slot
+		return o.ID
+	}
+	m.recs.Set(int(slot), o)
+	return o.ID
+}
+
+// Remove deletes the object with the given id and reports whether it
+// existed. Its slot is recycled for a future insertion.
+func (m *StoreMut) Remove(id ID) bool {
+	slot, ok := m.byID[id]
+	if !ok {
+		return false
+	}
+	m.ownMaps()
+	m.recs.Set(int(slot), nil)
+	m.free = append(m.free, slot)
+	delete(m.byID, id)
+	return true
+}
+
+// Get returns the session's current object for id, or nil.
+func (m *StoreMut) Get(id ID) *Object {
+	slot, ok := m.byID[id]
+	if !ok {
+		return nil
+	}
+	return m.recs.At(int(slot))
+}
+
+// SlotOf returns the session's current slot for id, or -1.
+func (m *StoreMut) SlotOf(id ID) int32 {
+	if slot, ok := m.byID[id]; ok {
+		return slot
+	}
+	return -1
+}
+
+// SlotBound returns the session's current exclusive slot bound.
+func (m *StoreMut) SlotBound() int { return m.recs.Len() }
+
+// Len returns the session's current object count.
+func (m *StoreMut) Len() int { return len(m.byID) }
+
+// Freeze publishes the session as an immutable Store. The session keeps
+// working afterwards; all its storage reverts to shared, so later edits
+// copy again instead of mutating the published version.
+func (m *StoreMut) Freeze() *Store {
+	m.owned = false
+	return &Store{byID: m.byID, recs: m.recs.Freeze(), free: m.free, next: m.next}
 }

@@ -177,14 +177,15 @@ func TestSplitSingletonFastPath(t *testing.T) {
 }
 
 func TestStore(t *testing.T) {
-	s := NewStore()
+	m := NewStore().Mutate()
 	a := PointObject(-1, indoor.Pos(0, 0, 0))
-	idA := s.Add(a)
+	idA := m.Put(a)
 	b := PointObject(-1, indoor.Pos(1, 1, 0))
-	idB := s.Add(b)
+	idB := m.Put(b)
 	if idA == idB {
 		t.Fatal("auto-assigned IDs must differ")
 	}
+	s := m.Freeze()
 	if s.Len() != 2 || s.Get(idA) != a || s.Get(idB) != b {
 		t.Fatal("store lookup broken")
 	}
@@ -192,18 +193,64 @@ func TestStore(t *testing.T) {
 	if len(ids) != 2 || ids[0] > ids[1] {
 		t.Errorf("IDs() = %v, want ascending", ids)
 	}
-	if !s.Remove(idA) || s.Remove(idA) {
+	m = s.Mutate()
+	if !m.Remove(idA) || m.Remove(idA) {
 		t.Error("Remove must report existence correctly")
 	}
-	if s.Len() != 1 {
-		t.Errorf("len = %d after removal", s.Len())
+	s2 := m.Freeze()
+	if s2.Len() != 1 {
+		t.Errorf("len = %d after removal", s2.Len())
 	}
-	// Explicit-ID add advances the allocator.
+	// Explicit-ID put advances the allocator.
+	m = s2.Mutate()
 	c := PointObject(100, indoor.Pos(2, 2, 0))
-	s.Add(c)
+	m.Put(c)
 	d := PointObject(-1, indoor.Pos(3, 3, 0))
-	if id := s.Add(d); id <= 100 {
+	if id := m.Put(d); id <= 100 {
 		t.Errorf("allocator did not advance past explicit ID: %d", id)
+	}
+}
+
+// TestStoreSnapshotIsolation pins the MVCC contract: frozen stores never
+// observe later edits, slots stay put across replaces, and removal recycles
+// slots only for versions that come after it.
+func TestStoreSnapshotIsolation(t *testing.T) {
+	m := NewStore().Mutate()
+	for i := 0; i < 100; i++ {
+		m.Put(PointObject(ID(i), indoor.Pos(float64(i), 0, 0)))
+	}
+	v1 := m.Freeze()
+
+	// Replace keeps the slot and must not show through v1.
+	m = v1.Mutate()
+	slotBefore := m.SlotOf(7)
+	repl := PointObject(7, indoor.Pos(-1, -1, 0))
+	m.Put(repl)
+	m.Remove(40)
+	v2 := m.Freeze()
+
+	if v1.Get(7).Center.Pt.X != 7 {
+		t.Fatal("v1 observed a replace from v2")
+	}
+	if v1.Get(40) == nil || v1.Len() != 100 {
+		t.Fatal("v1 observed a removal from v2")
+	}
+	if v2.Get(7) != repl || v2.SlotOf(7) != slotBefore {
+		t.Fatal("replace must keep the slot")
+	}
+	if v2.Get(40) != nil || v2.Len() != 99 {
+		t.Fatal("v2 missing its own removal")
+	}
+
+	// The freed slot is recycled in a later version without disturbing v2.
+	m = v2.Mutate()
+	m.Put(PointObject(500, indoor.Pos(5, 5, 0)))
+	v3 := m.Freeze()
+	if v3.SlotBound() != v2.SlotBound() {
+		t.Fatalf("slot not recycled: bound %d -> %d", v2.SlotBound(), v3.SlotBound())
+	}
+	if v2.Get(500) != nil || v3.Get(500) == nil {
+		t.Fatal("recycled insertion leaked across versions")
 	}
 }
 

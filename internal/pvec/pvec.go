@@ -1,0 +1,134 @@
+// Package pvec provides a chunked persistent vector: an index-addressed
+// sequence whose snapshots share storage structurally. A Vec is an
+// immutable value; editing goes through a Mut, which owns the chunk spine
+// and each 64-element chunk lazily (copy-on-first-write), so an edit
+// session touching k elements costs O(len/64 + 64·k) regardless of how
+// many earlier snapshots still alias the untouched storage — and a
+// session that only reads costs nothing at all.
+//
+// The MVCC index uses Vec for every slot- or id-indexed layer table
+// (object records by store slot, buckets by unit id): publishing a new
+// snapshot after moving one object copies one spine and a few chunks,
+// never the table.
+package pvec
+
+const (
+	chunkShift = 6
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+)
+
+// Vec is an immutable chunked vector. The zero value is an empty vector.
+// Vecs are values: copying one is O(1) and both copies alias the same
+// storage, which is safe because no operation on a Vec writes to it.
+type Vec[T any] struct {
+	chunks [][]T
+	n      int
+}
+
+// Len returns the number of elements.
+func (v Vec[T]) Len() int { return v.n }
+
+// At returns the element at index i; it panics when i is out of range.
+func (v Vec[T]) At(i int) T {
+	if i < 0 || i >= v.n {
+		panic("pvec: index out of range")
+	}
+	return v.chunks[i>>chunkShift][i&chunkMask]
+}
+
+// Mutate opens an edit session over the vector's contents. The session
+// starts out aliasing the spine and every chunk; both are copied lazily on
+// first write.
+func (v Vec[T]) Mutate() *Mut[T] {
+	return &Mut[T]{chunks: v.chunks, owned: make([]bool, len(v.chunks)), n: v.n}
+}
+
+// Mut is a mutable edit session producing new Vecs. It is not safe for
+// concurrent use.
+type Mut[T any] struct {
+	chunks     [][]T
+	owned      []bool
+	n          int
+	spineOwned bool
+}
+
+// Len returns the current number of elements.
+func (m *Mut[T]) Len() int { return m.n }
+
+// At returns the element at index i; it panics when i is out of range.
+func (m *Mut[T]) At(i int) T {
+	if i < 0 || i >= m.n {
+		panic("pvec: index out of range")
+	}
+	return m.chunks[i>>chunkShift][i&chunkMask]
+}
+
+// ownSpine ensures the chunk spine is writable, copying it when it is
+// still aliased by a Vec (the Mutate source or a previous Freeze).
+func (m *Mut[T]) ownSpine() {
+	if !m.spineOwned {
+		m.chunks = append(make([][]T, 0, len(m.chunks)+1), m.chunks...)
+		m.spineOwned = true
+	}
+}
+
+// own ensures chunk c is writable, copying it when still shared.
+func (m *Mut[T]) own(c int) []T {
+	if !m.owned[c] {
+		m.ownSpine()
+		fresh := make([]T, chunkSize)
+		copy(fresh, m.chunks[c])
+		m.chunks[c] = fresh
+		m.owned[c] = true
+	}
+	return m.chunks[c]
+}
+
+// Set stores x at index i; it panics when i is out of range.
+func (m *Mut[T]) Set(i int, x T) {
+	if i < 0 || i >= m.n {
+		panic("pvec: index out of range")
+	}
+	m.own(i >> chunkShift)[i&chunkMask] = x
+}
+
+// Grow extends the vector with zero values up to length n (no-op when
+// already at least that long).
+func (m *Mut[T]) Grow(n int) {
+	for m.n < n {
+		if m.n>>chunkShift == len(m.chunks) {
+			m.ownSpine()
+			m.chunks = append(m.chunks, make([]T, chunkSize))
+			m.owned = append(m.owned, true)
+		}
+		// The tail chunk may be shared with a shorter frozen Vec whose
+		// spare capacity we are about to expose; own it before the new
+		// slots become writable.
+		m.own(m.n >> chunkShift)
+		m.n = ((m.n >> chunkShift) + 1) << chunkShift
+		if m.n > n {
+			m.n = n
+		}
+	}
+}
+
+// Append adds x at the end and returns its index.
+func (m *Mut[T]) Append(x T) int {
+	i := m.n
+	m.Grow(i + 1)
+	m.Set(i, x)
+	return i
+}
+
+// Freeze publishes the session as an immutable Vec, allocation-free: the
+// Vec aliases the session's spine and chunks. The Mut keeps working
+// afterwards — everything reverts to shared, so its next write copies
+// again rather than mutating the published snapshot.
+func (m *Mut[T]) Freeze() Vec[T] {
+	for i := range m.owned {
+		m.owned[i] = false
+	}
+	m.spineOwned = false
+	return Vec[T]{chunks: m.chunks, n: m.n}
+}

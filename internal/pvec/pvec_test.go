@@ -1,0 +1,119 @@
+package pvec
+
+import "testing"
+
+func TestGrowSetAt(t *testing.T) {
+	var v Vec[int]
+	if v.Len() != 0 {
+		t.Fatalf("zero Vec length %d", v.Len())
+	}
+	m := v.Mutate()
+	m.Grow(200)
+	for i := 0; i < 200; i += 7 {
+		m.Set(i, i*i)
+	}
+	f := m.Freeze()
+	if f.Len() != 200 {
+		t.Fatalf("frozen length %d", f.Len())
+	}
+	for i := 0; i < 200; i++ {
+		want := 0
+		if i%7 == 0 {
+			want = i * i
+		}
+		if f.At(i) != want {
+			t.Fatalf("At(%d) = %d, want %d", i, f.At(i), want)
+		}
+	}
+}
+
+func TestAppendReturnsIndex(t *testing.T) {
+	m := Vec[string]{}.Mutate()
+	for i := 0; i < 130; i++ {
+		if got := m.Append("x"); got != i {
+			t.Fatalf("Append #%d returned %d", i, got)
+		}
+	}
+	if m.Len() != 130 {
+		t.Fatalf("length %d after appends", m.Len())
+	}
+}
+
+// TestSnapshotIsolation is the load-bearing property: edits after Freeze
+// must never show through a frozen Vec, across chunk boundaries and
+// through chained freezes.
+func TestSnapshotIsolation(t *testing.T) {
+	m := Vec[int]{}.Mutate()
+	m.Grow(100)
+	for i := 0; i < 100; i++ {
+		m.Set(i, i)
+	}
+	a := m.Freeze()
+	m.Set(3, -1)
+	m.Set(90, -1)
+	m.Grow(150)
+	m.Set(140, -1)
+	b := m.Freeze()
+	m.Set(3, -2)
+
+	if a.Len() != 100 || b.Len() != 150 {
+		t.Fatalf("lengths a=%d b=%d", a.Len(), b.Len())
+	}
+	for i := 0; i < 100; i++ {
+		want := i
+		if got := a.At(i); got != want {
+			t.Fatalf("a.At(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if b.At(3) != -1 || b.At(90) != -1 || b.At(140) != -1 {
+		t.Fatalf("b lost its edits: %d %d %d", b.At(3), b.At(90), b.At(140))
+	}
+}
+
+// TestDivergentBranches freezes two independent edit sessions off one base
+// and checks neither sees the other's writes, including zero-fill of
+// regions the sibling grew into.
+func TestDivergentBranches(t *testing.T) {
+	m := Vec[int]{}.Mutate()
+	m.Grow(10)
+	for i := 0; i < 10; i++ {
+		m.Set(i, 1)
+	}
+	base := m.Freeze()
+
+	m1 := base.Mutate()
+	m1.Grow(20)
+	for i := 10; i < 20; i++ {
+		m1.Set(i, 2)
+	}
+	b1 := m1.Freeze()
+
+	m2 := base.Mutate()
+	m2.Grow(15)
+	b2 := m2.Freeze()
+
+	for i := 10; i < 15; i++ {
+		if got := b2.At(i); got != 0 {
+			t.Fatalf("b2.At(%d) = %d, want zero-filled growth", i, got)
+		}
+	}
+	for i := 10; i < 20; i++ {
+		if got := b1.At(i); got != 2 {
+			t.Fatalf("b1.At(%d) = %d, want 2", i, got)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if base.At(i) != 1 {
+			t.Fatalf("base mutated at %d", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	Vec[int]{}.At(0)
+}

@@ -47,11 +47,32 @@ type standingQuery struct {
 	id      int
 	q       indoor.Position
 	r       float64
+	ex      *exec // the pinned snapshot the cached engines are bound to
 	unitSet map[index.UnitID]bool
 	anchor  *index.SkelAnchor
 	eng     *distance.Engine
 	rf      *refiner
 	members map[object.ID]bool
+}
+
+// rebind retargets the standing query's cached engines at a newer
+// snapshot; it fails when the topology epoch changed (the door-distance
+// caches would be stale), in which case the caller refreshes instead.
+func (s *standingQuery) rebind(cur *index.Snapshot) bool {
+	if s.ex == nil || s.ex.s.TopoEpoch() != cur.TopoEpoch() {
+		return false
+	}
+	if !s.eng.Rebind(cur) {
+		return false
+	}
+	if s.rf.ext != nil && !s.rf.ext.Rebind(cur) {
+		return false
+	}
+	if s.rf.full != nil && !s.rf.full.Rebind(cur) {
+		return false
+	}
+	s.ex.s = cur
+	return true
 }
 
 // release returns the standing query's cached engines to the scratch pool.
@@ -90,27 +111,27 @@ func (m *Monitor) Register(q indoor.Position, r float64) (int, []object.ID, erro
 }
 
 // refresh re-runs the filtering and subgraph phases for a standing query
-// and re-evaluates every candidate object, under the index's read lock.
-// The previous cached engines (phase and escalation) release their pooled
-// scratch only after the new engine exists, so a failed refresh (e.g. the
-// query point's partition was removed) leaves the old engines in place
-// instead of a nil engine that would panic on the next reconcile.
+// against a freshly pinned snapshot and re-evaluates every candidate
+// object. The previous cached engines (phase and escalation) release their
+// pooled scratch only after the new engine exists, so a failed refresh
+// (e.g. the query point's partition was removed) leaves the old engines in
+// place instead of a nil engine that would panic on the next reconcile.
 func (m *Monitor) refresh(s *standingQuery) error {
-	m.p.idx.RLock()
-	defer m.p.idx.RUnlock()
-	units, cands := m.p.rangeSearch(s.q, s.r)
-	eng, err := distance.New(m.p.idx, s.q, units, math.Inf(1))
+	ex := &exec{s: m.p.Pin(), opts: m.p.opts}
+	units, cands := ex.rangeSearch(s.q, s.r)
+	eng, err := distance.New(ex.s, s.q, units, math.Inf(1))
 	if err != nil {
 		return err
 	}
 	s.release()
+	s.ex = ex
 	s.unitSet = make(map[index.UnitID]bool, len(units))
 	for _, u := range units {
 		s.unitSet[u] = true
 	}
-	s.anchor = m.p.anchor(s.q)
+	s.anchor = ex.anchor(s.q)
 	s.eng = eng
-	s.rf = &refiner{p: m.p, q: s.q, r: s.r, eng: eng, stats: &Stats{}}
+	s.rf = &refiner{ex: ex, q: s.q, r: s.r, eng: eng, stats: &Stats{}}
 	s.members = make(map[object.ID]bool)
 	for _, oid := range cands {
 		in, err := m.evalObject(s, oid)
@@ -127,14 +148,15 @@ func (m *Monitor) refresh(s *standingQuery) error {
 // evalObject decides one object's membership against a standing query
 // using the cached engine.
 func (m *Monitor) evalObject(s *standingQuery, oid object.ID) (bool, error) {
-	o := m.p.idx.Objects().Get(oid)
+	snap := s.ex.s
+	o := snap.Objects().Get(oid)
 	if o == nil {
 		return false, nil
 	}
 	// The object must touch the candidate footprint at all (Lemma 6
 	// guarantees objects fully outside it are beyond r).
 	touches := false
-	for _, u := range m.p.idx.ObjectUnitsView(oid) {
+	for _, u := range snap.ObjectUnitsView(oid) {
 		if s.unitSet[u] {
 			touches = true
 			break
@@ -143,7 +165,7 @@ func (m *Monitor) evalObject(s *standingQuery, oid object.ID) (bool, error) {
 	if !touches {
 		return false, nil
 	}
-	if m.p.objectBound(s.anchor, s.q, oid) > s.r {
+	if s.ex.objectBound(s.anchor, s.q, oid) > s.r {
 		return false, nil
 	}
 	b := s.eng.ObjectBounds(o, s.r)
@@ -203,13 +225,27 @@ func (m *Monitor) queryIDs() []int {
 
 // reconcile re-evaluates one object against the standing queries whose
 // footprint it touches (before or after the update) or whose result it was
-// part of, emitting membership events. Runs under the index's read lock.
+// part of, emitting membership events. It pins the current snapshot and
+// rebinds each standing query's cached engines to it — topology-derived
+// caches stay, object reads go to the new version. A standing query whose
+// topology epoch no longer matches (an out-of-band topological change) is
+// refreshed wholesale with a full membership diff instead.
 func (m *Monitor) reconcile(oid object.ID, touched map[index.UnitID]bool) ([]Event, error) {
-	m.p.idx.RLock()
-	defer m.p.idx.RUnlock()
+	cur := m.p.Pin()
 	var events []Event
 	for _, id := range m.queryIDs() {
 		s := m.standing[id]
+		if !s.rebind(cur) {
+			// Topology changed out of band: refresh wholesale. When the
+			// refresh itself fails (e.g. the query point's partition was
+			// removed), keep the stale cached engines — the standing query
+			// answers from its last good snapshot until a later refresh
+			// repairs it, and reconciliation must not crash the stream.
+			if evs, err := m.refreshDiff(s); err == nil {
+				events = append(events, evs...)
+			}
+			continue
+		}
 		affected := s.members[oid]
 		if !affected {
 			for u := range touched {
@@ -239,14 +275,36 @@ func (m *Monitor) reconcile(oid object.ID, touched map[index.UnitID]bool) ([]Eve
 	return events, nil
 }
 
-// addTouched records the units an object currently occupies, under the
-// index's read lock.
+// addTouched records the units an object occupies in the current
+// snapshot.
 func (m *Monitor) addTouched(oid object.ID, touched map[index.UnitID]bool) {
-	m.p.idx.RLock()
-	defer m.p.idx.RUnlock()
 	for _, u := range m.p.idx.ObjectUnits(oid) {
 		touched[u] = true
 	}
+}
+
+// refreshDiff refreshes a standing query and returns the membership delta
+// as events.
+func (m *Monitor) refreshDiff(s *standingQuery) ([]Event, error) {
+	before := make(map[object.ID]bool, len(s.members))
+	for oid := range s.members {
+		before[oid] = true
+	}
+	if err := m.refresh(s); err != nil {
+		return nil, err
+	}
+	var events []Event
+	for oid := range s.members {
+		if !before[oid] {
+			events = append(events, Event{Query: s.id, Object: oid, Entered: true})
+		}
+	}
+	for oid := range before {
+		if !s.members[oid] {
+			events = append(events, Event{Query: s.id, Object: oid, Entered: false})
+		}
+	}
+	return events, nil
 }
 
 // ObjectMoved applies the adjacency-accelerated location update and
@@ -316,24 +374,11 @@ func (m *Monitor) InvalidateTopology() ([]Event, error) {
 func (m *Monitor) invalidateTopology() ([]Event, error) {
 	var events []Event
 	for _, id := range m.queryIDs() {
-		s := m.standing[id]
-		before := make(map[object.ID]bool, len(s.members))
-		for oid := range s.members {
-			before[oid] = true
-		}
-		if err := m.refresh(s); err != nil {
+		evs, err := m.refreshDiff(m.standing[id])
+		if err != nil {
 			return events, err
 		}
-		for oid := range s.members {
-			if !before[oid] {
-				events = append(events, Event{Query: id, Object: oid, Entered: true})
-			}
-		}
-		for oid := range before {
-			if !s.members[oid] {
-				events = append(events, Event{Query: id, Object: oid, Entered: false})
-			}
-		}
+		events = append(events, evs...)
 	}
 	sort.Slice(events, func(i, j int) bool {
 		if events[i].Query != events[j].Query {

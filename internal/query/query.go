@@ -84,7 +84,12 @@ type Result struct {
 	Distance float64
 }
 
-// Processor evaluates queries against one composite index.
+// Processor evaluates queries against one composite index. Every query
+// pins the index's current snapshot for its whole evaluation (one wait-free
+// atomic load — no locking), so concurrent mutators never block a query
+// and a query never observes a half-applied mutation. The *On variants
+// evaluate against an explicitly pinned snapshot; the serving layer uses
+// them to give a whole batch one consistent point-in-time view.
 type Processor struct {
 	idx  *index.Index
 	opts Options
@@ -95,66 +100,65 @@ func New(idx *index.Index, opts Options) *Processor {
 	return &Processor{idx: idx, opts: opts}
 }
 
-// Warm ensures the index's door-graph tier is compiled for the current
-// topology epoch, so the first query after a topology change does not pay
-// the recompile inside its own latency. The serving layer calls this once
-// per batch; it is cheap when the graph is already current.
-func (p *Processor) Warm() {
-	p.idx.RLock()
-	defer p.idx.RUnlock()
-	p.idx.DoorGraph()
+// Pin returns the index's current snapshot for use with the *On variants.
+func (p *Processor) Pin() *index.Snapshot { return p.idx.Current() }
+
+// exec is one query evaluation bound to a pinned snapshot.
+type exec struct {
+	s    *index.Snapshot
+	opts Options
 }
 
 // anchor prepares the per-query skeleton anchor the geometric bounds
 // evaluate through (nil under the skeleton ablation, which uses Euclidean
 // bounds instead).
-func (p *Processor) anchor(q indoor.Position) *index.SkelAnchor {
-	if p.opts.DisableSkeleton {
+func (ex *exec) anchor(q indoor.Position) *index.SkelAnchor {
+	if ex.opts.DisableSkeleton {
 		return nil
 	}
-	return p.idx.NewSkelAnchor(q)
+	return ex.s.NewSkelAnchor(q)
 }
 
 // geomBound returns the geometric lower bound used by the filtering phase:
 // Equation 10 (through the query's anchor) by default, plain 3D Euclidean
 // under the ablation.
-func (p *Processor) geomBound(a *index.SkelAnchor, q indoor.Position, box geom.Rect3) float64 {
+func (ex *exec) geomBound(a *index.SkelAnchor, q indoor.Position, box geom.Rect3) float64 {
 	if a == nil {
-		qz := geom.Pt3(q.Pt.X, q.Pt.Y, p.idx.Building().Elevation(q.Floor))
+		qz := geom.Pt3(q.Pt.X, q.Pt.Y, ex.s.Building().Elevation(q.Floor))
 		return box.MinDist3(qz)
 	}
-	return p.idx.AnchorMinDistBox(a, box)
+	return ex.s.AnchorMinDistBox(a, box)
 }
 
 // objectBound is the object-level geometric lower bound.
-func (p *Processor) objectBound(a *index.SkelAnchor, q indoor.Position, id object.ID) float64 {
+func (ex *exec) objectBound(a *index.SkelAnchor, q indoor.Position, id object.ID) float64 {
 	if a == nil {
-		return p.idx.ObjectMinEuclid3(q, id)
+		return ex.s.ObjectMinEuclid3(q, id)
 	}
-	return p.idx.AnchorObjectMinSkel(a, id)
+	return ex.s.AnchorObjectMinSkel(a, id)
 }
 
 // rangeSearch is Algorithm 4: it walks the tree tier pruning with the
 // geometric lower bound, returning the candidate units Rp and candidate
 // objects Ro. The cross-unit seen-set is a pooled visited stamp keyed by
 // the object store's slot index, so the walk allocates no per-query map.
-func (p *Processor) rangeSearch(q indoor.Position, r float64) (units []index.UnitID, objs []object.ID) {
-	store := p.idx.Objects()
+func (ex *exec) rangeSearch(q indoor.Position, r float64) (units []index.UnitID, objs []object.ID) {
+	store := ex.s.Objects()
 	sc := graph.AcquireScratch()
 	defer sc.Release()
 	sc.Reset(0, store.SlotBound())
-	a := p.anchor(q)
-	p.idx.SearchTree(
-		func(box geom.Rect3) bool { return p.geomBound(a, q, box) <= r },
+	a := ex.anchor(q)
+	ex.s.SearchTree(
+		func(box geom.Rect3) bool { return ex.geomBound(a, q, box) <= r },
 		func(u *index.Unit) {
 			units = append(units, u.ID)
-			for _, oid := range p.idx.BucketObjectsView(u.ID) {
+			for _, oid := range ex.s.BucketObjectsView(u.ID) {
 				slot := store.SlotOf(oid)
 				if slot < 0 || sc.Marked(slot) {
 					continue
 				}
 				sc.Mark(slot)
-				if p.objectBound(a, q, oid) <= r {
+				if ex.objectBound(a, q, oid) <= r {
 					objs = append(objs, oid)
 				}
 			}
@@ -166,11 +170,11 @@ func (p *Processor) rangeSearch(q indoor.Position, r float64) (units []index.Uni
 
 // rangeUnits is the unit-only tree walk of Algorithm 4, used to build
 // extended refinement engines without paying the object-side work.
-func (p *Processor) rangeUnits(q indoor.Position, r float64) []index.UnitID {
+func (ex *exec) rangeUnits(q indoor.Position, r float64) []index.UnitID {
 	var units []index.UnitID
-	a := p.anchor(q)
-	p.idx.SearchTree(
-		func(box geom.Rect3) bool { return p.geomBound(a, q, box) <= r },
+	a := ex.anchor(q)
+	ex.s.SearchTree(
+		func(box geom.Rect3) bool { return ex.geomBound(a, q, box) <= r },
 		func(u *index.Unit) { units = append(units, u.ID) },
 	)
 	return units
@@ -182,7 +186,7 @@ func (p *Processor) rangeUnits(q indoor.Position, r float64) []index.UnitID {
 // the expensive full Dijkstra off the common path (it would otherwise
 // dominate query time on tall buildings).
 type refiner struct {
-	p     *Processor
+	ex    *exec
 	q     indoor.Position
 	r     float64 // the cap the phase engine was filtered with
 	eng   *distance.Engine
@@ -204,7 +208,7 @@ func (rf *refiner) ensureExt() error {
 		return nil
 	}
 	rf.extR = 2*rf.r + 100
-	eng, err := distance.New(rf.p.idx, rf.q, rf.p.rangeUnits(rf.q, rf.extR), math.Inf(1))
+	eng, err := distance.New(rf.ex.s, rf.q, rf.ex.rangeUnits(rf.q, rf.extR), math.Inf(1))
 	if err != nil {
 		return err
 	}
@@ -216,7 +220,7 @@ func (rf *refiner) ensureFull() error {
 	if rf.full != nil {
 		return nil
 	}
-	eng, err := distance.NewFull(rf.p.idx, rf.q)
+	eng, err := distance.NewFull(rf.ex.s, rf.q)
 	if err != nil {
 		return err
 	}
@@ -276,17 +280,22 @@ func (rf *refiner) exact(o *object.Object) (float64, error) {
 }
 
 // RangeQuery evaluates iRQq,r(O) per Algorithm 1, returning the objects
-// whose expected indoor distance is at most r. The whole evaluation runs
-// under the index's read lock, so any number of queries proceed in
-// parallel while each observes one consistent index state.
+// whose expected indoor distance is at most r. The evaluation pins the
+// index's current snapshot, so any number of queries proceed in parallel
+// — never blocked by writers — while each observes one consistent
+// point-in-time index state.
 func (p *Processor) RangeQuery(q indoor.Position, r float64) ([]Result, *Stats, error) {
-	p.idx.RLock()
-	defer p.idx.RUnlock()
-	st := &Stats{TotalObjects: p.idx.Objects().Len()}
+	return p.RangeQueryOn(p.Pin(), q, r)
+}
+
+// RangeQueryOn is RangeQuery against an explicitly pinned snapshot.
+func (p *Processor) RangeQueryOn(s *index.Snapshot, q indoor.Position, r float64) ([]Result, *Stats, error) {
+	ex := &exec{s: s, opts: p.opts}
+	st := &Stats{TotalObjects: s.Objects().Len()}
 
 	// Phase 1: filtering.
 	start := time.Now()
-	units, candidates := p.rangeSearch(q, r)
+	units, candidates := ex.rangeSearch(q, r)
 	st.Filtering = time.Since(start)
 	st.UnitsRetrieved = len(units)
 	st.Candidates = len(candidates)
@@ -295,7 +304,7 @@ func (p *Processor) RangeQuery(q indoor.Position, r float64) ([]Result, *Stats, 
 	// restriction is sound: any path of length ≤ r only crosses units
 	// whose geometric lower bound is ≤ r (Lemma 6).
 	start = time.Now()
-	eng, err := distance.New(p.idx, q, units, math.Inf(1))
+	eng, err := distance.New(s, q, units, math.Inf(1))
 	if err != nil {
 		return nil, st, err
 	}
@@ -311,7 +320,7 @@ func (p *Processor) RangeQuery(q indoor.Position, r float64) ([]Result, *Stats, 
 		undetermined = candidates
 	} else {
 		for _, oid := range candidates {
-			o := p.idx.Objects().Get(oid)
+			o := s.Objects().Get(oid)
 			b := eng.ObjectBounds(o, r)
 			switch {
 			case b.Upper <= r:
@@ -330,10 +339,10 @@ func (p *Processor) RangeQuery(q indoor.Position, r float64) ([]Result, *Stats, 
 	// ladder; brackets only stay open for objects mixing near mass with
 	// far subregions.
 	start = time.Now()
-	rf := &refiner{p: p, q: q, r: r, eng: eng, stats: st}
+	rf := &refiner{ex: ex, q: q, r: r, eng: eng, stats: st}
 	defer rf.Close()
 	for _, oid := range undetermined {
-		o := p.idx.Objects().Get(oid)
+		o := s.Objects().Get(oid)
 		st.Refined++
 		in, d, err := rf.decideWithin(o, r)
 		if err != nil {
@@ -382,14 +391,14 @@ func (h *seedFrontier) Pop() interface{} {
 // *closed* — every unit of their uncertainty region visited — so that the
 // subsequent TLU evaluation over the visited units is finite for k seeds.
 // It returns the visited units Rp1 and the closed seed objects Ro1.
-func (p *Processor) kSeedsSelection(q indoor.Position, k int) (units []index.UnitID, objs []object.ID, err error) {
-	start := p.idx.LocateUnit(q)
+func (ex *exec) kSeedsSelection(q indoor.Position, k int) (units []index.UnitID, objs []object.ID, err error) {
+	start := ex.s.LocateUnit(q)
 	if start == nil {
 		return nil, nil, fmt.Errorf("query: point %v is outside every partition", q)
 	}
 	// The seed flood always keys on the skeleton bound (the ablation only
 	// swaps the filtering bound), so anchor unconditionally.
-	anchor := p.idx.NewSkelAnchor(q)
+	anchor := ex.s.NewSkelAnchor(q)
 	h := seedFrontier{{uid: start.ID, key: 0}}
 	queued := map[index.UnitID]bool{start.ID: true}
 	popped := make(map[index.UnitID]bool)
@@ -401,7 +410,7 @@ func (p *Processor) kSeedsSelection(q indoor.Position, k int) (units []index.Uni
 	for len(h) > 0 && closed < k {
 		cur := heap.Pop(&h).(seedEntry)
 
-		u := p.idx.Unit(cur.uid)
+		u := ex.s.Unit(cur.uid)
 		if u == nil {
 			continue
 		}
@@ -415,13 +424,13 @@ func (p *Processor) kSeedsSelection(q indoor.Position, k int) (units []index.Uni
 			}
 		}
 		delete(waiting, cur.uid)
-		for _, oid := range p.idx.BucketObjectsView(cur.uid) {
+		for _, oid := range ex.s.BucketObjectsView(cur.uid) {
 			if seen[oid] {
 				continue
 			}
 			seen[oid] = true
 			rem := 0
-			for _, ou := range p.idx.ObjectUnitsView(oid) {
+			for _, ou := range ex.s.ObjectUnitsView(oid) {
 				if !popped[ou] {
 					// The flood stays door-connected: the missing unit
 					// will be queued by door expansion, keeping every
@@ -443,12 +452,12 @@ func (p *Processor) kSeedsSelection(q indoor.Position, k int) (units []index.Uni
 			if next == index.NoUnit || queued[next] {
 				continue
 			}
-			nu := p.idx.Unit(next)
+			nu := ex.s.Unit(next)
 			if nu == nil || !d.CanEnter(nu) {
 				continue
 			}
 			queued[next] = true
-			heap.Push(&h, seedEntry{uid: next, key: p.idx.AnchorMinDistUnit(anchor, nu)})
+			heap.Push(&h, seedEntry{uid: next, key: ex.s.AnchorMinDistUnit(anchor, nu)})
 		}
 	}
 	return units, objs, nil
@@ -456,12 +465,16 @@ func (p *Processor) kSeedsSelection(q indoor.Position, k int) (units []index.Uni
 
 // KNNQuery evaluates ikNNq,k(O) per Algorithm 2, returning k objects with
 // the smallest expected indoor distances (fewer when the index holds fewer
-// reachable objects). Like RangeQuery it holds the index's read lock for
-// the whole evaluation.
+// reachable objects). Like RangeQuery it pins one snapshot for the whole
+// evaluation.
 func (p *Processor) KNNQuery(q indoor.Position, k int) ([]Result, *Stats, error) {
-	p.idx.RLock()
-	defer p.idx.RUnlock()
-	st := &Stats{TotalObjects: p.idx.Objects().Len()}
+	return p.KNNQueryOn(p.Pin(), q, k)
+}
+
+// KNNQueryOn is KNNQuery against an explicitly pinned snapshot.
+func (p *Processor) KNNQueryOn(s *index.Snapshot, q indoor.Position, k int) ([]Result, *Stats, error) {
+	ex := &exec{s: s, opts: p.opts}
+	st := &Stats{TotalObjects: s.Objects().Len()}
 	if k <= 0 {
 		return nil, st, nil
 	}
@@ -469,7 +482,7 @@ func (p *Processor) KNNQuery(q indoor.Position, k int) ([]Result, *Stats, error)
 	// Phase 1: filtering — seeds, kbound from the TLU (Lemma 3), then the
 	// geometric range search with kbound.
 	start := time.Now()
-	seedUnits, seeds, err := p.kSeedsSelection(q, k)
+	seedUnits, seeds, err := ex.kSeedsSelection(q, k)
 	if err != nil {
 		return nil, st, err
 	}
@@ -480,26 +493,26 @@ func (p *Processor) KNNQuery(q indoor.Position, k int) ([]Result, *Stats, error)
 		// looser-bound requirement of Lemma 3. With at least k finite
 		// TLUs, the k-th smallest is an upper bound on the k-th nearest
 		// neighbour's expected distance.
-		seedEng, err := distance.New(p.idx, q, seedUnits, math.Inf(1))
+		seedEng, err := distance.New(s, q, seedUnits, math.Inf(1))
 		if err != nil {
 			return nil, st, err
 		}
 		tlus := make([]float64, 0, len(seeds))
 		for _, oid := range seeds {
-			tlus = append(tlus, seedEng.TLU(p.idx.Objects().Get(oid)))
+			tlus = append(tlus, seedEng.TLU(s.Objects().Get(oid)))
 		}
 		seedEng.Close()
 		sort.Float64s(tlus)
 		kbound = tlus[k-1]
 	}
-	units, candidates := p.rangeSearch(q, kbound)
+	units, candidates := ex.rangeSearch(q, kbound)
 	st.Filtering = time.Since(start)
 	st.UnitsRetrieved = len(units)
 	st.Candidates = len(candidates)
 
 	// Phase 2: subgraph.
 	start = time.Now()
-	eng, err := distance.New(p.idx, q, units, math.Inf(1))
+	eng, err := distance.New(s, q, units, math.Inf(1))
 	if err != nil {
 		return nil, st, err
 	}
@@ -514,7 +527,7 @@ func (p *Processor) KNNQuery(q indoor.Position, k int) ([]Result, *Stats, error)
 	}
 	cands := make([]cand, 0, len(candidates))
 	for _, oid := range candidates {
-		o := p.idx.Objects().Get(oid)
+		o := s.Objects().Get(oid)
 		cands = append(cands, cand{id: oid, bounds: eng.ObjectBounds(o, kbound)})
 	}
 	var results []Result
@@ -559,11 +572,11 @@ func (p *Processor) KNNQuery(q indoor.Position, k int) ([]Result, *Stats, error)
 	// subregions beyond kbound) climb the escalation ladder so the final
 	// ordering uses true expected distances.
 	start = time.Now()
-	rf := &refiner{p: p, q: q, r: kbound, eng: eng, stats: st}
+	rf := &refiner{ex: ex, q: q, r: kbound, eng: eng, stats: st}
 	defer rf.Close()
 	exact := make([]Result, 0, len(undetermined))
 	for _, oid := range undetermined {
-		o := p.idx.Objects().Get(oid)
+		o := s.Objects().Get(oid)
 		st.Refined++
 		d, err := rf.exact(o)
 		if err != nil {
@@ -590,7 +603,6 @@ func (p *Processor) KNNQuery(q indoor.Position, k int) ([]Result, *Stats, error)
 
 // KSeedsForTest exposes kSeedsSelection for diagnostics and tests.
 func (p *Processor) KSeedsForTest(q indoor.Position, k int) ([]index.UnitID, []object.ID, error) {
-	p.idx.RLock()
-	defer p.idx.RUnlock()
-	return p.kSeedsSelection(q, k)
+	ex := &exec{s: p.Pin(), opts: p.opts}
+	return ex.kSeedsSelection(q, k)
 }

@@ -53,20 +53,20 @@ func (e *Estimator) multiplicity() float64 {
 	return m
 }
 
-// EstimateRange predicts |iRQ(q, r)|. It holds the index's read lock for
-// the walk, so estimates may run concurrently with queries and updates.
+// EstimateRange predicts |iRQ(q, r)|. It pins one snapshot for the walk,
+// so estimates run concurrently with queries and updates and never block
+// either.
 func (e *Estimator) EstimateRange(q indoor.Position, r float64) float64 {
 	if r < 0 {
 		return 0
 	}
-	e.idx.RLock()
-	defer e.idx.RUnlock()
-	sk := e.idx.Skeleton()
+	s := e.idx.Current()
+	sk := s.Skeleton()
 	var sum float64
-	e.idx.SearchTree(
-		func(box geom.Rect3) bool { return e.idx.MinSkelDistBox(q, box)*e.Alpha <= r },
+	s.SearchTree(
+		func(box geom.Rect3) bool { return s.MinSkelDistBox(q, box)*e.Alpha <= r },
 		func(u *index.Unit) {
-			n := len(e.idx.BucketObjects(u.ID))
+			n := len(s.BucketObjectsView(u.ID))
 			if n == 0 {
 				return
 			}

@@ -120,6 +120,30 @@ func New(fanout int) *Tree {
 	}
 }
 
+// Clone returns a deep copy of the tree that shares no mutable state with
+// the original: mutating either side never affects the other. The MVCC
+// index clones the tree tier when a topology mutation starts editing a
+// snapshot copy-on-write (object updates never touch the tree, so they
+// share it).
+func (t *Tree) Clone() *Tree {
+	c := *t
+	c.root = t.root.clone()
+	return &c
+}
+
+func (n *node) clone() *node {
+	c := &node{leaf: n.leaf, boxes: append([]geom.Rect3(nil), n.boxes...)}
+	if n.leaf {
+		c.ids = append([]int(nil), n.ids...)
+	} else {
+		c.children = make([]*node, len(n.children))
+		for i, ch := range n.children {
+			c.children[i] = ch.clone()
+		}
+	}
+	return c
+}
+
 // Len returns the number of stored entries.
 func (t *Tree) Len() int { return t.size }
 

@@ -294,3 +294,71 @@ func TestBoundsTracksEntries(t *testing.T) {
 		t.Errorf("bounds = %v", b)
 	}
 }
+
+// TestCloneIsolation checks that a cloned tree diverges freely: inserts
+// and deletes on the clone never show through the original's searches, and
+// vice versa.
+func TestCloneIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	orig := New(DefaultFanout)
+	var entries []Entry
+	for i := 0; i < 500; i++ {
+		b := randBox(rng)
+		orig.Insert(b, i)
+		entries = append(entries, Entry{Box: b, ID: i})
+	}
+	clone := orig.Clone()
+	if clone.Len() != orig.Len() || clone.Height() != orig.Height() {
+		t.Fatalf("clone shape: len %d/%d height %d/%d",
+			clone.Len(), orig.Len(), clone.Height(), orig.Height())
+	}
+
+	// Diverge both sides.
+	for i := 0; i < 100; i++ {
+		if !clone.Delete(entries[i].Box, entries[i].ID) {
+			t.Fatalf("clone delete %d failed", i)
+		}
+	}
+	var added []Entry
+	for i := 500; i < 600; i++ {
+		b := randBox(rng)
+		clone.Insert(b, i)
+		added = append(added, Entry{Box: b, ID: i})
+	}
+	for i := 400; i < 450; i++ {
+		if !orig.Delete(entries[i].Box, entries[i].ID) {
+			t.Fatalf("orig delete %d failed", i)
+		}
+	}
+	if err := orig.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	wide := geom.R3(geom.R(-10, -10, 700, 700), -1, 100)
+	gotOrig := treeRange(orig, wide)
+	gotClone := treeRange(clone, wide)
+	wantOrig := make(map[int]bool)
+	for i, e := range entries {
+		if i < 400 || i >= 450 {
+			wantOrig[e.ID] = true
+		}
+	}
+	wantClone := make(map[int]bool)
+	for i, e := range entries {
+		if i >= 100 {
+			wantClone[e.ID] = true
+		}
+	}
+	for _, e := range added {
+		wantClone[e.ID] = true
+	}
+	if !sameSet(gotOrig, wantOrig) {
+		t.Fatalf("original contaminated: got %d want %d", len(gotOrig), len(wantOrig))
+	}
+	if !sameSet(gotClone, wantClone) {
+		t.Fatalf("clone wrong: got %d want %d", len(gotClone), len(wantClone))
+	}
+}

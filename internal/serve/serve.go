@@ -1,9 +1,10 @@
 // Package serve is the concurrent query-serving layer: a worker pool that
 // fans a batch of iRQ/ikNNQ queries across CPUs against one shared
-// composite index. Each query runs under the index's read lock (taken by
-// the query processor), so any number of workers evaluate in parallel
-// while index mutators wait their turn; the pool adds no locking of its
-// own beyond work distribution.
+// composite index. The pool pins ONE index snapshot per batch, so every
+// query of the batch observes the same consistent point-in-time state,
+// workers evaluate completely lock-free, and concurrent index writers are
+// neither blocked by the batch nor able to stall it: a writer publishes
+// its successor snapshot and the *next* batch picks it up.
 //
 // The pool reports per-query results, Stats and latency in request order,
 // plus batch-level aggregates (wall time, queries/sec, latency
@@ -54,8 +55,9 @@ type Response struct {
 	Results []query.Result
 	Stats   *query.Stats
 	Err     error
-	// Latency is the query's wall time inside the pool, including any
-	// wait for the index's read lock.
+	// Latency is the query's wall time inside the pool. Queries never
+	// wait for locks; under load this is essentially pure evaluation time
+	// plus scheduling.
 	Latency time.Duration
 }
 
@@ -92,35 +94,36 @@ func NewPool(idx *index.Index, qopts query.Options, cfg Config) *Pool {
 // RangeBatch evaluates a batch of range queries, fanning them across the
 // configured workers. Responses are in request order regardless of which
 // worker served them; with no concurrent index writers a batch is
-// byte-for-byte identical to a serial loop over RangeQuery. Each query
-// takes its own read lock, so under concurrent updates queries of one
-// batch may observe different index states.
+// byte-for-byte identical to a serial loop over RangeQuery. The batch pins
+// one snapshot up front, so even under concurrent updates every query of
+// the batch observes the same index state.
 func (p *Pool) RangeBatch(reqs []RangeRequest) ([]Response, Metrics) {
+	snap := p.proc.Pin()
 	return p.run(len(reqs), func(i int) ([]query.Result, *query.Stats, error) {
-		return p.proc.RangeQuery(reqs[i].Q, reqs[i].R)
+		return p.proc.RangeQueryOn(snap, reqs[i].Q, reqs[i].R)
 	})
 }
 
-// KNNBatch evaluates a batch of k-nearest-neighbour queries.
+// KNNBatch evaluates a batch of k-nearest-neighbour queries over one
+// pinned snapshot.
 func (p *Pool) KNNBatch(reqs []KNNRequest) ([]Response, Metrics) {
+	snap := p.proc.Pin()
 	return p.run(len(reqs), func(i int) ([]query.Result, *query.Stats, error) {
-		return p.proc.KNNQuery(reqs[i].Q, reqs[i].K)
+		return p.proc.KNNQueryOn(snap, reqs[i].Q, reqs[i].K)
 	})
 }
 
 // run distributes n queries over the workers via an atomic cursor: workers
 // claim the next unserved index until the batch drains, which balances
-// load even when query costs vary wildly across the building. Before the
-// fan-out the pool warms the index's door-graph tier once, so a pending
-// topology-epoch recompile is paid up front instead of inside the first
-// worker's query latency.
+// load even when query costs vary wildly across the building. The caller
+// bound every query to one pinned snapshot, so the fan-out involves no
+// locks at all — a worker's only shared writes are its own response slots.
 func (p *Pool) run(n int, eval func(int) ([]query.Result, *query.Stats, error)) ([]Response, Metrics) {
 	resps := make([]Response, n)
 	workers := p.cfg.workers()
 	if workers > n {
 		workers = n
 	}
-	p.proc.Warm()
 	start := time.Now()
 	var cursor atomic.Int64
 	var wg sync.WaitGroup

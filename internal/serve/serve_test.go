@@ -113,7 +113,7 @@ func TestMetrics(t *testing.T) {
 	if m.P50 > m.P99 || m.P99 > m.Max {
 		t.Fatalf("latency quantiles out of order: p50=%v p99=%v max=%v", m.P50, m.P99, m.Max)
 	}
-	var maxLat time.Duration
+	var maxLat, sum time.Duration
 	for _, r := range resps {
 		if r.Latency <= 0 {
 			t.Fatal("response with non-positive latency")
@@ -121,9 +121,16 @@ func TestMetrics(t *testing.T) {
 		if r.Latency > maxLat {
 			maxLat = r.Latency
 		}
+		sum += r.Latency
 	}
 	if m.Max != maxLat {
 		t.Fatalf("Max = %v, responses max %v", m.Max, maxLat)
+	}
+	if want := sum / time.Duration(len(resps)); m.Mean != want {
+		t.Fatalf("Mean = %v, responses mean %v", m.Mean, want)
+	}
+	if m.Mean < m.P50/2 || m.Mean > m.Max {
+		t.Fatalf("Mean %v implausible against p50 %v / max %v", m.Mean, m.P50, m.Max)
 	}
 	if m.Wall < m.Max {
 		t.Fatalf("Wall %v below max latency %v", m.Wall, m.Max)
@@ -140,14 +147,41 @@ func TestEmptyBatch(t *testing.T) {
 	}
 }
 
-// TestQuantile pins the nearest-rank behaviour.
+// TestQuantile pins the nearest-rank behaviour, including the rank
+// rounding at both boundaries: rank(q, n) = round(q·n) − 1 clamped to
+// [0, n−1], so tiny q never underflows the first element, q = 1 always
+// lands on the last, and the p99 of a small batch is its maximum (the
+// property monitoring dashboards rely on).
 func TestQuantile(t *testing.T) {
-	lats := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if q := quantile(lats, 0.50); q != 5 {
-		t.Fatalf("p50 of 1..10 = %v, want 5", q)
+	seq := func(n int) []time.Duration {
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = time.Duration(i + 1)
+		}
+		return out
 	}
-	if q := quantile(lats, 0.99); q != 10 {
-		t.Fatalf("p99 of 1..10 = %v, want 10", q)
+	cases := []struct {
+		n    int
+		q    float64
+		want time.Duration
+	}{
+		{10, 0.50, 5},  // trunc(5+0.5)-1 = 4 → 1-based 5
+		{10, 0.99, 10}, // small batch: p99 is the max
+		{10, 1.00, 10}, // upper clamp
+		{10, 0.0, 1},   // lower clamp: rank -1 clamps to the first element
+		{10, 0.001, 1}, // tiny q must not underflow
+		{1, 0.50, 1},   // single element: every quantile is it
+		{1, 0.99, 1},
+		{2, 0.50, 1},    // trunc(1.5)-1 = 0 → first element
+		{2, 0.75, 2},    // the n=2 rounding threshold: trunc(2.0)-1 = 1
+		{100, 0.99, 99}, // trunc(99.5)-1 = 98 → 1-based 99 (not the max)
+		{100, 0.995, 100},
+		{101, 0.99, 100}, // trunc(100.49+0.5)... odd sizes round down
+	}
+	for _, c := range cases {
+		if got := quantile(seq(c.n), c.q); got != c.want {
+			t.Fatalf("quantile(1..%d, %g) = %v, want %v", c.n, c.q, got, c.want)
+		}
 	}
 	if q := quantile(nil, 0.5); q != 0 {
 		t.Fatalf("quantile of empty = %v, want 0", q)

@@ -1,0 +1,168 @@
+package indoorq
+
+// Serde round-trip coverage for mutated databases: a DB that has been
+// through topology mutations (sliding-wall split and merge, door
+// closures) must Save a state whose Load answers queries identically to
+// the live mutated DB. This pins two things at once: the serialiser
+// captures post-mutation topology (including door-closure flags), and the
+// MVCC snapshot the live DB serves from agrees with a cold rebuild of the
+// serialised state.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/indoor"
+)
+
+// roundTrip saves db, loads the bytes, and opens a fresh DB over them.
+func roundTrip(t *testing.T, db *DB) *DB {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	b2, objs2, err := LoadBuilding(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if err := b2.Validate(); err != nil {
+		t.Fatalf("loaded building invalid: %v", err)
+	}
+	db2, _, err := Open(b2, objs2, Options{})
+	if err != nil {
+		t.Fatalf("Open over loaded state: %v", err)
+	}
+	return db2
+}
+
+// assertSameAnswers compares iRQ and ikNNQ answers of the two databases
+// over a query pool.
+func assertSameAnswers(t *testing.T, label string, live, loaded *DB, queries []Position) {
+	t.Helper()
+	for qi, q := range queries {
+		for _, r := range []float64{40, 120} {
+			got, _, err := live.RangeQuery(q, r)
+			if err != nil {
+				t.Fatalf("%s q%d: live RangeQuery: %v", label, qi, err)
+			}
+			want, _, err := loaded.RangeQuery(q, r)
+			if err != nil {
+				t.Fatalf("%s q%d: loaded RangeQuery: %v", label, qi, err)
+			}
+			sameResultsLoose(t, label+"/iRQ", got, want)
+		}
+		got, _, err := live.KNNQuery(q, 10)
+		if err != nil {
+			t.Fatalf("%s q%d: live KNNQuery: %v", label, qi, err)
+		}
+		want, _, err := loaded.KNNQuery(q, 10)
+		if err != nil {
+			t.Fatalf("%s q%d: loaded KNNQuery: %v", label, qi, err)
+		}
+		sameResultsLoose(t, label+"/ikNN", got, want)
+	}
+}
+
+func serdeFixture(t *testing.T) (*DB, *Building, []Position) {
+	t.Helper()
+	b, err := gen.Mall(gen.MallSpec{Floors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := gen.Objects(b, gen.ObjectSpec{N: 250, Radius: 8, Instances: 10, Seed: 41})
+	db, _, err := Open(b, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, b, gen.QueryPoints(b, 4, 43)
+}
+
+func TestSaveLoadAfterSplitPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mall fixture in -short mode")
+	}
+	db, b, queries := serdeFixture(t)
+	room := pickRoom(t, b)
+	rect := room.Bounds()
+	if _, _, err := db.SplitPartition(room.ID, true, (rect.MinX+rect.MaxX)/2); err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, "split", db, roundTrip(t, db), queries)
+}
+
+func TestSaveLoadAfterMergePartitions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mall fixture in -short mode")
+	}
+	db, b, queries := serdeFixture(t)
+	room := pickRoom(t, b)
+	rect := room.Bounds()
+	pa, pb, err := db.SplitPartition(room.ID, true, (rect.MinX+rect.MaxX)/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.MergePartitions(pa, pb); err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, "merge", db, roundTrip(t, db), queries)
+}
+
+func TestSaveLoadAfterSetDoorClosed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mall fixture in -short mode")
+	}
+	db, b, queries := serdeFixture(t)
+	room := pickRoom(t, b)
+	if err := db.SetDoorClosed(room.Doors[0], true); err != nil {
+		t.Fatal(err)
+	}
+	// The closure flag must survive the round trip: the loaded DB answers
+	// like the live one, and the door is still closed in the loaded model.
+	loaded := roundTrip(t, db)
+	if d := loaded.Building().Door(room.Doors[0]); d == nil || !d.Closed {
+		t.Fatal("door closure lost in round trip")
+	}
+	assertSameAnswers(t, "doorClosed", db, loaded, queries)
+}
+
+func TestSaveLoadAfterCombinedMutations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mall fixture in -short mode")
+	}
+	db, b, queries := serdeFixture(t)
+	// Wall churn in one room, closure churn in another, plus object churn
+	// through the coalescing batch API.
+	var rooms []*Partition
+	for _, p := range b.Partitions() {
+		if p.Kind == indoor.Room && len(p.Doors) > 0 {
+			rooms = append(rooms, p)
+		}
+	}
+	if len(rooms) < 2 {
+		t.Fatal("fixture needs two rooms with doors")
+	}
+	wallRoom, doorRoom := rooms[0], rooms[len(rooms)-1]
+	rect := wallRoom.Bounds()
+	pa, pb, err := db.SplitPartition(wallRoom.ID, true, (rect.MinX+rect.MaxX)/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.MergePartitions(pa, pb); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetDoorClosed(doorRoom.Doors[0], true); err != nil {
+		t.Fatal(err)
+	}
+	ups := make([]ObjectUpdate, 0, 8)
+	for id := ObjectID(0); id < 8; id++ {
+		if o := db.Object(id); o != nil {
+			ups = append(ups, ObjectUpdate{Op: UpdateMove, Object: o})
+		}
+	}
+	if err := db.ApplyObjectUpdates(ups); err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, "combined", db, roundTrip(t, db), queries)
+}
