@@ -1,14 +1,15 @@
-// Airport monitoring: the paper's second motivating scenario (§I). Security
-// monitors individuals within a fixed walking range of a sensitive point —
-// a power distribution unit — in a terminal where security gates are
-// one-directional doors (passable airside, blocked landside).
+// Airport monitoring: the paper's second motivating scenario (§I), served
+// by continuous queries. Security keeps a standing range watch around a
+// sensitive point — a power distribution unit — and a standing kNN
+// subscription that always names the closest responders for dispatch, in a
+// terminal where security gates are one-directional doors (passable
+// airside, blocked landside).
 //
-// The example builds a terminal hand-crafted from rooms, a concourse and
-// one-way security gates, tracks passengers, and shows how (a) the range
-// monitor around the sensitive point respects one-way topology, (b) the
-// ikNNQ finds the closest passengers for dispatch, and (c) closing a gate
-// in an incident immediately changes both answers with zero index
-// maintenance.
+// The example shows how (a) the standing range watch respects one-way
+// topology, (b) the kNN subscription reconciles incrementally as
+// passengers move (enter/leave/distance-update events instead of re-run
+// queries), and (c) closing a gate in an incident immediately refreshes
+// both standing results with zero index maintenance.
 //
 //	go run ./examples/airportmonitor
 package main
@@ -16,7 +17,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math"
 
 	"repro"
 )
@@ -83,45 +83,60 @@ func main() {
 	}
 
 	// The sensitive point: the PDU by the plant-room corner of the
-	// concourse.
+	// concourse. Two standing queries watch it continuously.
 	pdu := indoorq.Pos(280, 10, 0)
 	const alertRange = 60
-
-	report := func(tag string) {
-		in, _, err := db.RangeQuery(pdu, alertRange)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%s: %d within %d m walking of the PDU:", tag, len(in), alertRange)
-		for _, r := range in {
-			if math.IsNaN(r.Distance) {
-				fmt.Printf("  #%d", r.ID)
-			} else {
-				fmt.Printf("  #%d(%.0fm)", r.ID, r.Distance)
-			}
-		}
-		fmt.Println()
-	}
-
-	report("baseline")
-	fmt.Println("  note: landside passengers are excluded even when nearby — walls and")
-	fmt.Println("  one-way gates make their walking distance much larger than the crow flies")
-
-	// Dispatch: who are the 3 closest people to send over?
-	near, _, err := db.KNNQuery(pdu, 3)
+	watchID, watchInit, err := db.Subscribe(indoorq.SubscriptionSpec{Q: pdu, R: alertRange})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print("3 nearest for dispatch:")
-	for _, r := range near {
-		fmt.Printf("  #%d", r.ID)
+	dispatchID, dispatchInit, err := db.Subscribe(indoorq.SubscriptionSpec{Q: pdu, K: 3})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println()
+	fmt.Printf("watch zone armed: %v within %d m walking of the PDU\n", watchInit, alertRange)
+	fmt.Println("  note: landside passengers are excluded even when nearby — walls and")
+	fmt.Println("  one-way gates make their walking distance much larger than the crow flies")
+	fmt.Printf("dispatch roster (3 nearest): %v\n", dispatchInit)
 
-	// Incident: seal the plant room.
+	report := func() {
+		for _, ev := range db.Events() {
+			who := map[int]string{watchID: "watch zone", dispatchID: "dispatch roster"}[ev.Sub]
+			switch ev.Kind {
+			case indoorq.SubEnter:
+				fmt.Printf("  event: #%d entered the %s\n", ev.Object, who)
+			case indoorq.SubLeave:
+				fmt.Printf("  event: #%d left the %s\n", ev.Object, who)
+			case indoorq.SubUpdate:
+				fmt.Printf("  event: #%d moved within the %s (now %.0f m)\n", ev.Object, who, ev.Distance)
+			}
+		}
+	}
+
+	// Passenger 4 wanders toward the PDU; passenger 8 drifts away. One
+	// coalesced tick, one snapshot swap, one reconciliation pass.
+	fmt.Println("movement tick: #4 heads east, #8 drifts to the far wall")
+	err = db.ApplyObjectUpdates([]indoorq.ObjectUpdate{
+		{Op: indoorq.UpdateMove, Object: mk(4, 265, 15)},
+		{Op: indoorq.UpdateMove, Object: mk(8, 298, 58)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report()
+
+	// Incident: seal the plant room. Door distances change; both standing
+	// queries refresh and report their deltas — no index maintenance.
+	fmt.Println("incident: plant door sealed")
 	if err := db.SetDoorClosed(plantDoor, true); err != nil {
 		log.Fatal(err)
 	}
-	report("plant door sealed")
+	report()
+	fmt.Printf("watch zone now: %v\n", db.SubscriptionResults(watchID))
 	fmt.Println("  passenger #7 is isolated: distance through a closed door is infinite")
+	fmt.Print("dispatch roster now:")
+	for _, r := range db.SubscriptionTopK(dispatchID) {
+		fmt.Printf("  #%d(%.0fm)", r.ID, r.Distance)
+	}
+	fmt.Println()
 }

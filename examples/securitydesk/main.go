@@ -1,9 +1,12 @@
-// Security desk: continuous range monitoring. A guard desk keeps standing
-// watch zones around two exhibits; as visitors walk the gallery, the
-// monitor reports enter/leave events incrementally — the cached subgraph of
-// each standing query is reused, so each movement costs one bound check per
-// affected zone rather than a full query (the paper's future-work direction
-// on reusing computation across related queries).
+// Security desk: continuous range monitoring through the subscription
+// engine. A guard desk keeps standing watch zones around two exhibits; as
+// visitors walk the gallery, movement ticks flow through
+// ApplyObjectUpdates and the engine reports enter/leave events
+// incrementally — each standing query's cached subgraph is reused and the
+// inverted unit→query router touches only the zones a movement can affect,
+// so a tick costs bound checks on the *affected* zones rather than a full
+// query per zone (the paper's future-work direction on reusing computation
+// across related queries).
 //
 //	go run ./examples/securitydesk
 package main
@@ -48,13 +51,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	mon := db.NewMonitor()
 	// Watch zones: 15 m of walking around each exhibit centre.
-	wID, wInit, err := mon.Register(indoorq.Pos(30, 26, 0), 15)
+	wID, wInit, err := db.Subscribe(indoorq.SubscriptionSpec{Q: indoorq.Pos(30, 26, 0), R: 15})
 	if err != nil {
 		log.Fatal(err)
 	}
-	eID, eInit, err := mon.Register(indoorq.Pos(90, 26, 0), 15)
+	eID, eInit, err := db.Subscribe(indoorq.SubscriptionSpec{Q: indoorq.Pos(90, 26, 0), R: 15})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +64,8 @@ func main() {
 	fmt.Printf("watch zones armed: %s %v, %s %v\n", name[wID], wInit, name[eID], eInit)
 
 	// Visitor 3 walks from the hall into the west room toward the exhibit,
-	// then across to the east room.
+	// then across to the east room. Each step is one coalesced movement
+	// tick; the engine reconciles only the affected zones.
 	path := []indoorq.Position{
 		indoorq.Pos(28, 10, 0), // hall, by the west door
 		indoorq.Pos(30, 20, 0), // inside west room
@@ -73,18 +76,20 @@ func main() {
 	}
 	for step, pos := range path {
 		upd := &indoorq.Object{ID: 3, Instances: []indoorq.Instance{{Pos: pos, P: 1}}}
-		events, err := mon.ObjectMoved(upd)
-		if err != nil {
+		if err := db.ApplyObjectUpdates([]indoorq.ObjectUpdate{{Op: indoorq.UpdateMove, Object: upd}}); err != nil {
 			log.Fatal(err)
 		}
-		for _, ev := range events {
+		for _, ev := range db.Events() {
 			verb := "entered"
-			if !ev.Entered {
+			if ev.Kind == indoorq.SubLeave {
 				verb = "left"
 			}
-			fmt.Printf("step %d: visitor %d %s the %s zone\n", step, ev.Object, verb, name[ev.Query])
+			fmt.Printf("step %d: visitor %d %s the %s zone\n", step, ev.Object, verb, name[ev.Sub])
 		}
 	}
+	st := db.SubscriptionStatsSnapshot()
 	fmt.Printf("final zones: %s %v, %s %v\n",
-		name[wID], mon.Results(wID), name[eID], mon.Results(eID))
+		name[wID], db.SubscriptionResults(wID), name[eID], db.SubscriptionResults(eID))
+	fmt.Printf("%d ticks routed %d zone re-evaluations across %d standing zones\n",
+		st.Batches, st.RoutedPairs, db.NumSubscriptions())
 }

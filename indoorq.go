@@ -43,10 +43,21 @@
 // which coalesces a batch of updates into one snapshot swap.
 //
 // Save and RenderSVG briefly exclude mutators (they read the building's
-// partition/door structure directly). The Monitor serialises its update
-// operations internally, so its event streams match a serial replay of
-// the same updates; while serving concurrently, mutate the building only
-// through the DB (or the Monitor), never through *Building directly.
+// partition/door structure directly).
+//
+// Continuous queries: Subscribe installs standing range/kNN queries whose
+// results the DB maintains incrementally. Once any subscription is
+// active, every DB mutator also runs one reconciliation pass over the
+// affected standing queries (resolved through an inverted unit→query
+// index, so the pass scales with update locality, not with the number of
+// subscriptions) before returning; the resulting enter/leave/update
+// events accumulate in a drainable log (Events). Subscription update
+// operations serialise internally, so event streams match a serial
+// replay of the same updates and replaying a subscription's events over
+// its initial result set reproduces its current result set. The legacy
+// Monitor wraps the same engine with the original per-object API. While
+// serving concurrently, mutate the building only through the DB (or the
+// Monitor), never through *Building directly.
 //
 // For throughput, fan query batches across CPUs with the serving layer:
 //
@@ -60,7 +71,10 @@ package indoorq
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/gen"
 	"repro/internal/geom"
@@ -148,6 +162,12 @@ type DB struct {
 	idx   *index.Index
 	proc  *query.Processor
 	qopts QueryOptions
+
+	// subs is the continuous-query engine, created lazily by the first
+	// Subscribe. Once active, every DB mutator routes through it so
+	// standing results reconcile with each update.
+	subs     atomic.Pointer[query.Subscriptions]
+	subsInit sync.Mutex
 }
 
 // Open builds the composite index over the building and object set and
@@ -229,19 +249,50 @@ func (db *DB) BatchKNNQuery(reqs []KNNRequest, cfg ServeConfig) ([]BatchResponse
 	return serve.NewPool(db.idx, db.qopts, cfg).KNNBatch(reqs)
 }
 
+// With active subscriptions, each single-object mutator below routes
+// through the subscription engine as a one-element batch: the index
+// mutation commits first, then the affected standing queries reconcile. A
+// returned error may therefore come from the reconciliation pass AFTER
+// the mutation committed — see ApplyObjectUpdates for the full
+// error/commit semantics; do not blindly retry inserts or deletes.
+
 // InsertObject adds an uncertain object (§III-C.2).
-func (db *DB) InsertObject(o *Object) error { return db.idx.InsertObject(o) }
+func (db *DB) InsertObject(o *Object) error {
+	if s := db.subs.Load(); s != nil {
+		_, err := s.ApplyObjectUpdates([]ObjectUpdate{{Op: UpdateInsert, Object: o}})
+		return err
+	}
+	return db.idx.InsertObject(o)
+}
 
 // DeleteObject removes an object (§III-C.2).
-func (db *DB) DeleteObject(id ObjectID) error { return db.idx.DeleteObject(id) }
+func (db *DB) DeleteObject(id ObjectID) error {
+	if s := db.subs.Load(); s != nil {
+		_, err := s.ApplyObjectUpdates([]ObjectUpdate{{Op: UpdateDelete, ID: id}})
+		return err
+	}
+	return db.idx.DeleteObject(id)
+}
 
 // UpdateObject replaces an object's uncertainty information (deletion
 // followed by insertion).
-func (db *DB) UpdateObject(o *Object) error { return db.idx.UpdateObject(o) }
+func (db *DB) UpdateObject(o *Object) error {
+	if s := db.subs.Load(); s != nil {
+		_, err := s.ApplyObjectUpdates([]ObjectUpdate{{Op: UpdateReplace, Object: o}})
+		return err
+	}
+	return db.idx.UpdateObject(o)
+}
 
 // MoveObject is the adjacency-accelerated location update for frequently
 // reporting objects.
-func (db *DB) MoveObject(o *Object) error { return db.idx.MoveObject(o) }
+func (db *DB) MoveObject(o *Object) error {
+	if s := db.subs.Load(); s != nil {
+		_, err := s.ApplyObjectUpdates([]ObjectUpdate{{Op: UpdateMove, Object: o}})
+		return err
+	}
+	return db.idx.MoveObject(o)
+}
 
 // ObjectUpdate is one element of an ApplyObjectUpdates batch.
 type ObjectUpdate = index.ObjectUpdate
@@ -265,9 +316,19 @@ const (
 // ApplyObjectUpdates applies a batch of object-layer mutations as one
 // copy-on-write edit publishing ONE snapshot: a movement tick over many
 // objects costs a single swap instead of one per object, and concurrent
-// readers observe the whole tick atomically. The batch is transactional —
-// on the first error nothing is applied.
+// readers observe the whole tick atomically. The index batch is
+// transactional — on an index error nothing is applied. With active
+// subscriptions the swap is followed by ONE reconciliation pass over the
+// affected standing queries (fanned across workers), whose events land in
+// the Events log; an error from that pass is also returned, and in that
+// case the batch WAS applied (SnapshotSwaps distinguishes the two: it
+// advanced iff the batch committed). Do not blindly retry a failed batch
+// containing inserts or deletes without checking.
 func (db *DB) ApplyObjectUpdates(ups []ObjectUpdate) error {
+	if s := db.subs.Load(); s != nil {
+		_, err := s.ApplyObjectUpdates(ups)
+		return err
+	}
 	return db.idx.ApplyObjectUpdates(ups)
 }
 
@@ -276,41 +337,224 @@ func (db *DB) ApplyObjectUpdates(ups []ObjectUpdate) error {
 // coalescing: a movement tick through ApplyObjectUpdates advances it once.
 func (db *DB) SnapshotSwaps() uint64 { return db.idx.SnapshotSwaps() }
 
+// invalidateSubs refreshes active subscriptions after a topological
+// mutation already applied to the index. A refresh failure (e.g. a
+// subscription whose query point's partition was removed) is deliberately
+// not an error of the mutation: the subscription keeps answering from its
+// last good snapshot until a later operation repairs it.
+func (db *DB) invalidateSubs() {
+	if s := db.subs.Load(); s != nil {
+		_, _ = s.InvalidateTopology()
+	}
+}
+
 // AddPartition indexes a partition previously added to the building.
-func (db *DB) AddPartition(pid PartitionID) error { return db.idx.AddPartition(pid) }
+func (db *DB) AddPartition(pid PartitionID) error {
+	if err := db.idx.AddPartition(pid); err != nil {
+		return err
+	}
+	db.invalidateSubs()
+	return nil
+}
 
 // RemovePartition removes a partition and its doors from the building and
 // the index.
-func (db *DB) RemovePartition(pid PartitionID) error { return db.idx.RemovePartition(pid) }
+func (db *DB) RemovePartition(pid PartitionID) error {
+	if err := db.idx.RemovePartition(pid); err != nil {
+		return err
+	}
+	db.invalidateSubs()
+	return nil
+}
 
 // AttachDoor indexes a door previously added to the building.
-func (db *DB) AttachDoor(did DoorID) error { return db.idx.AttachDoor(did) }
+func (db *DB) AttachDoor(did DoorID) error {
+	if err := db.idx.AttachDoor(did); err != nil {
+		return err
+	}
+	db.invalidateSubs()
+	return nil
+}
 
 // DetachDoor removes a door from the building and the index.
-func (db *DB) DetachDoor(did DoorID) { db.idx.DetachDoor(did) }
+func (db *DB) DetachDoor(did DoorID) {
+	db.idx.DetachDoor(did)
+	db.invalidateSubs()
+}
 
 // SetDoorClosed closes or reopens a door; queries observe the change
-// immediately with no index maintenance.
+// immediately with no index maintenance. Active subscriptions refresh
+// (door distances changed) and emit their membership deltas to the Events
+// log.
 func (db *DB) SetDoorClosed(did DoorID, closed bool) error {
+	if s := db.subs.Load(); s != nil {
+		_, err := s.SetDoorClosed(did, closed)
+		return err
+	}
 	return db.idx.SetDoorClosed(did, closed)
 }
 
 // SplitPartition mounts a sliding wall, dividing a rectangular partition in
 // two (the paper's room-21 meeting-style scenario).
 func (db *DB) SplitPartition(pid PartitionID, alongX bool, at float64) (PartitionID, PartitionID, error) {
-	return db.idx.SplitPartition(pid, alongX, at)
+	pa, pb, err := db.idx.SplitPartition(pid, alongX, at)
+	if err != nil {
+		return pa, pb, err
+	}
+	db.invalidateSubs()
+	return pa, pb, nil
 }
 
 // MergePartitions dismounts a sliding wall, merging two rectangular
 // partitions (banquet style).
 func (db *DB) MergePartitions(pa, pb PartitionID) (PartitionID, error) {
-	return db.idx.MergePartitions(pa, pb)
+	merged, err := db.idx.MergePartitions(pa, pb)
+	if err != nil {
+		return merged, err
+	}
+	db.invalidateSubs()
+	return merged, nil
 }
 
 // LocatePartition returns the partition containing a position via the
 // current snapshot's tree tier, or -1.
 func (db *DB) LocatePartition(q Position) PartitionID {
 	return db.idx.LocatePartition(q)
+}
+
+// Continuous queries (the subscription engine). Subscriptions are standing
+// iRQ/ikNNQ queries maintained incrementally: each keeps its filtering and
+// subgraph phases cached, and an inverted unit→query index routes every
+// update batch to only the subscriptions whose candidate-unit footprint
+// the updated objects touch — per-update cost scales with affected
+// queries, not registered ones.
+type (
+	// SubscriptionEvent reports one result change of a subscription. See
+	// query.SubEvent for the ordering guarantee.
+	SubscriptionEvent = query.SubEvent
+	// SubscriptionEventKind is enter/leave/update.
+	SubscriptionEventKind = query.EventKind
+	// SubscriptionStats reports cumulative routing and reconciliation
+	// counters.
+	SubscriptionStats = query.SubStats
+)
+
+// Subscription event kinds.
+const (
+	// SubEnter reports an object entering a subscription's result set.
+	SubEnter = query.EventEnter
+	// SubLeave reports an object leaving a subscription's result set.
+	SubLeave = query.EventLeave
+	// SubUpdate reports a kNN member whose exact distance changed while it
+	// stayed in the top-k.
+	SubUpdate = query.EventUpdate
+)
+
+// SubscriptionSpec describes one standing query: set exactly one of R
+// (standing range query, metres) or K (standing k-nearest-neighbour
+// query).
+type SubscriptionSpec struct {
+	Q Position
+	R float64
+	K int
+}
+
+// subscriptions returns the continuous-query engine, creating it on first
+// use: event logging on, reconciliation fanned across the serving layer's
+// workers.
+func (db *DB) subscriptions() *query.Subscriptions {
+	if s := db.subs.Load(); s != nil {
+		return s
+	}
+	db.subsInit.Lock()
+	defer db.subsInit.Unlock()
+	if s := db.subs.Load(); s != nil {
+		return s
+	}
+	s := query.NewSubscriptions(db.idx, db.qopts)
+	s.EnableEventLog()
+	s.SetFanOut(func(n int, fn func(int)) { serve.FanOut(0, n, fn) })
+	db.subs.Store(s)
+	return s
+}
+
+// Subscribe installs a standing query and returns its handle and initial
+// result set (ascending ids). From the first subscription on, route every
+// update through the DB (not through Index() directly): mutators reconcile
+// the affected subscriptions as part of the operation, and the resulting
+// enter/leave/update events accumulate for Events. Subscription state is
+// separate from monitors created by NewMonitor.
+//
+// The FIRST Subscribe creates the engine, and only mutators that observe
+// it route through it — a mutation racing with that first call may apply
+// directly to the index and go unreconciled. Establish the first
+// subscription before concurrent mutators start (subsequent Subscribes
+// are free of this caveat), or treat results as current only from the
+// subscription's creation onwards.
+func (db *DB) Subscribe(spec SubscriptionSpec) (int, []ObjectID, error) {
+	switch {
+	case spec.R > 0 && spec.K == 0:
+		return db.subscriptions().SubscribeRange(spec.Q, spec.R)
+	case spec.K > 0 && spec.R == 0:
+		return db.subscriptions().SubscribeKNN(spec.Q, spec.K)
+	default:
+		return 0, nil, fmt.Errorf("indoorq: subscription needs exactly one of R > 0 or K > 0, got R=%g K=%d", spec.R, spec.K)
+	}
+}
+
+// Unsubscribe removes a subscription, reporting whether it existed.
+func (db *DB) Unsubscribe(id int) bool {
+	if s := db.subs.Load(); s != nil {
+		return s.Unsubscribe(id)
+	}
+	return false
+}
+
+// SubscriptionResults returns a subscription's current result set as
+// ascending ids, or nil for unknown handles.
+func (db *DB) SubscriptionResults(id int) []ObjectID {
+	if s := db.subs.Load(); s != nil {
+		return s.Results(id)
+	}
+	return nil
+}
+
+// SubscriptionTopK returns a kNN subscription's results ordered by
+// (distance, id).
+func (db *DB) SubscriptionTopK(id int) []Result {
+	if s := db.subs.Load(); s != nil {
+		return s.TopK(id)
+	}
+	return nil
+}
+
+// Events returns and clears the accumulated subscription events, in
+// serialisation order (see SubscriptionEvent for the per-operation
+// ordering guarantee). Replaying a subscription's enter/leave events over
+// its initial result set reproduces its current result set. Drain
+// regularly: the log is unbounded so no membership change is ever lost.
+func (db *DB) Events() []SubscriptionEvent {
+	if s := db.subs.Load(); s != nil {
+		return s.DrainEvents()
+	}
+	return nil
+}
+
+// NumSubscriptions returns the number of active subscriptions.
+func (db *DB) NumSubscriptions() int {
+	if s := db.subs.Load(); s != nil {
+		return s.NumSubscriptions()
+	}
+	return 0
+}
+
+// SubscriptionStatsSnapshot returns the engine's cumulative routing
+// counters (zero before the first Subscribe).
+func (db *DB) SubscriptionStatsSnapshot() SubscriptionStats {
+	if s := db.subs.Load(); s != nil {
+		return s.Stats()
+	}
+	return SubscriptionStats{}
 }
 
 // Monitor maintains standing (continuous) range queries over the index,
@@ -323,7 +567,8 @@ type MonitorEvent = query.Event
 // NewMonitor returns a continuous-query monitor over the database's index,
 // evaluating with the same query options as the database's own queries.
 // Route object updates and door toggles through the monitor so standing
-// results stay consistent.
+// results stay consistent. New code should prefer Subscribe, which adds
+// kNN subscriptions, batch reconciliation and the Events log.
 func (db *DB) NewMonitor() *Monitor { return query.NewMonitor(db.idx, db.qopts) }
 
 // Estimator predicts iRQ cardinalities without running the query.

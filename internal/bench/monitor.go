@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/object"
+	"repro/internal/query"
+	"repro/internal/serve"
+)
+
+// MonitorWorkload is the continuous-query scaling experiment shared by
+// BenchmarkMonitorScale and benchfig's "monitor" panel: a private Floors=1,
+// N=500 workload (never the shared fixture cache — subscriptions and churn
+// mutate the index) with nq standing range queries registered at uniform
+// points and a precomputed stream of coalesced 16-move batches. Localized
+// churn re-reports only objects that start within 80 m (straight line) of
+// one fixed locale and keeps them there, so the touched units stay
+// confined to a small neighbourhood of partitions; uniform churn moves
+// objects anywhere.
+type MonitorWorkload struct {
+	Engine  *query.Subscriptions
+	Batches [][]index.ObjectUpdate
+}
+
+// MonitorBatchSize is the number of moves per coalesced batch.
+const MonitorBatchSize = 16
+
+// NewMonitorWorkload builds the workload. Registration runs one full
+// standing-query evaluation per subscription, so expect setup time to
+// scale with nq.
+func NewMonitorWorkload(nq int, localized bool) (*MonitorWorkload, error) {
+	bld, err := gen.Mall(gen.MallSpec{Floors: 1})
+	if err != nil {
+		return nil, err
+	}
+	objs := gen.Objects(bld, gen.ObjectSpec{N: 500, Radius: 5, Instances: 10, Seed: 7001})
+	idx, _, err := index.Build(bld, objs, index.Options{})
+	if err != nil {
+		return nil, err
+	}
+	e := query.NewSubscriptions(idx, query.Options{})
+	e.SetFanOut(func(n int, fn func(int)) { serve.FanOut(0, n, fn) })
+	for _, q := range gen.QueryPoints(bld, nq, 7002) {
+		if _, _, err := e.SubscribeRange(q, 30); err != nil {
+			return nil, err
+		}
+	}
+	locale := gen.QueryPoints(bld, 1, 7003)[0]
+	var pool []*object.Object
+	for _, o := range objs {
+		if !localized || (o.Center.Pt.DistTo(locale.Pt) < 80 && o.Center.Floor == locale.Floor) {
+			pool = append(pool, o)
+		}
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("bench: no objects within the locale; localized churn impossible")
+	}
+	perBatch := MonitorBatchSize
+	if perBatch > len(pool) {
+		perBatch = len(pool)
+	}
+	rng := rand.New(rand.NewSource(7004))
+	const batches = 64
+	ups := make([][]index.ObjectUpdate, batches)
+	for i := range ups {
+		batch := make([]index.ObjectUpdate, 0, perBatch)
+		seen := make(map[object.ID]bool, perBatch)
+		for len(batch) < perBatch {
+			o := pool[rng.Intn(len(pool))]
+			if seen[o.ID] {
+				continue
+			}
+			seen[o.ID] = true
+			c := o.Center
+			next := indoor.Pos(c.Pt.X+rng.Float64()*30-15, c.Pt.Y+rng.Float64()*30-15, c.Floor)
+			if idx.LocatePartition(next) < 0 {
+				next = c
+			}
+			batch = append(batch, index.ObjectUpdate{
+				Op: index.UpdateMove, Object: object.SampleGaussian(rng, o.ID, next, 5, 10),
+			})
+		}
+		ups[i] = batch
+	}
+	return &MonitorWorkload{Engine: e, Batches: ups}, nil
+}

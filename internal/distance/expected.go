@@ -17,6 +17,20 @@ import (
 // brackets: restricted values serve as upper views, and min(value, cap)
 // serves as a lower view per door. Queries pass their RangeSearch radius as
 // cap; full engines pass +Inf, collapsing the brackets to exact values.
+//
+// Partial-mass conditioning. The object layer drops instances that lie
+// outside every index unit (an uncertainty region straddling a wall), so
+// an object's indexed subregions may carry total probability mass P < 1.
+// All expected distances here are CONDITIONAL expectations over the
+// indexed mass — Σ pᵢ·dᵢ / P — which coincides with the paper's Equation 2
+// for fully indoor objects (P = 1) and, crucially, keeps every bound
+// sound: under the conditional distribution the subregion probabilities
+// renormalise to 1, so Lemma 1's "expectation ≥ minimum instance
+// distance" argument (and with it the geometric, topological and
+// Equation 8 lower bounds, all derived from per-instance minima over the
+// indexed subregions) holds again. An unnormalised expectation would sink
+// below every instance distance as mass is lost, silently breaking the
+// pruning phases.
 
 // Bounds brackets an object's expected indoor distance E(|q, O|I) per
 // Table III: topological upper/lower bounds (Equation 7) for objects in a
@@ -148,8 +162,10 @@ func (e *Engine) ObjectBounds(o *object.Object, cap float64) Bounds {
 	evals := e.evalScratch(len(subs))
 	lo, hi := math.Inf(1), 0.0
 	skel := math.Inf(1)
+	mass := 0.0
 	for i := range subs {
 		evals[i] = e.evalSub(&subs[i], cap)
+		mass += evals[i].prob
 		if evals[i].tmin < lo {
 			lo = evals[i].tmin
 		}
@@ -164,13 +180,16 @@ func (e *Engine) ObjectBounds(o *object.Object, cap float64) Bounds {
 		}
 	}
 	b := Bounds{Lower: math.Max(lo, skel), Upper: hi, MultiPartition: e.idx.MultiPartition(o.ID)}
-	if len(evals) < 2 {
+	if len(evals) < 2 || mass <= 0 {
 		return b
 	}
 
-	// Probabilistic tightening (Equation 8, strengthened form). Subregion
-	// counts are tiny, so an in-place insertion sort avoids the reflection
-	// and closure allocations package sort would add per candidate object.
+	// Probabilistic tightening (Equation 8, strengthened form). The prefix
+	// probabilities renormalise by the indexed mass (see the package note
+	// on partial-mass conditioning); for fully indoor objects mass is 1.
+	// Subregion counts are tiny, so an in-place insertion sort avoids the
+	// reflection and closure allocations package sort would add per
+	// candidate object.
 	sortEvalsByTmin(evals)
 	m := len(evals)
 	sufMax := e.sufScratch(m + 1)
@@ -181,7 +200,7 @@ func (e *Engine) ObjectBounds(o *object.Object, cap float64) Bounds {
 	pHat, preMax := 0.0, 0.0
 	first := evals[0].tmin
 	for i := 0; i+1 < m; i++ {
-		pHat += evals[i].prob
+		pHat += evals[i].prob / mass
 		preMax = math.Max(preMax, evals[i].tmax)
 		lb := pHat*first + (1-pHat)*evals[i+1].tmin
 		ub := pHat*preMax + (1-pHat)*sufMax[i+1]
@@ -229,20 +248,27 @@ func (e *Engine) ExactDist(o *object.Object) (float64, bool) {
 }
 
 // ExactDistBracket returns [low, high] enclosing the true expected indoor
-// distance (Equations 2–6). high is the expected distance computed from the
-// restricted door distances (an upper view because a subgraph can only
-// lengthen paths); low substitutes min(base, cap) per door (sound per the
-// package note). When every involved door distance is at most cap the
-// bracket collapses and the value is exact.
+// distance (Equations 2–6, conditioned on the indexed mass per the package
+// note). high is the expected distance computed from the restricted door
+// distances (an upper view because a subgraph can only lengthen paths);
+// low substitutes min(base, cap) per door (sound per the package note).
+// When every involved door distance is at most cap the bracket collapses
+// and the value is exact.
 func (e *Engine) ExactDistBracket(o *object.Object, cap float64) (low, high float64) {
 	subs := e.idx.ObjectSubregions(o.ID)
 	if len(subs) == 0 {
 		return math.Inf(1), math.Inf(1)
 	}
+	mass := 0.0
 	for i := range subs {
+		mass += subs[i].Prob
 		l, h := e.exactSub(o, &subs[i], cap)
 		low += l
 		high += h
+	}
+	if mass > 0 && mass != 1 {
+		low /= mass
+		high /= mass
 	}
 	return low, high
 }

@@ -1,0 +1,138 @@
+package distance
+
+import (
+	"math"
+
+	"repro/internal/object"
+)
+
+// KBound maintains the k smallest (distance, id) pairs offered during one
+// selection pass — the k-th distance bound of a continuous kNN query. Kth
+// returns the current k-th smallest distance (+Inf while fewer than k
+// pairs were offered): as long as every object within Kth of the query
+// point is among the offered set, the k nearest neighbours are among the
+// k retained pairs. The subscription engine pairs it with a cached
+// Engine: the Engine answers exact distances for the candidate cache
+// (already confined to the footprint's safe radius, which upper-bounds
+// the k-th distance), and the KBound selects the top-k from that cache
+// after each routed reconciliation.
+//
+// Ordering matches the kNN query processor: ascending distance with ties
+// broken by ascending object id, so a result set derived from a KBound is
+// identical to KNNQuery's over the same distances. A KBound is not safe for
+// concurrent use.
+type KBound struct {
+	k int
+	h []KItem // max-heap on (D, ID): h[0] is the current k-th pair
+}
+
+// KItem is one (object, expected distance) pair tracked by a KBound.
+type KItem struct {
+	ID object.ID
+	D  float64
+}
+
+// less orders ascending by (D, ID); Inf distances sort last, ties by id —
+// exactly the kNN result order.
+func (a KItem) less(b KItem) bool {
+	if a.D != b.D {
+		return a.D < b.D
+	}
+	return a.ID < b.ID
+}
+
+// NewKBound returns a bound tracking the k smallest offered pairs.
+func NewKBound(k int) *KBound {
+	b := &KBound{}
+	b.Reset(k)
+	return b
+}
+
+// Reset empties the bound and re-targets it at k.
+func (b *KBound) Reset(k int) {
+	if k < 0 {
+		k = 0
+	}
+	b.k = k
+	b.h = b.h[:0]
+}
+
+// K returns the configured k.
+func (b *KBound) K() int { return b.k }
+
+// Len returns the number of pairs currently held (at most k).
+func (b *KBound) Len() int { return len(b.h) }
+
+// Kth returns the current safe-distance bound: the k-th smallest offered
+// distance, or +Inf while fewer than k pairs are held (no distance can be
+// ruled out yet).
+func (b *KBound) Kth() float64 {
+	if len(b.h) < b.k || b.k == 0 {
+		return math.Inf(1)
+	}
+	return b.h[0].D
+}
+
+// Offer submits one (id, distance) pair, reporting whether it entered the
+// current top-k. Each id must be offered at most once per Reset.
+func (b *KBound) Offer(id object.ID, d float64) bool {
+	if b.k == 0 {
+		return false
+	}
+	it := KItem{ID: id, D: d}
+	if len(b.h) < b.k {
+		b.h = append(b.h, it)
+		b.up(len(b.h) - 1)
+		return true
+	}
+	if !it.less(b.h[0]) {
+		return false
+	}
+	b.h[0] = it
+	b.down(0)
+	return true
+}
+
+// Items returns the held pairs ascending by (distance, id). The slice is
+// freshly allocated.
+func (b *KBound) Items() []KItem {
+	out := make([]KItem, len(b.h))
+	copy(out, b.h)
+	// Insertion sort: k is small and the heap is already loosely ordered.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].less(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (b *KBound) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !b.h[p].less(b.h[i]) {
+			return
+		}
+		b.h[i], b.h[p] = b.h[p], b.h[i]
+		i = p
+	}
+}
+
+func (b *KBound) down(i int) {
+	n := len(b.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && b.h[big].less(b.h[l]) {
+			big = l
+		}
+		if r < n && b.h[big].less(b.h[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		b.h[i], b.h[big] = b.h[big], b.h[i]
+		i = big
+	}
+}

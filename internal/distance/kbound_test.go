@@ -1,0 +1,84 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/object"
+)
+
+func TestKBoundMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(60)
+		k := 1 + rng.Intn(12)
+		type pair struct {
+			id object.ID
+			d  float64
+		}
+		pairs := make([]pair, n)
+		for i := range pairs {
+			d := math.Floor(rng.Float64()*20) / 2 // coarse grid forces distance ties
+			if rng.Intn(10) == 0 {
+				d = math.Inf(1)
+			}
+			pairs[i] = pair{id: object.ID(i), d: d}
+		}
+		b := NewKBound(k)
+		for _, p := range pairs {
+			b.Offer(p.id, p.d)
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].d != pairs[j].d {
+				return pairs[i].d < pairs[j].d
+			}
+			return pairs[i].id < pairs[j].id
+		})
+		want := pairs
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := b.Items()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d items, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].id || got[i].D != want[i].d {
+				t.Fatalf("trial %d item %d: got (%d,%v), want (%d,%v)",
+					trial, i, got[i].ID, got[i].D, want[i].id, want[i].d)
+			}
+		}
+		wantKth := math.Inf(1)
+		if n >= k {
+			wantKth = want[k-1].d
+		}
+		if b.Kth() != wantKth && !(math.IsInf(b.Kth(), 1) && math.IsInf(wantKth, 1)) {
+			t.Fatalf("trial %d: Kth = %v, want %v", trial, b.Kth(), wantKth)
+		}
+	}
+}
+
+func TestKBoundZeroAndReset(t *testing.T) {
+	b := NewKBound(0)
+	if b.Offer(1, 2) {
+		t.Fatal("k=0 must accept nothing")
+	}
+	if !math.IsInf(b.Kth(), 1) {
+		t.Fatal("empty bound must be +Inf")
+	}
+	b.Reset(2)
+	if !b.Offer(1, 5) || !b.Offer(2, 3) {
+		t.Fatal("offers under capacity must enter")
+	}
+	if b.Kth() != 5 {
+		t.Fatalf("Kth = %v, want 5", b.Kth())
+	}
+	if b.Offer(3, 9) {
+		t.Fatal("distance above Kth must not enter")
+	}
+	if !b.Offer(4, 1) || b.Kth() != 3 {
+		t.Fatalf("closer pair must displace the k-th; Kth = %v", b.Kth())
+	}
+}

@@ -325,6 +325,9 @@ func (idx *Index) Unit(id UnitID) *Unit { return idx.Current().Unit(id) }
 // NumUnits returns the number of index units.
 func (idx *Index) NumUnits() int { return idx.Current().NumUnits() }
 
+// UnitIDBound returns the current snapshot's exclusive unit-id bound.
+func (idx *Index) UnitIDBound() UnitID { return idx.Current().UnitIDBound() }
+
 // TreeHeight exposes the tree tier's height (diagnostics).
 func (idx *Index) TreeHeight() int { return idx.Current().TreeHeight() }
 

@@ -2,86 +2,42 @@ package query
 
 import (
 	"fmt"
-	"math"
-	"sort"
-	"sync"
 
-	"repro/internal/distance"
 	"repro/internal/index"
 	"repro/internal/indoor"
 	"repro/internal/object"
 )
 
-// Monitor maintains standing (continuous) indoor range queries — the
-// paper's third future-work direction: reusing computational effort when
-// multiple related queries live at once. Each standing query keeps the
-// output of its filtering and subgraph phases (the candidate-unit
-// footprint and the door-distance engine); object movement then costs one
-// bound evaluation per *affected* query instead of a full re-run, because
-// the doors-graph distances do not depend on objects at all.
+// Monitor is the legacy continuous-range-query facade: a thin wrapper over
+// the Subscriptions engine that keeps the original per-object update API
+// (ObjectMoved / ObjectInserted / ObjectDeleted) and its enter/leave event
+// type. Each standing query keeps the output of its filtering and subgraph
+// phases (the candidate-unit footprint and the door-distance engine), and
+// the engine's inverted unit→query router resolves every update to the
+// standing queries whose footprint it touches — so object movement costs
+// one bound evaluation per *affected* query, not one per registered query,
+// because the doors-graph distances do not depend on objects at all.
 //
 // Topological changes (door closures, partition updates) invalidate the
 // cached engines; callers route them through the monitor (SetDoorClosed,
 // InvalidateTopology) so every standing query is refreshed and membership
 // changes are reported.
 //
-// Concurrency: the monitor is safe for concurrent use. Update operations
-// (Register, Unregister, ObjectMoved, ObjectInserted, ObjectDeleted,
-// SetDoorClosed, InvalidateTopology) serialise on an internal mutex, so
-// the event streams they return are consistent with SOME serial order of
-// the operations — replaying that order serially yields the same events
-// and the same final memberships. Results and NumStanding are readers and
-// run in parallel with each other and with ordinary queries. While the
-// monitor is in concurrent use, route every index update that should be
-// reflected in standing results through the monitor; direct index writes
-// are still safe but may interleave between an update and its
-// reconciliation.
+// Concurrency: the monitor inherits the engine's contract. Update
+// operations serialise on an internal mutex, so the event streams they
+// return are consistent with SOME serial order of the operations —
+// replaying that order serially yields the same events and the same final
+// memberships. Results and NumStanding are readers and run in parallel
+// with each other and with ordinary queries. While the monitor is in
+// concurrent use, route every index update that should be reflected in
+// standing results through the monitor; direct index writes are still safe
+// but may interleave between an update and its reconciliation.
+//
+// New code should use the Subscriptions engine (or the facade's Subscribe
+// API) directly: it adds continuous kNN queries, batch reconciliation and
+// the drainable event log.
 type Monitor struct {
-	mu       sync.RWMutex
-	p        *Processor
-	standing map[int]*standingQuery
-	nextID   int
-}
-
-type standingQuery struct {
-	id      int
-	q       indoor.Position
-	r       float64
-	ex      *exec // the pinned snapshot the cached engines are bound to
-	unitSet map[index.UnitID]bool
-	anchor  *index.SkelAnchor
-	eng     *distance.Engine
-	rf      *refiner
-	members map[object.ID]bool
-}
-
-// rebind retargets the standing query's cached engines at a newer
-// snapshot; it fails when the topology epoch changed (the door-distance
-// caches would be stale), in which case the caller refreshes instead.
-func (s *standingQuery) rebind(cur *index.Snapshot) bool {
-	if s.ex == nil || s.ex.s.TopoEpoch() != cur.TopoEpoch() {
-		return false
-	}
-	if !s.eng.Rebind(cur) {
-		return false
-	}
-	if s.rf.ext != nil && !s.rf.ext.Rebind(cur) {
-		return false
-	}
-	if s.rf.full != nil && !s.rf.full.Rebind(cur) {
-		return false
-	}
-	s.ex.s = cur
-	return true
-}
-
-// release returns the standing query's cached engines to the scratch pool.
-func (s *standingQuery) release() {
-	s.eng.Close()
-	if s.rf != nil {
-		s.rf.Close()
-	}
-	s.eng, s.rf = nil, nil
+	*Subscriptions
 }
 
 // Event reports one membership change of a standing query.
@@ -91,310 +47,69 @@ type Event struct {
 	Entered bool // true: entered the range; false: left it
 }
 
+// legacyEvents maps engine events to the monitor's enter/leave form
+// (distance-update events do not occur for range subscriptions).
+func legacyEvents(evs []SubEvent) []Event {
+	out := make([]Event, 0, len(evs))
+	for _, ev := range evs {
+		if ev.Kind == EventUpdate {
+			continue
+		}
+		out = append(out, Event{Query: ev.Sub, Object: ev.Object, Entered: ev.Kind == EventEnter})
+	}
+	return out
+}
+
 // NewMonitor returns a monitor over the index.
 func NewMonitor(idx *index.Index, opts Options) *Monitor {
-	return &Monitor{p: New(idx, opts), standing: make(map[int]*standingQuery)}
+	return &Monitor{Subscriptions: NewSubscriptions(idx, opts)}
 }
 
 // Register installs a standing range query and returns its handle and the
 // initial members (ascending by id).
 func (m *Monitor) Register(q indoor.Position, r float64) (int, []object.ID, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := &standingQuery{id: m.nextID, q: q, r: r, members: make(map[object.ID]bool)}
-	if err := m.refresh(s); err != nil {
-		return 0, nil, err
-	}
-	m.nextID++
-	m.standing[s.id] = s
-	return s.id, membersSorted(s), nil
-}
-
-// refresh re-runs the filtering and subgraph phases for a standing query
-// against a freshly pinned snapshot and re-evaluates every candidate
-// object. The previous cached engines (phase and escalation) release their
-// pooled scratch only after the new engine exists, so a failed refresh
-// (e.g. the query point's partition was removed) leaves the old engines in
-// place instead of a nil engine that would panic on the next reconcile.
-func (m *Monitor) refresh(s *standingQuery) error {
-	ex := &exec{s: m.p.Pin(), opts: m.p.opts}
-	units, cands := ex.rangeSearch(s.q, s.r)
-	eng, err := distance.New(ex.s, s.q, units, math.Inf(1))
-	if err != nil {
-		return err
-	}
-	s.release()
-	s.ex = ex
-	s.unitSet = make(map[index.UnitID]bool, len(units))
-	for _, u := range units {
-		s.unitSet[u] = true
-	}
-	s.anchor = ex.anchor(s.q)
-	s.eng = eng
-	s.rf = &refiner{ex: ex, q: s.q, r: s.r, eng: eng, stats: &Stats{}}
-	s.members = make(map[object.ID]bool)
-	for _, oid := range cands {
-		in, err := m.evalObject(s, oid)
-		if err != nil {
-			return err
-		}
-		if in {
-			s.members[oid] = true
-		}
-	}
-	return nil
-}
-
-// evalObject decides one object's membership against a standing query
-// using the cached engine.
-func (m *Monitor) evalObject(s *standingQuery, oid object.ID) (bool, error) {
-	snap := s.ex.s
-	o := snap.Objects().Get(oid)
-	if o == nil {
-		return false, nil
-	}
-	// The object must touch the candidate footprint at all (Lemma 6
-	// guarantees objects fully outside it are beyond r).
-	touches := false
-	for _, u := range snap.ObjectUnitsView(oid) {
-		if s.unitSet[u] {
-			touches = true
-			break
-		}
-	}
-	if !touches {
-		return false, nil
-	}
-	if s.ex.objectBound(s.anchor, s.q, oid) > s.r {
-		return false, nil
-	}
-	b := s.eng.ObjectBounds(o, s.r)
-	switch {
-	case b.Upper <= s.r:
-		return true, nil
-	case b.Lower > s.r:
-		return false, nil
-	}
-	in, _, err := s.rf.decideWithin(o, s.r)
-	return in, err
+	return m.SubscribeRange(q, r)
 }
 
 // Unregister removes a standing query, reporting whether it existed.
-func (m *Monitor) Unregister(id int) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s, ok := m.standing[id]
-	if !ok {
-		return false
-	}
-	s.release()
-	delete(m.standing, id)
-	return true
-}
+func (m *Monitor) Unregister(id int) bool { return m.Unsubscribe(id) }
 
-// Results returns the current members of a standing query, ascending.
-func (m *Monitor) Results(id int) []object.ID {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	s := m.standing[id]
-	if s == nil {
-		return nil
-	}
-	return membersSorted(s)
-}
-
-func membersSorted(s *standingQuery) []object.ID {
-	out := make([]object.ID, 0, len(s.members))
-	for oid := range s.members {
-		out = append(out, oid)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// queryIDs returns registered handles in ascending order for deterministic
-// event emission.
-func (m *Monitor) queryIDs() []int {
-	ids := make([]int, 0, len(m.standing))
-	for id := range m.standing {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
-}
-
-// reconcile re-evaluates one object against the standing queries whose
-// footprint it touches (before or after the update) or whose result it was
-// part of, emitting membership events. It pins the current snapshot and
-// rebinds each standing query's cached engines to it — topology-derived
-// caches stay, object reads go to the new version. A standing query whose
-// topology epoch no longer matches (an out-of-band topological change) is
-// refreshed wholesale with a full membership diff instead.
-func (m *Monitor) reconcile(oid object.ID, touched map[index.UnitID]bool) ([]Event, error) {
-	cur := m.p.Pin()
-	var events []Event
-	for _, id := range m.queryIDs() {
-		s := m.standing[id]
-		if !s.rebind(cur) {
-			// Topology changed out of band: refresh wholesale. When the
-			// refresh itself fails (e.g. the query point's partition was
-			// removed), keep the stale cached engines — the standing query
-			// answers from its last good snapshot until a later refresh
-			// repairs it, and reconciliation must not crash the stream.
-			if evs, err := m.refreshDiff(s); err == nil {
-				events = append(events, evs...)
-			}
-			continue
-		}
-		affected := s.members[oid]
-		if !affected {
-			for u := range touched {
-				if s.unitSet[u] {
-					affected = true
-					break
-				}
-			}
-		}
-		if !affected {
-			continue
-		}
-		in, err := m.evalObject(s, oid)
-		if err != nil {
-			return events, err
-		}
-		was := s.members[oid]
-		switch {
-		case in && !was:
-			s.members[oid] = true
-			events = append(events, Event{Query: id, Object: oid, Entered: true})
-		case !in && was:
-			delete(s.members, oid)
-			events = append(events, Event{Query: id, Object: oid, Entered: false})
-		}
-	}
-	return events, nil
-}
-
-// addTouched records the units an object occupies in the current
-// snapshot.
-func (m *Monitor) addTouched(oid object.ID, touched map[index.UnitID]bool) {
-	for _, u := range m.p.idx.ObjectUnits(oid) {
-		touched[u] = true
-	}
-}
-
-// refreshDiff refreshes a standing query and returns the membership delta
-// as events.
-func (m *Monitor) refreshDiff(s *standingQuery) ([]Event, error) {
-	before := make(map[object.ID]bool, len(s.members))
-	for oid := range s.members {
-		before[oid] = true
-	}
-	if err := m.refresh(s); err != nil {
-		return nil, err
-	}
-	var events []Event
-	for oid := range s.members {
-		if !before[oid] {
-			events = append(events, Event{Query: s.id, Object: oid, Entered: true})
-		}
-	}
-	for oid := range before {
-		if !s.members[oid] {
-			events = append(events, Event{Query: s.id, Object: oid, Entered: false})
-		}
-	}
-	return events, nil
-}
-
-// ObjectMoved applies the adjacency-accelerated location update and
+// ObjectMoved applies the location update as a single-element batch and
 // reconciles the affected standing queries.
 func (m *Monitor) ObjectMoved(o *object.Object) ([]Event, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	touched := make(map[index.UnitID]bool)
-	m.addTouched(o.ID, touched)
-	if err := m.p.idx.MoveObject(o); err != nil {
-		return nil, err
-	}
-	m.addTouched(o.ID, touched)
-	return m.reconcile(o.ID, touched)
+	evs, err := m.Subscriptions.ApplyObjectUpdates([]index.ObjectUpdate{{Op: index.UpdateMove, Object: o}})
+	return legacyEvents(evs), err
 }
 
 // ObjectInserted indexes a new object and reconciles.
 func (m *Monitor) ObjectInserted(o *object.Object) ([]Event, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.p.idx.InsertObject(o); err != nil {
-		return nil, err
-	}
-	touched := make(map[index.UnitID]bool)
-	m.addTouched(o.ID, touched)
-	return m.reconcile(o.ID, touched)
+	evs, err := m.Subscriptions.ApplyObjectUpdates([]index.ObjectUpdate{{Op: index.UpdateInsert, Object: o}})
+	return legacyEvents(evs), err
 }
 
 // ObjectDeleted removes an object, emitting leave events for every
 // standing query it was a member of.
 func (m *Monitor) ObjectDeleted(id object.ID) ([]Event, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.p.idx.DeleteObject(id); err != nil {
-		return nil, err
-	}
-	var events []Event
-	for _, qid := range m.queryIDs() {
-		s := m.standing[qid]
-		if s.members[id] {
-			delete(s.members, id)
-			events = append(events, Event{Query: qid, Object: id, Entered: false})
-		}
-	}
-	return events, nil
+	evs, err := m.Subscriptions.ApplyObjectUpdates([]index.ObjectUpdate{{Op: index.UpdateDelete, ID: id}})
+	return legacyEvents(evs), err
 }
 
 // SetDoorClosed toggles a door and refreshes every standing query (door
 // distances changed), emitting membership events.
 func (m *Monitor) SetDoorClosed(did indoor.DoorID, closed bool) ([]Event, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.p.idx.SetDoorClosed(did, closed); err != nil {
-		return nil, err
-	}
-	return m.invalidateTopology()
+	evs, err := m.Subscriptions.SetDoorClosed(did, closed)
+	return legacyEvents(evs), err
 }
 
 // InvalidateTopology refreshes every standing query after an out-of-band
 // topological change, returning the membership deltas.
 func (m *Monitor) InvalidateTopology() ([]Event, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.invalidateTopology()
-}
-
-func (m *Monitor) invalidateTopology() ([]Event, error) {
-	var events []Event
-	for _, id := range m.queryIDs() {
-		evs, err := m.refreshDiff(m.standing[id])
-		if err != nil {
-			return events, err
-		}
-		events = append(events, evs...)
-	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].Query != events[j].Query {
-			return events[i].Query < events[j].Query
-		}
-		return events[i].Object < events[j].Object
-	})
-	return events, nil
+	evs, err := m.Subscriptions.InvalidateTopology()
+	return legacyEvents(evs), err
 }
 
 // NumStanding returns the number of registered queries.
-func (m *Monitor) NumStanding() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.standing)
-}
+func (m *Monitor) NumStanding() int { return m.NumSubscriptions() }
 
 // String implements fmt.Stringer for diagnostics.
 func (m *Monitor) String() string {

@@ -1,0 +1,340 @@
+package query
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/object"
+)
+
+// Batch reconciliation. ApplyObjectUpdates is the write path of the
+// subscription engine: one coalesced index mutation (one snapshot swap)
+// followed by one reconciliation pass over the subscriptions the router
+// admits, sharded across workers when a fan-out is installed. Every
+// subscription reconciles independently — its cached engines, candidate
+// cache and member set are private — so the pass parallelises without
+// locks; the router and the event log are only touched serially under the
+// engine mutex.
+
+// subResult is one subscription's share of a reconciliation pass.
+type subResult struct {
+	evs []SubEvent
+	err error
+	// refreshed reports a wholesale refresh whose footprint change must be
+	// re-advertised in the router (done serially after the fan-out).
+	refreshed bool
+	oldUnits  []index.UnitID
+}
+
+// ApplyObjectUpdates applies a batch of object-layer mutations as ONE
+// copy-on-write edit publishing ONE snapshot, then reconciles the affected
+// subscriptions and returns their events sorted by (subscription, object).
+// The batch is transactional: on an index error nothing is applied and no
+// events are emitted.
+func (e *Subscriptions) ApplyObjectUpdates(ups []index.ObjectUpdate) ([]SubEvent, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.standing) == 0 {
+		return nil, e.p.idx.ApplyObjectUpdates(ups)
+	}
+	// Source units come from the pre-batch snapshot: a move away from a
+	// footprint must still route to it so the leave is observed.
+	before := e.p.Pin()
+	ids := make([]object.ID, 0, len(ups))
+	for i := range ups {
+		if ups[i].Op == index.UpdateDelete {
+			ids = append(ids, ups[i].ID)
+		} else if ups[i].Object != nil {
+			ids = append(ids, ups[i].Object.ID)
+		}
+	}
+	touched := make(map[object.ID][]index.UnitID, len(ids))
+	for _, id := range ids {
+		touched[id] = append(touched[id], before.ObjectUnitsView(id)...)
+	}
+	if err := e.p.idx.ApplyObjectUpdates(ups); err != nil {
+		return nil, err
+	}
+	cur := e.p.Pin()
+	for _, id := range ids {
+		touched[id] = append(touched[id], cur.ObjectUnitsView(id)...)
+	}
+	evs, err := e.reconcile(cur, touched)
+	e.record(evs)
+	return evs, err
+}
+
+// reconcile runs one pass over the subscriptions an update batch can
+// affect: the router-admitted ones plus — only when the current snapshot's
+// topology epoch differs from the last one the engine reconciled against —
+// every subscription whose epoch no longer matches (an out-of-band
+// topological change refreshes wholesale). The epoch gate keeps the steady
+// state O(routed): an object batch cannot change the epoch, so a full
+// O(registered) scan happens at most once per out-of-band topology change.
+// A subscription whose refresh failed during such a scan stays stale but
+// remains advertised in the router under its old footprint, so a later
+// routed update (or the next topology operation) retries its refresh. The
+// pass fans out across subscriptions; events merge sorted by
+// (subscription, object) and the first error (by subscription order) is
+// reported alongside the events gathered so far.
+func (e *Subscriptions) reconcile(cur *index.Snapshot, touched map[object.ID][]index.UnitID) ([]SubEvent, error) {
+	routed := e.route(touched)
+	ids := make([]int, 0, len(routed))
+	if cur.TopoEpoch() != e.lastTopoEpoch {
+		for id, s := range e.standing {
+			if _, ok := routed[id]; ok || s.ex == nil || s.ex.s.TopoEpoch() != cur.TopoEpoch() {
+				ids = append(ids, id)
+			}
+		}
+		e.lastTopoEpoch = cur.TopoEpoch()
+	} else {
+		for id := range routed {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+
+	e.stats.Batches++
+	e.stats.Updates += uint64(len(touched))
+	e.stats.AffectedSubs += uint64(len(ids))
+	for _, objs := range routed {
+		e.stats.RoutedPairs += uint64(len(objs))
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+
+	results := make([]subResult, len(ids))
+	run := e.fan
+	if run == nil {
+		run = func(n int, fn func(int)) {
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+		}
+	}
+	run(len(ids), func(i int) {
+		s := e.standing[ids[i]]
+		results[i] = e.reconcileSub(s, cur, routed[s.id])
+	})
+
+	var evs []SubEvent
+	var firstErr error
+	for i := range results {
+		evs = append(evs, results[i].evs...)
+		if results[i].err != nil && firstErr == nil {
+			firstErr = results[i].err
+		}
+		if results[i].refreshed {
+			e.stats.Refreshes++
+			e.routeUpdate(e.standing[ids[i]], results[i].oldUnits)
+		}
+	}
+	sortEvents(evs)
+	return evs, firstErr
+}
+
+// reconcileSub re-evaluates the routed objects against one subscription.
+// A subscription whose cached engines cannot rebind (topology changed out
+// of band) refreshes wholesale; when even the refresh fails (e.g. the
+// query point's partition was removed) it keeps answering from its last
+// good snapshot — reconciliation must not crash the stream.
+func (e *Subscriptions) reconcileSub(s *standingQuery, cur *index.Snapshot, objs []object.ID) subResult {
+	if !s.rebind(cur) {
+		return e.refreshDiffQuiet(s)
+	}
+	seq := cur.Seq()
+	switch s.kind {
+	case SubKNN:
+		return e.reconcileKNN(s, seq, objs)
+	default:
+		return e.reconcileRange(s, seq, objs)
+	}
+}
+
+func (e *Subscriptions) reconcileRange(s *standingQuery, seq uint64, objs []object.ID) subResult {
+	var res subResult
+	for _, oid := range objs {
+		in, err := evalRange(&s.phase, s.q, s.r, oid)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		was := s.members[oid]
+		switch {
+		case in && !was:
+			s.members[oid] = true
+			res.evs = append(res.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventEnter, Distance: math.NaN(), Seq: seq})
+		case !in && was:
+			delete(s.members, oid)
+			res.evs = append(res.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventLeave, Distance: math.NaN(), Seq: seq})
+		}
+	}
+	return res
+}
+
+func (e *Subscriptions) reconcileKNN(s *standingQuery, seq uint64, objs []object.ID) subResult {
+	var res subResult
+	for _, oid := range objs {
+		if err := evalKNNCand(&s.phase, s.q, s.r, oid, s.cand); err != nil {
+			res.err = err
+			return res
+		}
+	}
+	// Safe-distance exhaustion: the footprint radius upper-bounds the k-th
+	// distance only while at least k candidates remain inside it. Fewer
+	// means the true top-k may reach beyond the footprint — refresh at a
+	// fresh radius. An infinite radius already covers everything.
+	if len(s.cand) < s.k && !math.IsInf(s.r, 1) {
+		return e.refreshDiffQuiet(s)
+	}
+	res.evs = e.rediffTopK(s, seq, objs)
+	return res
+}
+
+// rediffTopK recomputes a kNN subscription's top-k from its candidate
+// cache and returns the delta against the previous result: enter/leave
+// for membership changes, update for routed members whose exact distance
+// changed in place.
+func (e *Subscriptions) rediffTopK(s *standingQuery, seq uint64, routedObjs []object.ID) []SubEvent {
+	newMembers, newDist := topkOf(s)
+	var evs []SubEvent
+	for oid := range s.members {
+		if !newMembers[oid] {
+			evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventLeave, Distance: math.NaN(), Seq: seq})
+		}
+	}
+	for oid := range newMembers {
+		if !s.members[oid] {
+			evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventEnter, Distance: newDist[oid], Seq: seq})
+		}
+	}
+	// Distances only change for re-evaluated objects; surviving members
+	// outside the routed set kept theirs.
+	for _, oid := range routedObjs {
+		if s.members[oid] && newMembers[oid] && s.memberDist[oid] != newDist[oid] {
+			evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventUpdate, Distance: newDist[oid], Seq: seq})
+		}
+	}
+	s.members, s.memberDist = newMembers, newDist
+	return evs
+}
+
+// refreshDiffQuiet is refreshDiff for the reconcile path: a failed refresh
+// is swallowed (the subscription stays on its last good state and a later
+// operation repairs it).
+func (e *Subscriptions) refreshDiffQuiet(s *standingQuery) subResult {
+	old := s.units
+	evs, err := e.refreshDiff(s)
+	if err != nil {
+		return subResult{}
+	}
+	return subResult{evs: evs, refreshed: true, oldUnits: old}
+}
+
+// refreshDiff refreshes a subscription wholesale and returns the result
+// delta as events. The router is NOT updated here — callers re-advertise
+// the footprint (routeUpdate) since refreshes may run inside the parallel
+// fan-out where the shared router must stay untouched.
+func (e *Subscriptions) refreshDiff(s *standingQuery) ([]SubEvent, error) {
+	before := make(map[object.ID]bool, len(s.members))
+	for oid := range s.members {
+		before[oid] = true
+	}
+	beforeDist := s.memberDist
+	if err := e.refresh(s); err != nil {
+		return nil, err
+	}
+	seq := s.ex.s.Seq()
+	var evs []SubEvent
+	for oid := range s.members {
+		if !before[oid] {
+			d := math.NaN()
+			if s.kind == SubKNN {
+				d = s.memberDist[oid]
+			}
+			evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventEnter, Distance: d, Seq: seq})
+		}
+	}
+	for oid := range before {
+		if !s.members[oid] {
+			evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventLeave, Distance: math.NaN(), Seq: seq})
+		}
+	}
+	if s.kind == SubKNN {
+		for oid := range s.members {
+			if before[oid] && beforeDist != nil && beforeDist[oid] != s.memberDist[oid] {
+				evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventUpdate, Distance: s.memberDist[oid], Seq: seq})
+			}
+		}
+	}
+	sortEvents(evs)
+	return evs, nil
+}
+
+// SetDoorClosed toggles a door and refreshes every subscription (door
+// distances changed), returning the result deltas.
+func (e *Subscriptions) SetDoorClosed(did indoor.DoorID, closed bool) ([]SubEvent, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.p.idx.SetDoorClosed(did, closed); err != nil {
+		return nil, err
+	}
+	evs, err := e.invalidateTopology()
+	e.record(evs)
+	return evs, err
+}
+
+// InvalidateTopology refreshes every subscription after an out-of-band
+// topological change, returning the result deltas. A failing refresh does
+// NOT abort the pass — every remaining subscription still refreshes
+// (the epoch gate closes after this pass, so skipping them would leave
+// healthy subscriptions silently stale) — and the first error is
+// reported alongside all events; the failed subscription keeps its last
+// good state until a routed update or the next topology operation
+// retries it.
+func (e *Subscriptions) InvalidateTopology() ([]SubEvent, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	evs, err := e.invalidateTopology()
+	e.record(evs)
+	return evs, err
+}
+
+func (e *Subscriptions) invalidateTopology() ([]SubEvent, error) {
+	e.lastTopoEpoch = e.p.Pin().TopoEpoch()
+	var events []SubEvent
+	var firstErr error
+	for _, id := range e.queryIDs() {
+		s := e.standing[id]
+		old := s.units
+		evs, err := e.refreshDiff(s)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		e.stats.Refreshes++
+		e.routeUpdate(s, old)
+		events = append(events, evs...)
+	}
+	sortEvents(events)
+	return events, firstErr
+}
+
+// sortEvents orders a pass's events by (subscription, object, kind) — the
+// deterministic stream order the engine guarantees per operation.
+func sortEvents(evs []SubEvent) {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Sub != evs[j].Sub {
+			return evs[i].Sub < evs[j].Sub
+		}
+		if evs[i].Object != evs[j].Object {
+			return evs[i].Object < evs[j].Object
+		}
+		return evs[i].Kind < evs[j].Kind
+	})
+}

@@ -1,0 +1,90 @@
+package query
+
+import (
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/object"
+)
+
+// The inverted unit→query router. Every subscription advertises its
+// candidate-unit footprint in inv; an update batch walks only the inverted
+// lists of the units its objects actually touched (source units in the
+// pre-batch snapshot, destination units in the post-batch one), so the set
+// of subscriptions to reconcile is proportional to the update's locality,
+// not to the number of registered subscriptions. Callers hold the writer
+// mutex for every router mutation and lookup.
+
+// routeAdd advertises a subscription's footprint in the inverted index.
+func (e *Subscriptions) routeAdd(s *standingQuery) {
+	for _, u := range s.units {
+		if u < 0 {
+			continue
+		}
+		for int(u) >= len(e.inv) {
+			e.inv = append(e.inv, nil)
+		}
+		e.inv[u] = append(e.inv[u], s.id)
+	}
+}
+
+// routeRemove withdraws a subscription's footprint from the inverted
+// index.
+func (e *Subscriptions) routeRemove(s *standingQuery) {
+	for _, u := range s.units {
+		if u < 0 || int(u) >= len(e.inv) {
+			continue
+		}
+		list := e.inv[u]
+		for i, id := range list {
+			if id == s.id {
+				list[i] = list[len(list)-1]
+				e.inv[u] = list[:len(list)-1]
+				break
+			}
+		}
+	}
+}
+
+// routeUpdate swaps a subscription's advertised footprint after a refresh
+// changed it. oldUnits is the footprint routeAdd last saw.
+func (e *Subscriptions) routeUpdate(s *standingQuery, oldUnits []index.UnitID) {
+	old := s.units
+	s.units = oldUnits
+	e.routeRemove(s)
+	s.units = old
+	e.routeAdd(s)
+}
+
+// route resolves an update batch to the subscriptions it can affect:
+// routed[id] lists the updated objects whose touched units (before or
+// after the batch) intersect subscription id's footprint, ascending and
+// deduplicated. Only these (subscription, object) pairs need
+// re-evaluation — an object whose touched units miss a footprint provably
+// cannot change that subscription's result (Lemma 6 for entry; members
+// always touch the footprint, so exits route too).
+func (e *Subscriptions) route(touched map[object.ID][]index.UnitID) map[int][]object.ID {
+	routed := make(map[int][]object.ID)
+	seen := make(map[int]bool)
+	for oid, units := range touched {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, u := range units {
+			if u < 0 || int(u) >= len(e.inv) {
+				continue
+			}
+			for _, sid := range e.inv[u] {
+				if !seen[sid] {
+					seen[sid] = true
+					routed[sid] = append(routed[sid], oid)
+				}
+			}
+		}
+	}
+	for sid := range routed {
+		objs := routed[sid]
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	}
+	return routed
+}

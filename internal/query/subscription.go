@@ -1,0 +1,581 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/distance"
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/object"
+)
+
+// Subscriptions is the scalable continuous-query engine: a registry of
+// standing range and kNN queries, an inverted unit→query router, and a
+// batch reconciler. Each subscription keeps the output of its filtering and
+// subgraph phases (the candidate-unit footprint and the door-distance
+// engine); an object update batch is routed through the inverted index to
+// only the subscriptions whose footprint contains a source or destination
+// unit of an updated object, so per-update cost scales with the *affected*
+// queries, not with every registered one.
+//
+// Range subscriptions keep their member set. kNN subscriptions additionally
+// keep exact distances for every object within the footprint radius (the
+// safe-distance discipline: the footprint was filtered at a radius R that
+// upper-bounds the k-th distance, so the k nearest are always among the
+// cached candidates while at least k remain; when churn shrinks the cache
+// below k the subscription refreshes wholesale at a fresh radius).
+//
+// Concurrency: a Subscriptions engine is safe for concurrent use. Update
+// operations (Subscribe*, Unsubscribe, ApplyObjectUpdates, SetDoorClosed,
+// InvalidateTopology) serialise on an internal mutex, so the event streams
+// they return are consistent with SOME serial order of the operations —
+// replaying that order serially yields the same events and the same final
+// memberships. Results, TopK, NumSubscriptions and Stats are readers and
+// run in parallel with each other and with ordinary queries. While the
+// engine is in concurrent use, route every index update that should be
+// reflected in standing results through the engine; direct index writes
+// are still safe but may interleave between an update and its
+// reconciliation.
+type Subscriptions struct {
+	mu       sync.RWMutex
+	p        *Processor
+	standing map[int]*standingQuery
+	nextID   int
+
+	// inv is the inverted unit→query index: inv[u] lists the ids of the
+	// subscriptions whose candidate-unit footprint contains unit u. Unit
+	// ids are dense and never reused (Snapshot.UnitIDBound), so a plain
+	// slice indexes it without hashing.
+	inv [][]int
+
+	// fan shards a reconciliation pass over affected subscriptions; nil
+	// runs it serially. The facade injects the serving layer's worker
+	// fan-out (serve.FanOut) here — the package split keeps internal/query
+	// free of a dependency cycle with internal/serve.
+	fan FanFunc
+
+	// log accumulates events for DrainEvents when logging is enabled (the
+	// facade's pull API); engines used through the Monitor wrapper return
+	// events per call instead and keep the log off.
+	logging bool
+	log     []SubEvent
+
+	// lastTopoEpoch is the topology epoch of the last snapshot a
+	// reconciliation pass ran against: while it matches the current
+	// snapshot, a pass only visits router-admitted subscriptions instead
+	// of scanning the whole registry for out-of-band topology changes.
+	lastTopoEpoch uint64
+
+	stats SubStats
+}
+
+// FanFunc runs fn(0..n-1), possibly in parallel, returning after every
+// call completed. Calls receive distinct indices and may run concurrently.
+type FanFunc func(n int, fn func(int))
+
+// SubKind selects a subscription's query kind.
+type SubKind uint8
+
+const (
+	// SubRange is a standing iRQ: all objects within expected distance R.
+	SubRange SubKind = iota
+	// SubKNN is a standing ikNNQ: the K objects with smallest expected
+	// distances, ordered by (distance, id).
+	SubKNN
+)
+
+// EventKind classifies a subscription event.
+type EventKind uint8
+
+const (
+	// EventEnter reports an object entering the result set.
+	EventEnter EventKind = iota
+	// EventLeave reports an object leaving the result set.
+	EventLeave
+	// EventUpdate reports a kNN member whose exact distance changed while
+	// it stayed in the top-k.
+	EventUpdate
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventEnter:
+		return "enter"
+	case EventLeave:
+		return "leave"
+	case EventUpdate:
+		return "update"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// SubEvent reports one result change of a subscription.
+//
+// Ordering guarantee: the events of one update operation are sorted by
+// (Sub, Object); successive operations append in their serialisation
+// order, and Seq (the index snapshot the reconciliation evaluated against)
+// is non-decreasing across a drained stream. Replaying a subscription's
+// enter/leave events over its initial result set reproduces its current
+// result set.
+type SubEvent struct {
+	Sub    int
+	Object object.ID
+	Kind   EventKind
+	// Distance is the exact expected distance for kNN enter/update events;
+	// NaN for range events and leaves (it is not re-evaluated on exit).
+	Distance float64
+	// Seq is the publication sequence of the snapshot the event was
+	// derived from.
+	Seq uint64
+}
+
+// SubStats reports cumulative reconciliation counters: the observability
+// behind the routed-vs-registered scaling claim.
+type SubStats struct {
+	// Batches counts reconciled update batches; Updates counts the object
+	// updates inside them.
+	Batches, Updates uint64
+	// RoutedPairs counts (subscription, object) re-evaluations the router
+	// admitted; AffectedSubs counts subscriptions touched per batch,
+	// cumulatively. RoutedPairs/Updates ≪ NumSubscriptions is the routing
+	// win.
+	RoutedPairs, AffectedSubs uint64
+	// Refreshes counts wholesale re-runs of a subscription's filtering and
+	// subgraph phases (topology changes, kNN candidate exhaustion).
+	Refreshes uint64
+}
+
+// standingQuery is one subscription: the cached phase state of its last
+// full evaluation plus its current result state. The zero-value maps are
+// only for its own kind.
+type standingQuery struct {
+	id   int
+	kind SubKind
+	q    indoor.Position
+	// r is the range radius for SubRange; for SubKNN it is the footprint
+	// (safe) radius R the candidate cache covers — an upper bound on the
+	// k-th distance established at the last refresh (+Inf when fewer than
+	// k objects were reachable).
+	r float64
+	k int // SubKNN only
+
+	phase
+
+	// members is the current result set (range membership, or the kNN
+	// top-k). memberDist and cand are kNN-only: memberDist holds the
+	// members' exact distances as last reported, cand the exact distances
+	// of every object within r.
+	members    map[object.ID]bool
+	memberDist map[object.ID]float64
+	cand       map[object.ID]float64
+	kb         *distance.KBound
+}
+
+// phase is one subscription's cached filtering and subgraph state: the
+// pinned snapshot, the candidate-unit footprint and the door-distance
+// engines. Refreshes build a complete replacement phase and swap it in
+// only after every evaluation succeeded, so a failed refresh can never
+// leave a subscription half-built — it keeps its previous phase, result
+// state and router advertisement intact.
+type phase struct {
+	ex      *exec // the pinned snapshot the cached engines are bound to
+	units   []index.UnitID
+	unitSet map[index.UnitID]bool
+	anchor  *index.SkelAnchor
+	eng     *distance.Engine
+	rf      *refiner
+}
+
+// rebind retargets the phase's cached engines at a newer snapshot; it
+// fails when the topology epoch changed (the door-distance caches would
+// be stale), in which case the caller refreshes instead.
+func (p *phase) rebind(cur *index.Snapshot) bool {
+	if p.ex == nil || p.ex.s.TopoEpoch() != cur.TopoEpoch() {
+		return false
+	}
+	if !p.eng.Rebind(cur) {
+		return false
+	}
+	if p.rf.ext != nil && !p.rf.ext.Rebind(cur) {
+		return false
+	}
+	if p.rf.full != nil && !p.rf.full.Rebind(cur) {
+		return false
+	}
+	p.ex.s = cur
+	return true
+}
+
+// release returns the phase's cached engines to the scratch pool.
+func (p *phase) release() {
+	p.eng.Close()
+	if p.rf != nil {
+		p.rf.Close()
+	}
+	p.eng, p.rf = nil, nil
+}
+
+// NewSubscriptions returns a subscription engine over the index.
+func NewSubscriptions(idx *index.Index, opts Options) *Subscriptions {
+	return &Subscriptions{
+		p:             New(idx, opts),
+		standing:      make(map[int]*standingQuery),
+		lastTopoEpoch: idx.Current().TopoEpoch(),
+	}
+}
+
+// SetFanOut installs the parallel runner reconciliation passes shard over
+// affected subscriptions with; nil (the default) reconciles serially.
+func (e *Subscriptions) SetFanOut(f FanFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fan = f
+}
+
+// EnableEventLog turns on event accumulation for DrainEvents. Call
+// DrainEvents regularly once enabled — the log is unbounded by design, so
+// replay-based consumers never lose a membership change.
+func (e *Subscriptions) EnableEventLog() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.logging = true
+}
+
+// DrainEvents returns and clears the accumulated event log, in
+// serialisation order. It returns nil unless EnableEventLog was called.
+func (e *Subscriptions) DrainEvents() []SubEvent {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := e.log
+	e.log = nil
+	return out
+}
+
+// record appends events to the log when logging is enabled. Callers hold
+// the writer mutex.
+func (e *Subscriptions) record(evs []SubEvent) {
+	if e.logging && len(evs) > 0 {
+		e.log = append(e.log, evs...)
+	}
+}
+
+// SubscribeRange installs a standing range query and returns its handle
+// and the initial members (ascending by id).
+func (e *Subscriptions) SubscribeRange(q indoor.Position, r float64) (int, []object.ID, error) {
+	return e.subscribe(&standingQuery{kind: SubRange, q: q, r: r})
+}
+
+// SubscribeKNN installs a standing k-nearest-neighbour query and returns
+// its handle and the initial top-k member ids (ascending by id; use TopK
+// for the distance-ordered view).
+func (e *Subscriptions) SubscribeKNN(q indoor.Position, k int) (int, []object.ID, error) {
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("query: kNN subscription needs k > 0, got %d", k)
+	}
+	return e.subscribe(&standingQuery{kind: SubKNN, q: q, k: k, kb: distance.NewKBound(k)})
+}
+
+func (e *Subscriptions) subscribe(s *standingQuery) (int, []object.ID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s.id = e.nextID
+	s.members = make(map[object.ID]bool)
+	if err := e.refresh(s); err != nil {
+		return 0, nil, err
+	}
+	e.nextID++
+	e.standing[s.id] = s
+	e.routeAdd(s)
+	return s.id, membersSorted(s), nil
+}
+
+// Unsubscribe removes a subscription, reporting whether it existed.
+func (e *Subscriptions) Unsubscribe(id int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.standing[id]
+	if !ok {
+		return false
+	}
+	e.routeRemove(s)
+	s.release()
+	delete(e.standing, id)
+	return true
+}
+
+// Results returns the current result set of a subscription as ascending
+// ids (range members, or the kNN top-k), or nil for an unknown handle.
+func (e *Subscriptions) Results(id int) []object.ID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := e.standing[id]
+	if s == nil {
+		return nil
+	}
+	return membersSorted(s)
+}
+
+// TopK returns a kNN subscription's current results ordered by (distance,
+// id), or nil for unknown handles and range subscriptions.
+func (e *Subscriptions) TopK(id int) []Result {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := e.standing[id]
+	if s == nil || s.kind != SubKNN {
+		return nil
+	}
+	out := make([]Result, 0, len(s.members))
+	for oid := range s.members {
+		out = append(out, Result{ID: oid, Distance: s.memberDist[oid]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// NumSubscriptions returns the number of registered subscriptions.
+func (e *Subscriptions) NumSubscriptions() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.standing)
+}
+
+// Stats returns the cumulative reconciliation counters.
+func (e *Subscriptions) Stats() SubStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.stats
+}
+
+// refresh re-runs the filtering and subgraph phases for a subscription
+// against a freshly pinned snapshot and rebuilds its result state. The
+// rebuild is all-or-nothing: the replacement phase and result maps are
+// staged completely before the swap, so a failed refresh (e.g. the query
+// point's partition was removed, or a refinement engine failed to build)
+// leaves the subscription's previous phase, result state and router
+// advertisement exactly as they were. The caller updates the router when
+// the footprint changed.
+func (e *Subscriptions) refresh(s *standingQuery) error {
+	switch s.kind {
+	case SubKNN:
+		return e.refreshKNN(s)
+	default:
+		return e.refreshRange(s)
+	}
+}
+
+// buildPhaseOn stages a phase over a pinned exec: footprint at radius r,
+// restricted engine, refiner. On success the caller owns the phase (and
+// must release it if it is later discarded).
+func buildPhaseOn(ex *exec, q indoor.Position, r float64) (phase, []object.ID, error) {
+	units, cands := ex.rangeSearch(q, r)
+	eng, err := distance.New(ex.s, q, units, math.Inf(1))
+	if err != nil {
+		return phase{}, nil, err
+	}
+	unitSet := make(map[index.UnitID]bool, len(units))
+	for _, u := range units {
+		unitSet[u] = true
+	}
+	return phase{
+		ex: ex, units: units, unitSet: unitSet, anchor: ex.anchor(q),
+		eng: eng, rf: &refiner{ex: ex, q: q, r: r, eng: eng, stats: &Stats{}},
+	}, cands, nil
+}
+
+func (e *Subscriptions) refreshRange(s *standingQuery) error {
+	ex := &exec{s: e.p.Pin(), opts: e.p.opts}
+	ph, cands, err := buildPhaseOn(ex, s.q, s.r)
+	if err != nil {
+		return err
+	}
+	members := make(map[object.ID]bool)
+	for _, oid := range cands {
+		in, err := evalRange(&ph, s.q, s.r, oid)
+		if err != nil {
+			ph.release()
+			return err
+		}
+		if in {
+			members[oid] = true
+		}
+	}
+	s.phase.release()
+	s.phase = ph
+	s.members = members
+	return nil
+}
+
+// refreshKNN re-establishes the kNN safe-distance state: the seed phase's
+// kbound R (Lemma 3: an upper bound on the k-th distance; +Inf when fewer
+// than k objects are reachable), the candidate footprint at radius R, and
+// the exact distance of every object within R. The top-k then falls out of
+// the candidate cache through the KBound.
+func (e *Subscriptions) refreshKNN(s *standingQuery) error {
+	ex := &exec{s: e.p.Pin(), opts: e.p.opts}
+	seedUnits, seeds, err := ex.kSeedsSelection(s.q, s.k)
+	if err != nil {
+		return err
+	}
+	bound := math.Inf(1)
+	if len(seeds) >= s.k {
+		seedEng, err := distance.New(ex.s, s.q, seedUnits, math.Inf(1))
+		if err != nil {
+			return err
+		}
+		tlus := make([]float64, 0, len(seeds))
+		for _, oid := range seeds {
+			tlus = append(tlus, seedEng.TLU(ex.s.Objects().Get(oid)))
+		}
+		seedEng.Close()
+		sort.Float64s(tlus)
+		bound = tlus[s.k-1]
+	}
+	ph, cands, err := buildPhaseOn(ex, s.q, bound)
+	if err != nil {
+		return err
+	}
+	cand := make(map[object.ID]float64)
+	for _, oid := range cands {
+		o := ex.s.Objects().Get(oid)
+		if o == nil {
+			continue
+		}
+		if b := ph.eng.ObjectBounds(o, bound); b.Lower > bound {
+			continue
+		}
+		d, err := ph.rf.exact(o)
+		if err != nil {
+			ph.release()
+			return err
+		}
+		if d <= bound || math.IsInf(bound, 1) {
+			cand[oid] = d
+		}
+	}
+	s.phase.release()
+	s.phase = ph
+	s.r = bound
+	s.cand = cand
+	s.members, s.memberDist = topkOf(s)
+	return nil
+}
+
+// topkOf selects the current top-k of a kNN subscription's candidate cache
+// by (distance, id) — the same order KNNQuery reports.
+func topkOf(s *standingQuery) (map[object.ID]bool, map[object.ID]float64) {
+	s.kb.Reset(s.k)
+	for oid, d := range s.cand {
+		s.kb.Offer(oid, d)
+	}
+	members := make(map[object.ID]bool, s.kb.Len())
+	dists := make(map[object.ID]float64, s.kb.Len())
+	for _, it := range s.kb.Items() {
+		members[it.ID] = true
+		dists[it.ID] = it.D
+	}
+	return members, dists
+}
+
+// evalRange decides one object's membership against a standing range
+// query's phase.
+func evalRange(ph *phase, q indoor.Position, r float64, oid object.ID) (bool, error) {
+	snap := ph.ex.s
+	o := snap.Objects().Get(oid)
+	if o == nil {
+		return false, nil
+	}
+	// The object must touch the candidate footprint at all (Lemma 6
+	// guarantees objects fully outside it are beyond r).
+	if !ph.touchesFootprint(oid) {
+		return false, nil
+	}
+	if ph.ex.objectBound(ph.anchor, q, oid) > r {
+		return false, nil
+	}
+	b := ph.eng.ObjectBounds(o, r)
+	switch {
+	case b.Upper <= r:
+		return true, nil
+	case b.Lower > r:
+		return false, nil
+	}
+	in, _, err := ph.rf.decideWithin(o, r)
+	return in, err
+}
+
+// evalKNNCand re-evaluates one object against a kNN subscription's
+// candidate cache: objects outside the footprint radius leave the cache,
+// objects within it carry their fresh exact distance.
+func evalKNNCand(ph *phase, q indoor.Position, r float64, oid object.ID, cand map[object.ID]float64) error {
+	snap := ph.ex.s
+	o := snap.Objects().Get(oid)
+	if o == nil || !ph.touchesFootprint(oid) {
+		delete(cand, oid)
+		return nil
+	}
+	unbounded := math.IsInf(r, 1)
+	if !unbounded {
+		if ph.ex.objectBound(ph.anchor, q, oid) > r {
+			delete(cand, oid)
+			return nil
+		}
+		if b := ph.eng.ObjectBounds(o, r); b.Lower > r {
+			delete(cand, oid)
+			return nil
+		}
+	}
+	d, err := ph.rf.exact(o)
+	if err != nil {
+		return err
+	}
+	if d > r && !unbounded {
+		delete(cand, oid)
+		return nil
+	}
+	cand[oid] = d
+	return nil
+}
+
+// touchesFootprint reports whether any unit of the object's uncertainty
+// region lies in the phase's candidate footprint.
+func (p *phase) touchesFootprint(oid object.ID) bool {
+	for _, u := range p.ex.s.ObjectUnitsView(oid) {
+		if p.unitSet[u] {
+			return true
+		}
+	}
+	return false
+}
+
+func membersSorted(s *standingQuery) []object.ID {
+	out := make([]object.ID, 0, len(s.members))
+	for oid := range s.members {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// queryIDs returns registered handles in ascending order for deterministic
+// event emission.
+func (e *Subscriptions) queryIDs() []int {
+	ids := make([]int, 0, len(e.standing))
+	for id := range e.standing {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (e *Subscriptions) String() string {
+	return fmt.Sprintf("subscriptions(%d standing queries)", e.NumSubscriptions())
+}
