@@ -25,6 +25,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/query"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func mustFixture(b *testing.B, cfg bench.Config) *bench.F {
@@ -520,67 +521,87 @@ func BenchmarkBatchUnderWrites(b *testing.B) {
 // benchmark with the tick applied as sequential MoveObject calls (the only
 // form that code offered). The interesting numbers are the p50-ns/p99-ns
 // metrics; README "Performance" records both sides.
+//
+// The wal=on variants attach the durable store (group-commit WAL, default
+// policy) to the same fixture: every tick is encoded and logged inside
+// the writer mutex before its snapshot publishes. README "Durability"
+// records the overhead; the acceptance bar (sustained ≥85% of wal=off at
+// the paced rate) is enforced by TestWALChurnOverheadSmoke.
 func BenchmarkQueriesUnderChurn(b *testing.B) {
 	const tickEvery = 10 * time.Millisecond
 	for _, perTick := range []int{20, 100} { // 2K and 10K moves/sec offered
-		rate := perTick * int(time.Second/tickEvery)
-		b.Run(fmt.Sprintf("moves_per_sec=%d", rate), func(b *testing.B) {
-			f := mustFixture(b, bench.Default())
-			p := f.Processor(query.Options{})
-			stop := make(chan struct{})
-			var wg sync.WaitGroup
-			var applied atomic.Int64
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				next := time.Now()
-				i := 0
-				ups := make([]index.ObjectUpdate, perTick)
-				for {
-					select {
-					case <-stop:
-						return
-					default:
+		for _, wal := range []bool{false, true} {
+			rate := perTick * int(time.Second/tickEvery)
+			b.Run(fmt.Sprintf("moves_per_sec=%d/wal=%v", rate, wal), func(b *testing.B) {
+				f := mustFixture(b, bench.Default())
+				if wal {
+					// The fixture index is cached across benchmarks:
+					// detach the store's hook before returning it.
+					st, err := store.Create(b.TempDir(), f.Idx, 0, nil, store.Options{})
+					if err != nil {
+						b.Fatal(err)
 					}
-					next = next.Add(tickEvery)
-					if d := time.Until(next); d > 0 {
-						time.Sleep(d)
-					}
-					for j := range ups {
-						ups[j] = index.ObjectUpdate{Op: index.UpdateMove, Object: f.Objs[(i+j)%len(f.Objs)]}
-					}
-					i += perTick
-					if err := f.Idx.ApplyObjectUpdates(ups); err != nil {
-						b.Error(err)
-						return
-					}
-					applied.Add(int64(perTick))
+					defer func() {
+						f.Idx.SetCommitHook(nil)
+						st.Close()
+					}()
 				}
-			}()
-			lats := make([]time.Duration, 0, b.N)
-			start := time.Now()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				q := f.Queries[i%len(f.Queries)]
-				t0 := time.Now()
-				if _, _, err := p.RangeQuery(q, bench.DefaultRange); err != nil {
-					b.Fatal(err)
+				p := f.Processor(query.Options{})
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				var applied atomic.Int64
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					next := time.Now()
+					i := 0
+					ups := make([]index.ObjectUpdate, perTick)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						next = next.Add(tickEvery)
+						if d := time.Until(next); d > 0 {
+							time.Sleep(d)
+						}
+						for j := range ups {
+							ups[j] = index.ObjectUpdate{Op: index.UpdateMove, Object: f.Objs[(i+j)%len(f.Objs)]}
+						}
+						i += perTick
+						if err := f.Idx.ApplyObjectUpdates(ups); err != nil {
+							b.Error(err)
+							return
+						}
+						applied.Add(int64(perTick))
+					}
+				}()
+				lats := make([]time.Duration, 0, b.N)
+				start := time.Now()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					q := f.Queries[i%len(f.Queries)]
+					t0 := time.Now()
+					if _, _, err := p.RangeQuery(q, bench.DefaultRange); err != nil {
+						b.Fatal(err)
+					}
+					lats = append(lats, time.Since(t0))
 				}
-				lats = append(lats, time.Since(t0))
-			}
-			b.StopTimer()
-			elapsed := time.Since(start)
-			close(stop)
-			wg.Wait()
-			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-			if len(lats) > 0 {
-				b.ReportMetric(float64(lats[len(lats)/2].Nanoseconds()), "p50-ns")
-				b.ReportMetric(float64(lats[(len(lats)*99)/100].Nanoseconds()), "p99-ns")
-			}
-			if s := elapsed.Seconds(); s > 0 {
-				b.ReportMetric(float64(applied.Load())/s, "moves/sec")
-			}
-		})
+				b.StopTimer()
+				elapsed := time.Since(start)
+				close(stop)
+				wg.Wait()
+				sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+				if len(lats) > 0 {
+					b.ReportMetric(float64(lats[len(lats)/2].Nanoseconds()), "p50-ns")
+					b.ReportMetric(float64(lats[(len(lats)*99)/100].Nanoseconds()), "p99-ns")
+				}
+				if s := elapsed.Seconds(); s > 0 {
+					b.ReportMetric(float64(applied.Load())/s, "moves/sec")
+				}
+			})
+		}
 	}
 }
 

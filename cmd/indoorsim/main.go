@@ -5,10 +5,16 @@
 // Usage:
 //
 //	indoorsim [-floors N] [-objects N] [-radius M] [-seed S]
-//	          [-q "x,y,floor"] [-range R] [-k K] [-stats]
+//	          [-q "x,y,floor"] [-range R] [-k K] [-stats] [-persist DIR]
 //
 // Without -q a random query point is drawn. The tool prints the workload
 // summary, the iRQ and ikNNQ answers, and with -stats the per-phase cost.
+//
+// With -persist the database is durable: an empty (or missing) DIR is
+// initialised with a checkpoint and a write-ahead log from the generated
+// workload, while a DIR that already holds a store is recovered —
+// checkpoint load, WAL replay, torn-tail truncation — and the generation
+// flags are ignored. Run it twice with the same DIR to watch recovery.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 
 	"repro"
 )
@@ -33,6 +40,7 @@ var (
 	save     = flag.String("save", "", "save the workload to a JSON file after building")
 	estimate = flag.Bool("estimate", false, "also print the selectivity estimate for the iRQ")
 	svg      = flag.String("svg", "", "render the query's floor (objects, range, index units) to an SVG file")
+	persist  = flag.String("persist", "", "durable store directory: created on first run, recovered afterwards")
 )
 
 func main() {
@@ -43,9 +51,51 @@ func main() {
 	}
 }
 
+// saveWorkload honours -save: the database's building and objects are
+// written as a JSON document. A no-op without the flag.
+func saveWorkload(db *indoorq.DB) error {
+	if *save == "" {
+		return nil
+	}
+	f, err := os.Create(*save)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("saved workload to %s\n", *save)
+	return nil
+}
+
+// hasStore reports whether dir already holds a durable store (any
+// checkpoint generation).
+func hasStore(dir string) bool {
+	matches, err := filepath.Glob(filepath.Join(dir, "checkpoint-*.ckpt"))
+	return err == nil && len(matches) > 0
+}
+
 func run() error {
 	var b *indoorq.Building
 	var objs []*indoorq.Object
+	if *persist != "" && hasStore(*persist) {
+		db, err := indoorq.OpenDir(*persist, indoorq.DurabilityOptions{})
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		ri := db.RecoveryInfo()
+		fmt.Printf("recovered %s: checkpoint lsn %d, %d WAL records replayed, %d torn bytes truncated\n",
+			*persist, ri.CheckpointLSN, ri.Replayed, ri.TruncatedBytes)
+		if err := saveWorkload(db); err != nil {
+			return err
+		}
+		return query(db, db.Building(), nil)
+	}
 	if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
@@ -69,26 +119,27 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
+	if *persist != "" {
+		if err := db.Persist(*persist, indoorq.DurabilityOptions{}); err != nil {
 			return err
 		}
-		if err := db.Save(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("saved workload to %s\n", *save)
+		defer db.Close()
+		fmt.Printf("persisting to %s (checkpoint + write-ahead log)\n", *persist)
+	}
+	if err := saveWorkload(db); err != nil {
+		return err
 	}
 	fmt.Printf("mall: %d floors, %d partitions, %d doors; %d objects (r=%gm)\n",
 		b.Floors(), b.NumPartitions(), b.NumDoors(), len(objs), *radius)
 	fmt.Printf("index built in %v (tree %v, topo %v, objects %v, skeleton %v)\n",
 		bs.Total().Round(1e6), bs.TreeTier.Round(1e6), bs.TopoLayer.Round(1e6),
 		bs.ObjectLayer.Round(1e6), bs.SkeletonTier.Round(1e6))
+	return query(db, b, objs)
+}
 
+// query draws (or parses) the query point and prints the iRQ and ikNNQ
+// answers; objs may be nil for a recovered database.
+func query(db *indoorq.DB, b *indoorq.Building, objs []*indoorq.Object) error {
 	var q indoorq.Position
 	if *qFlag == "" {
 		q = indoorq.GenerateQueryPoints(b, 1, *seed+1)[0]

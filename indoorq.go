@@ -67,6 +67,21 @@
 //	}
 //	resps, m := db.BatchRangeQuery(reqs, indoorq.ServeConfig{}) // Workers: GOMAXPROCS
 //	fmt.Printf("%.0f queries/sec, p99 %v\n", m.Throughput, m.P99)
+//
+// # Durability
+//
+// A DB built with Open is ephemeral. Persist attaches a durable store (a
+// checkpoint plus a write-ahead log of every mutation, appended inside
+// the writer mutex before each snapshot publishes), and OpenDir recovers
+// one: newest valid checkpoint, WAL replay with torn-tail truncation,
+// subscriptions re-registered. See durability.go and ARCHITECTURE.md for
+// the full contract (fsync policies, group commit, compaction,
+// fail-stop semantics):
+//
+//	db.Persist("data/", indoorq.DurabilityOptions{})
+//	...
+//	db.Close()
+//	db, _ = indoorq.OpenDir("data/", indoorq.DurabilityOptions{})
 package indoorq
 
 import (
@@ -85,6 +100,7 @@ import (
 	"repro/internal/render"
 	"repro/internal/serde"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // Re-exported model types. The aliases keep one import path for users while
@@ -157,7 +173,9 @@ func GenerateQueryPoints(b *Building, n int, seed int64) []Position {
 }
 
 // DB couples a composite index with a query processor: the top-level handle
-// a location-based service holds.
+// a location-based service holds. An ephemeral DB comes from Open; a
+// durable one from OpenDir (recovery) or Persist (attachment) — see
+// durability.go for the checkpoint/WAL lifecycle.
 type DB struct {
 	idx   *index.Index
 	proc  *query.Processor
@@ -168,6 +186,16 @@ type DB struct {
 	// standing results reconcile with each update.
 	subs     atomic.Pointer[query.Subscriptions]
 	subsInit sync.Mutex
+
+	// Durable state (nil/zero for ephemeral DBs): the attached store,
+	// the recovery statistics OpenDir produced, and the background
+	// compactor's lifecycle.
+	st        *store.Store
+	recovery  RecoveryStats
+	closedC   chan struct{}
+	closeOnce sync.Once
+	compactWG sync.WaitGroup
+	compactMu sync.Mutex
 }
 
 // Open builds the composite index over the building and object set and
@@ -376,10 +404,15 @@ func (db *DB) AttachDoor(did DoorID) error {
 	return nil
 }
 
-// DetachDoor removes a door from the building and the index.
-func (db *DB) DetachDoor(did DoorID) {
-	db.idx.DetachDoor(did)
+// DetachDoor removes a door from the building and the index. An unknown
+// door is a no-op; the only possible error is a refused durability log
+// (fail-stop store), in which case nothing was detached.
+func (db *DB) DetachDoor(did DoorID) error {
+	if err := db.idx.DetachDoor(did); err != nil {
+		return err
+	}
 	db.invalidateSubs()
+	return nil
 }
 
 // SetDoorClosed closes or reopens a door; queries observe the change
@@ -491,21 +524,56 @@ func (db *DB) subscriptions() *query.Subscriptions {
 // subscription before concurrent mutators start (subsequent Subscribes
 // are free of this caveat), or treat results as current only from the
 // subscription's creation onwards.
+//
+// On a durable DB the registration is logged; if logging fails the
+// subscription stays registered in memory (its record may already be on
+// disk) and Subscribe returns both the valid handle AND the error — the
+// store is fail-stop from that point.
 func (db *DB) Subscribe(spec SubscriptionSpec) (int, []ObjectID, error) {
+	var id int
+	var members []ObjectID
+	var err error
+	var kind query.SubKind
 	switch {
 	case spec.R > 0 && spec.K == 0:
-		return db.subscriptions().SubscribeRange(spec.Q, spec.R)
+		kind = query.SubRange
+		id, members, err = db.subscriptions().SubscribeRange(spec.Q, spec.R)
 	case spec.K > 0 && spec.R == 0:
-		return db.subscriptions().SubscribeKNN(spec.Q, spec.K)
+		kind = query.SubKNN
+		id, members, err = db.subscriptions().SubscribeKNN(spec.Q, spec.K)
 	default:
 		return 0, nil, fmt.Errorf("indoorq: subscription needs exactly one of R > 0 or K > 0, got R=%g K=%d", spec.R, spec.K)
 	}
+	if err != nil {
+		return 0, nil, err
+	}
+	if db.st != nil {
+		rec := subRecOf(query.SubSpec{ID: id, Kind: kind, Q: spec.Q, R: spec.R, K: spec.K})
+		if lerr := db.st.LogSubscribe(rec); lerr != nil {
+			// The record may have reached the disk before the log
+			// reported failure (e.g. a write that landed but an fsync
+			// that did not), so rolling the registration back could
+			// leave recovery resurrecting a subscription the caller
+			// believes gone. Keep it registered — the conservative
+			// direction, same as Unsubscribe — return its handle AND
+			// the error; the store is fail-stop from here anyway.
+			return id, members, lerr
+		}
+	}
+	return id, members, nil
 }
 
-// Unsubscribe removes a subscription, reporting whether it existed.
+// Unsubscribe removes a subscription, reporting whether it existed. On a
+// durable DB the removal is logged; a log failure cannot un-remove the
+// subscription, so it only poisons the store (fail-stop) — recovery may
+// then resurrect the subscription, which is the conservative direction.
 func (db *DB) Unsubscribe(id int) bool {
 	if s := db.subs.Load(); s != nil {
-		return s.Unsubscribe(id)
+		ok := s.Unsubscribe(id)
+		if ok && db.st != nil {
+			_ = db.st.LogUnsubscribe(int64(id))
+		}
+		return ok
 	}
 	return false
 }

@@ -1,0 +1,102 @@
+package index
+
+import (
+	"repro/internal/indoor"
+)
+
+// The durability hook. A storage engine (internal/store) registers a
+// CommitHook to observe every index mutation from inside the writer
+// mutex, after the copy-on-write edit validated and immediately before
+// the successor snapshot publishes — the write-ahead discipline: the
+// logical operation reaches the log's buffer strictly before any reader
+// can observe its effects. The index itself stays storage-agnostic; the
+// hook receives a logical Mutation, not bytes.
+
+// MutationKind identifies the operation a Mutation describes.
+type MutationKind uint8
+
+const (
+	// MutObjects is a coalesced object-layer batch (ApplyObjectUpdates,
+	// or a single-object mutator as a one-element batch).
+	MutObjects MutationKind = iota + 1
+	// MutSetDoorClosed toggles a door's closure state.
+	MutSetDoorClosed
+	// MutAddPartition indexes a partition (payload in Part).
+	MutAddPartition
+	// MutRemovePartition removes a partition and its doors.
+	MutRemovePartition
+	// MutAttachDoor indexes a door (payload in Door).
+	MutAttachDoor
+	// MutDetachDoor removes a door.
+	MutDetachDoor
+	// MutSplit mounts a sliding wall (results in ResultA/ResultB).
+	MutSplit
+	// MutMerge dismounts a sliding wall (result in ResultA).
+	MutMerge
+	// MutRebuildSkeleton recomputes the skeleton tier out of band.
+	MutRebuildSkeleton
+)
+
+// Mutation is the logical description of one committed index mutation,
+// carrying everything deterministic replay needs. Pointer fields (Part,
+// Door, Updates' objects) reference live state owned by the writer —
+// hooks must encode them synchronously before returning and must not
+// retain them.
+type Mutation struct {
+	Kind MutationKind
+
+	// Updates is the object batch for MutObjects.
+	Updates []ObjectUpdate
+
+	// DoorID and Closed serve MutSetDoorClosed and MutDetachDoor; Door
+	// carries the attached door's full state for MutAttachDoor (replay
+	// may need to re-add it to the building).
+	DoorID indoor.DoorID
+	Closed bool
+	Door   *indoor.Door
+
+	// PartID serves MutRemovePartition and MutSplit (the split target);
+	// PartID2 is MutMerge's second partition. Part carries the indexed
+	// partition's full state for MutAddPartition.
+	PartID  indoor.PartitionID
+	PartID2 indoor.PartitionID
+	Part    *indoor.Partition
+
+	// AlongX and At parameterise MutSplit.
+	AlongX bool
+	At     float64
+
+	// ResultA/ResultB are the ids MutSplit allocated (ResultA also holds
+	// MutMerge's result). Replay verifies its allocations match — the
+	// determinism check behind id-exact recovery.
+	ResultA, ResultB indoor.PartitionID
+}
+
+// CommitHook observes one mutation pre-publish. Returning an error
+// aborts the mutation when the building is still untouched (object
+// batches, AddPartition, AttachDoor, SetDoorClosed, RemovePartition,
+// DetachDoor — their hooks run before the building changes); for Split
+// and Merge, whose payload includes result ids the building mutation
+// produced, an error still suppresses the publish but leaves the
+// building mutated — acceptable only because a failing hook means the
+// log is poisoned and the engine is in fail-stop mode (every subsequent
+// mutation will be refused too).
+type CommitHook func(m Mutation) error
+
+// SetCommitHook installs (or, with nil, removes) the durability hook.
+// It serialises against mutators, so a hook observes every mutation
+// committed after SetCommitHook returns.
+func (idx *Index) SetCommitHook(h CommitHook) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	idx.commitHook = h
+}
+
+// hook runs the commit hook if one is installed. Callers hold the
+// writer mutex and call it immediately before publish.
+func (idx *Index) hook(m Mutation) error {
+	if idx.commitHook != nil {
+		return idx.commitHook(m)
+	}
+	return nil
+}

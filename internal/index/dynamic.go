@@ -26,6 +26,9 @@ func (idx *Index) InsertObject(o *object.Object) error {
 	if err := ed.insertObject(o); err != nil {
 		return err
 	}
+	if err := idx.hook(Mutation{Kind: MutObjects, Updates: []ObjectUpdate{{Op: UpdateInsert, Object: o}}}); err != nil {
+		return err
+	}
 	idx.publish(ed.freeze())
 	return nil
 }
@@ -70,6 +73,9 @@ func (idx *Index) DeleteObject(id object.ID) error {
 	if err := ed.deleteObject(id); err != nil {
 		return err
 	}
+	if err := idx.hook(Mutation{Kind: MutObjects, Updates: []ObjectUpdate{{Op: UpdateDelete, ID: id}}}); err != nil {
+		return err
+	}
 	idx.publish(ed.freeze())
 	return nil
 }
@@ -101,6 +107,9 @@ func (idx *Index) UpdateObject(o *object.Object) error {
 	if err := ed.insertObject(o); err != nil {
 		return err
 	}
+	if err := idx.hook(Mutation{Kind: MutObjects, Updates: []ObjectUpdate{{Op: UpdateReplace, Object: o}}}); err != nil {
+		return err
+	}
 	idx.publish(ed.freeze())
 	return nil
 }
@@ -115,6 +124,9 @@ func (idx *Index) MoveObject(o *object.Object) error {
 	defer idx.mu.Unlock()
 	ed := idx.edit()
 	if err := ed.moveObject(o); err != nil {
+		return err
+	}
+	if err := idx.hook(Mutation{Kind: MutObjects, Updates: []ObjectUpdate{{Op: UpdateMove, Object: o}}}); err != nil {
 		return err
 	}
 	idx.publish(ed.freeze())
@@ -226,6 +238,9 @@ func (idx *Index) ApplyObjectUpdates(ups []ObjectUpdate) error {
 		}
 	}
 	if len(ups) > 0 {
+		if err := idx.hook(Mutation{Kind: MutObjects, Updates: ups}); err != nil {
+			return err
+		}
 		idx.publish(ed.freeze())
 	}
 	return nil
@@ -240,6 +255,9 @@ func (idx *Index) AddPartition(pid indoor.PartitionID) error {
 	defer idx.mu.Unlock()
 	ed := idx.edit()
 	if err := ed.addPartition(pid); err != nil {
+		return err
+	}
+	if err := idx.hook(Mutation{Kind: MutAddPartition, PartID: pid, Part: idx.b.Partition(pid)}); err != nil {
 		return err
 	}
 	idx.publish(ed.freeze())
@@ -293,6 +311,9 @@ func (idx *Index) RemovePartition(pid indoor.PartitionID) error {
 	ed.ownTopo()
 	wasStair := p.Kind == indoor.Staircase
 	affected := ed.unindexPartitionKeepBuilding(pid)
+	if err := idx.hook(Mutation{Kind: MutRemovePartition, PartID: pid}); err != nil {
+		return err
+	}
 	if err := idx.b.RemovePartition(pid); err != nil {
 		return err
 	}
@@ -324,17 +345,25 @@ func (idx *Index) AttachDoor(did indoor.DoorID) error {
 	if staircaseSide(idx.b, d) != indoor.NoPartition {
 		ed.rebuildSkel = true
 	}
+	if err := idx.hook(Mutation{Kind: MutAttachDoor, DoorID: did, Door: d}); err != nil {
+		return err
+	}
 	idx.publish(ed.freeze())
 	return nil
 }
 
-// DetachDoor unindexes and removes a door from the building.
-func (idx *Index) DetachDoor(did indoor.DoorID) {
+// DetachDoor unindexes and removes a door from the building. An unknown
+// door is a no-op; the only possible error is a refused durability hook
+// (fail-stop storage), in which case nothing is detached.
+func (idx *Index) DetachDoor(did indoor.DoorID) error {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
 	d := idx.b.Door(did)
 	if d == nil && idx.Current().topo.doorRefs[did] == nil {
-		return // unknown door: nothing to detach
+		return nil // unknown door: nothing to detach
+	}
+	if err := idx.hook(Mutation{Kind: MutDetachDoor, DoorID: did}); err != nil {
+		return err
 	}
 	ed := idx.edit()
 	wasEntrance := d != nil && staircaseSide(idx.b, d) != indoor.NoPartition
@@ -344,6 +373,7 @@ func (idx *Index) DetachDoor(did indoor.DoorID) {
 		ed.rebuildSkel = true
 	}
 	idx.publish(ed.freeze())
+	return nil
 }
 
 // SetDoorClosed toggles a door's availability. The topological layer needs
@@ -355,6 +385,12 @@ func (idx *Index) DetachDoor(did indoor.DoorID) {
 func (idx *Index) SetDoorClosed(did indoor.DoorID, closed bool) error {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
+	if idx.b.Door(did) == nil {
+		return fmt.Errorf("index: no door %d", did)
+	}
+	if err := idx.hook(Mutation{Kind: MutSetDoorClosed, DoorID: did, Closed: closed}); err != nil {
+		return err
+	}
 	if err := idx.b.SetDoorClosed(did, closed); err != nil {
 		return err
 	}
@@ -387,6 +423,12 @@ func (idx *Index) SplitPartition(pid indoor.PartitionID, alongX bool, at float64
 		return indoor.NoPartition, indoor.NoPartition, err
 	}
 	ed.relocateObjects(affected)
+	if err := idx.hook(Mutation{
+		Kind: MutSplit, PartID: pid, AlongX: alongX, At: at,
+		ResultA: pa.ID, ResultB: pb.ID,
+	}); err != nil {
+		return indoor.NoPartition, indoor.NoPartition, err
+	}
 	idx.publish(ed.freeze())
 	return pa.ID, pb.ID, nil
 }
@@ -407,6 +449,9 @@ func (idx *Index) MergePartitions(pa, pb indoor.PartitionID) (indoor.PartitionID
 		return indoor.NoPartition, err
 	}
 	ed.relocateObjects(affected)
+	if err := idx.hook(Mutation{Kind: MutMerge, PartID: pa, PartID2: pb, ResultA: merged.ID}); err != nil {
+		return indoor.NoPartition, err
+	}
 	idx.publish(ed.freeze())
 	return merged.ID, nil
 }
@@ -473,6 +518,11 @@ func (idx *Index) RebuildSkeleton() {
 	ed := idx.edit()
 	ed.ownTopo()
 	ed.rebuildSkel = true
+	// Out-of-band building mutations are by definition not in the log;
+	// the record only keeps replay aligned for subsequent operations, so
+	// a refused hook (fail-stop storage) does not block the in-memory
+	// rebuild.
+	_ = idx.hook(Mutation{Kind: MutRebuildSkeleton})
 	idx.publish(ed.freeze())
 }
 

@@ -209,6 +209,10 @@ type Index struct {
 	b    *indoor.Building
 	opts Options
 
+	// commitHook, when installed, observes every mutation pre-publish
+	// (the durable store's write-ahead hook). Guarded by mu.
+	commitHook CommitHook
+
 	head  atomic.Pointer[Snapshot]
 	swaps atomic.Uint64
 }
@@ -312,6 +316,11 @@ func unitBox(b *indoor.Building, u *Unit) geom.Rect3 {
 
 // Building returns the indexed building.
 func (idx *Index) Building() *indoor.Building { return idx.b }
+
+// Options returns the construction options the index was built with —
+// the durable store persists them so a recovered index decomposes the
+// restored building identically.
+func (idx *Index) Options() Options { return idx.opts }
 
 // Objects returns the object store of the current snapshot.
 func (idx *Index) Objects() *object.Store { return idx.Current().Objects() }

@@ -122,6 +122,44 @@ func (b *Building) AddStaircase(floor int, footprint geom.Rect, runLength float6
 	return p
 }
 
+// AddPartitionWithID inserts a partition under an explicit id, for
+// deserialisers restoring a building whose ids must survive a round trip
+// (the durable checkpoint format, whose write-ahead log references
+// partitions by id). It fails on a duplicate id and advances the
+// allocator past id so future allocations stay unique.
+func (b *Building) AddPartitionWithID(id PartitionID, kind Kind, floor int, shape geom.Polygon) (*Partition, error) {
+	if _, dup := b.parts[id]; dup {
+		return nil, fmt.Errorf("indoor: duplicate partition id %d", id)
+	}
+	if err := shape.Validate(); err != nil {
+		return nil, fmt.Errorf("indoor: bad partition shape: %w", err)
+	}
+	p := &Partition{ID: id, Kind: kind, Floor: floor, Shape: shape}
+	b.parts[id] = p
+	if id >= b.nextPart {
+		b.nextPart = id + 1
+	}
+	return p, nil
+}
+
+// AllocBounds returns the partition and door id allocators' next values.
+// Together with AddPartitionWithID / AddDoorWithID and ReserveIDs they
+// let a deserialiser reproduce the building's exact id state, which is
+// what makes write-ahead-log replay deterministic after recovery.
+func (b *Building) AllocBounds() (PartitionID, DoorID) { return b.nextPart, b.nextDoor }
+
+// ReserveIDs advances the id allocators to at least the given values, so
+// ids allocated after an exact restore match the original timeline even
+// when the highest original ids were later removed.
+func (b *Building) ReserveIDs(nextPart PartitionID, nextDoor DoorID) {
+	if nextPart > b.nextPart {
+		b.nextPart = nextPart
+	}
+	if nextDoor > b.nextDoor {
+		b.nextDoor = nextDoor
+	}
+}
+
 // RemovePartition deletes a partition and every door attached to it,
 // mirroring the paper's deletion operation (§III-C.1).
 func (b *Building) RemovePartition(id PartitionID) error {
@@ -170,6 +208,44 @@ func (b *Building) addDoor(pos geom.Point, floor int, p1, p2 PartitionID, oneWay
 	pp1.Doors = append(pp1.Doors, d.ID)
 	if pp2 != nil {
 		pp2.Doors = append(pp2.Doors, d.ID)
+	}
+	return d, nil
+}
+
+// AddDoorWithID inserts a door under an explicit id with its full state
+// (direction and closure), the door-side counterpart of
+// AddPartitionWithID for id-exact restores.
+func (b *Building) AddDoorWithID(id DoorID, pos geom.Point, floor int, p1, p2 PartitionID, oneWay bool, from, to PartitionID, closed bool) (*Door, error) {
+	if _, dup := b.doors[id]; dup {
+		return nil, fmt.Errorf("indoor: duplicate door id %d", id)
+	}
+	pp1 := b.parts[p1]
+	if pp1 == nil {
+		return nil, fmt.Errorf("indoor: door %d references missing partition %d", id, p1)
+	}
+	var pp2 *Partition
+	if p2 != NoPartition {
+		pp2 = b.parts[p2]
+		if pp2 == nil {
+			return nil, fmt.Errorf("indoor: door %d references missing partition %d", id, p2)
+		}
+	}
+	if oneWay && ((from != p1 && from != p2) || (to != p1 && to != p2) || from == to) {
+		return nil, fmt.Errorf("indoor: door %d has inconsistent one-way direction", id)
+	}
+	d := &Door{
+		ID: id, Pos: pos, Floor: floor,
+		P1: p1, P2: p2,
+		OneWay: oneWay, From: from, To: to,
+		Closed: closed,
+	}
+	b.doors[id] = d
+	pp1.Doors = append(pp1.Doors, id)
+	if pp2 != nil {
+		pp2.Doors = append(pp2.Doors, id)
+	}
+	if id >= b.nextDoor {
+		b.nextDoor = id + 1
 	}
 	return d, nil
 }

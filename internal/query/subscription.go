@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/distance"
 	"repro/internal/index"
@@ -68,6 +69,13 @@ type Subscriptions struct {
 	// snapshot, a pass only visits router-admitted subscriptions instead
 	// of scanning the whole registry for out-of-band topology changes.
 	lastTopoEpoch uint64
+
+	// specsPub is a lock-free copy-on-write view of the registered
+	// specs, republished under mu at every registration change. The
+	// durable store's checkpoint capture reads it while holding the
+	// index's writer-mutex read side — taking mu there instead would
+	// deadlock against an engine writer waiting for the index.
+	specsPub atomic.Pointer[[]SubSpec]
 
 	stats SubStats
 }
@@ -289,7 +297,97 @@ func (e *Subscriptions) subscribe(s *standingQuery) (int, []object.ID, error) {
 	e.nextID++
 	e.standing[s.id] = s
 	e.routeAdd(s)
+	e.publishSpecs()
 	return s.id, membersSorted(s), nil
+}
+
+// SubSpec is the durable identity of one subscription: its handle and
+// query spec, without any result state. The durable store checkpoints
+// these and recovery re-registers them through Restore — results are
+// recomputed, not persisted.
+type SubSpec struct {
+	ID   int
+	Kind SubKind
+	Q    indoor.Position
+	// R is the query radius of a range subscription; kNN subscriptions
+	// leave it zero (their footprint radius is derived state).
+	R float64
+	K int // SubKNN only
+}
+
+// Specs returns the registered subscriptions' durable identities in
+// ascending handle order. The read is wait-free against a published
+// copy-on-write view, so it is safe from any locking context — in
+// particular from the durable store's checkpoint capture, which runs
+// while holding the index still.
+func (e *Subscriptions) Specs() []SubSpec {
+	if p := e.specsPub.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// publishSpecs republishes the copy-on-write spec view. Callers hold
+// the writer mutex and call it after every registration change.
+func (e *Subscriptions) publishSpecs() {
+	out := make([]SubSpec, 0, len(e.standing))
+	for _, id := range e.queryIDs() {
+		s := e.standing[id]
+		sp := SubSpec{ID: s.id, Kind: s.kind, Q: s.q, K: s.k}
+		if s.kind == SubRange {
+			sp.R = s.r
+		}
+		out = append(out, sp)
+	}
+	e.specsPub.Store(&out)
+}
+
+// Restore re-registers a subscription under its original handle (crash
+// recovery). It is idempotent — restoring an already-registered handle is
+// a no-op — and always registers on a valid spec: when the initial
+// evaluation fails (e.g. the recovered topology no longer contains the
+// query point's partition) the subscription is installed empty and
+// repaired by the next topology operation, exactly like a live
+// subscription whose refresh failed, and the evaluation error is
+// returned as a warning. The id allocator advances past the handle so
+// future Subscribes never collide.
+func (e *Subscriptions) Restore(sp SubSpec) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sp.ID < 0 {
+		return fmt.Errorf("query: restore of negative subscription id %d", sp.ID)
+	}
+	switch sp.Kind {
+	case SubRange:
+		if !(sp.R > 0) {
+			return fmt.Errorf("query: restore of range subscription %d with radius %g", sp.ID, sp.R)
+		}
+	case SubKNN:
+		if sp.K <= 0 {
+			return fmt.Errorf("query: restore of kNN subscription %d with k %d", sp.ID, sp.K)
+		}
+	default:
+		return fmt.Errorf("query: restore of unknown subscription kind %d", sp.Kind)
+	}
+	if sp.ID >= e.nextID {
+		e.nextID = sp.ID + 1
+	}
+	if e.standing[sp.ID] != nil {
+		return nil
+	}
+	s := &standingQuery{id: sp.ID, kind: sp.Kind, q: sp.Q, r: sp.R, k: sp.K}
+	if sp.Kind == SubKNN {
+		s.kb = distance.NewKBound(sp.K)
+	}
+	s.members = make(map[object.ID]bool)
+	err := e.refresh(s)
+	e.standing[sp.ID] = s
+	e.publishSpecs()
+	if err != nil {
+		return fmt.Errorf("query: subscription %d restored without initial results: %w", sp.ID, err)
+	}
+	e.routeAdd(s)
+	return nil
 }
 
 // Unsubscribe removes a subscription, reporting whether it existed.
@@ -303,6 +401,7 @@ func (e *Subscriptions) Unsubscribe(id int) bool {
 	e.routeRemove(s)
 	s.release()
 	delete(e.standing, id)
+	e.publishSpecs()
 	return true
 }
 

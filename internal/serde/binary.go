@@ -1,0 +1,225 @@
+package serde
+
+// Binary encoders for the durable storage engine (internal/store): the
+// object layer of a checkpoint and the object payloads of write-ahead-log
+// records use this fixed-width little-endian format instead of JSON — an
+// uncertain object is mostly float64 instance coordinates, and a movement
+// tick logs hundreds of them per WAL record on the hot write path.
+//
+// The format is deliberately position-independent and self-delimiting at
+// the element level (every Decode* returns the unconsumed rest), so the
+// store can frame records however it likes; integrity is the caller's
+// job (the WAL CRCs every record, the checkpoint CRCs the whole file).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/indoor"
+	"repro/internal/object"
+)
+
+// Subscription kinds in SubscriptionRec.Kind.
+const (
+	// SubscriptionRange marks a standing range query (R metres).
+	SubscriptionRange uint8 = 0
+	// SubscriptionKNN marks a standing k-nearest-neighbour query.
+	SubscriptionKNN uint8 = 1
+)
+
+// SubscriptionRec is the persisted registration of one standing query:
+// the subscription's durable identity (its handle and spec). Result
+// state is deliberately not persisted — recovery re-registers the
+// subscription and recomputes its results against the recovered index.
+type SubscriptionRec struct {
+	ID    int64
+	Kind  uint8
+	X, Y  float64
+	Floor int64
+	R     float64 // SubscriptionRange: the query radius in metres
+	K     int64   // SubscriptionKNN: the k
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+func appendI64(dst []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(v))
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func takeU64(data []byte) (uint64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("serde: binary truncated (%d bytes left, want 8)", len(data))
+	}
+	return binary.LittleEndian.Uint64(data), data[8:], nil
+}
+
+func takeI64(data []byte) (int64, []byte, error) {
+	u, rest, err := takeU64(data)
+	return int64(u), rest, err
+}
+
+func takeF64(data []byte) (float64, []byte, error) {
+	u, rest, err := takeU64(data)
+	return math.Float64frombits(u), rest, err
+}
+
+// AppendObject appends one object's binary encoding to dst.
+func AppendObject(dst []byte, o *object.Object) []byte {
+	dst = appendI64(dst, int64(o.ID))
+	dst = appendF64(dst, o.Center.Pt.X)
+	dst = appendF64(dst, o.Center.Pt.Y)
+	dst = appendI64(dst, int64(o.Center.Floor))
+	dst = appendF64(dst, o.Radius)
+	dst = appendU64(dst, uint64(len(o.Instances)))
+	for _, in := range o.Instances {
+		dst = appendF64(dst, in.Pos.Pt.X)
+		dst = appendF64(dst, in.Pos.Pt.Y)
+		dst = appendI64(dst, int64(in.Pos.Floor))
+		dst = appendF64(dst, in.P)
+	}
+	return dst
+}
+
+// maxInstances bounds a decoded instance count: a corrupt length must not
+// drive a multi-gigabyte allocation before validation gets a say.
+const maxInstances = 1 << 20
+
+// DecodeObject decodes one object from data, returning the object and the
+// unconsumed rest. The object is validated (§II-B contract).
+func DecodeObject(data []byte) (*object.Object, []byte, error) {
+	var o object.Object
+	var err error
+	var id, floor, n int64
+	if id, data, err = takeI64(data); err != nil {
+		return nil, nil, err
+	}
+	o.ID = object.ID(id)
+	if o.Center.Pt.X, data, err = takeF64(data); err != nil {
+		return nil, nil, err
+	}
+	if o.Center.Pt.Y, data, err = takeF64(data); err != nil {
+		return nil, nil, err
+	}
+	if floor, data, err = takeI64(data); err != nil {
+		return nil, nil, err
+	}
+	o.Center.Floor = int(floor)
+	if o.Radius, data, err = takeF64(data); err != nil {
+		return nil, nil, err
+	}
+	if n, data, err = takeI64(data); err != nil {
+		return nil, nil, err
+	}
+	if n < 0 || n > maxInstances {
+		return nil, nil, fmt.Errorf("serde: object %d has implausible instance count %d", o.ID, n)
+	}
+	o.Instances = make([]object.Instance, n)
+	for i := range o.Instances {
+		in := &o.Instances[i]
+		if in.Pos.Pt.X, data, err = takeF64(data); err != nil {
+			return nil, nil, err
+		}
+		if in.Pos.Pt.Y, data, err = takeF64(data); err != nil {
+			return nil, nil, err
+		}
+		if floor, data, err = takeI64(data); err != nil {
+			return nil, nil, err
+		}
+		in.Pos.Floor = int(floor)
+		if in.P, data, err = takeF64(data); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("serde: %w", err)
+	}
+	return &o, data, nil
+}
+
+// AppendObjects appends a counted sequence of objects.
+func AppendObjects(dst []byte, objs []*object.Object) []byte {
+	dst = appendU64(dst, uint64(len(objs)))
+	for _, o := range objs {
+		dst = AppendObject(dst, o)
+	}
+	return dst
+}
+
+// DecodeObjects decodes a counted sequence of objects, returning the
+// unconsumed rest.
+func DecodeObjects(data []byte) ([]*object.Object, []byte, error) {
+	n, data, err := takeI64(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n < 0 {
+		return nil, nil, fmt.Errorf("serde: negative object count %d", n)
+	}
+	objs := make([]*object.Object, 0, min(int(n), 1<<16))
+	for i := int64(0); i < n; i++ {
+		var o *object.Object
+		if o, data, err = DecodeObject(data); err != nil {
+			return nil, nil, err
+		}
+		objs = append(objs, o)
+	}
+	return objs, data, nil
+}
+
+// AppendSubscription appends one subscription registration.
+func AppendSubscription(dst []byte, s SubscriptionRec) []byte {
+	dst = appendI64(dst, s.ID)
+	dst = append(dst, s.Kind)
+	dst = appendF64(dst, s.X)
+	dst = appendF64(dst, s.Y)
+	dst = appendI64(dst, s.Floor)
+	dst = appendF64(dst, s.R)
+	dst = appendI64(dst, s.K)
+	return dst
+}
+
+// DecodeSubscription decodes one subscription registration, returning the
+// unconsumed rest.
+func DecodeSubscription(data []byte) (SubscriptionRec, []byte, error) {
+	var s SubscriptionRec
+	var err error
+	if s.ID, data, err = takeI64(data); err != nil {
+		return s, nil, err
+	}
+	if len(data) < 1 {
+		return s, nil, fmt.Errorf("serde: binary truncated reading subscription kind")
+	}
+	s.Kind, data = data[0], data[1:]
+	if s.Kind != SubscriptionRange && s.Kind != SubscriptionKNN {
+		return s, nil, fmt.Errorf("serde: unknown subscription kind %d", s.Kind)
+	}
+	if s.X, data, err = takeF64(data); err != nil {
+		return s, nil, err
+	}
+	if s.Y, data, err = takeF64(data); err != nil {
+		return s, nil, err
+	}
+	if s.Floor, data, err = takeI64(data); err != nil {
+		return s, nil, err
+	}
+	if s.R, data, err = takeF64(data); err != nil {
+		return s, nil, err
+	}
+	if s.K, data, err = takeI64(data); err != nil {
+		return s, nil, err
+	}
+	return s, data, nil
+}
+
+// Position returns the record's query point.
+func (s SubscriptionRec) Position() indoor.Position {
+	return indoor.Position{Pt: geom.Pt(s.X, s.Y), Floor: int(s.Floor)}
+}

@@ -26,6 +26,14 @@ type File struct {
 	Partitions  []Partition `json:"partitions"`
 	Doors       []DoorJSON  `json:"doors"`
 	Objects     []ObjJSON   `json:"objects,omitempty"`
+
+	// NextPartition and NextDoor record the building's id allocators, so
+	// DecodeExact can restore the exact id timeline (required for
+	// write-ahead-log replay, whose records reference ids and whose
+	// split/merge operations allocate new ones). Zero values (documents
+	// written before the durable store existed) fall back to max id + 1.
+	NextPartition int `json:"nextPartition,omitempty"`
+	NextDoor      int `json:"nextDoor,omitempty"`
 }
 
 // Partition is the serialised form of an indoor partition.
@@ -93,6 +101,8 @@ func kindOf(s string) (indoor.Kind, error) {
 // Encode writes the building (and objects, when non-nil) as indented JSON.
 func Encode(w io.Writer, b *indoor.Building, objs []*object.Object) error {
 	f := File{Version: FormatVersion, FloorHeight: b.FloorHeight}
+	np, nd := b.AllocBounds()
+	f.NextPartition, f.NextDoor = int(np), int(nd)
 	for _, p := range b.Partitions() {
 		sp := Partition{
 			ID: int(p.ID), Kind: kindString(p.Kind), Floor: p.Floor,
@@ -214,8 +224,19 @@ func Decode(r io.Reader) (*indoor.Building, []*object.Object, error) {
 		d.Closed = sd.Closed
 	}
 
+	objs, err := decodeObjects(f.Objects)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("serde: decoded building invalid: %w", err)
+	}
+	return b, objs, nil
+}
+
+func decodeObjects(src []ObjJSON) ([]*object.Object, error) {
 	var objs []*object.Object
-	for _, so := range f.Objects {
+	for _, so := range src {
 		o := &object.Object{
 			ID: object.ID(so.ID),
 			Center: indoor.Position{
@@ -231,9 +252,63 @@ func Decode(r io.Reader) (*indoor.Building, []*object.Object, error) {
 			})
 		}
 		if err := o.Validate(); err != nil {
-			return nil, nil, fmt.Errorf("serde: %w", err)
+			return nil, fmt.Errorf("serde: %w", err)
 		}
 		objs = append(objs, o)
+	}
+	return objs, nil
+}
+
+// DecodeExact reads a document and reconstructs the building with every
+// partition and door keeping its original id, including the id
+// allocators' positions. Decode's remapping tolerates hand-edited
+// documents; DecodeExact is the durable store's restore path, where the
+// write-ahead log references entities by id and replayed split/merge
+// operations must allocate the same ids the original execution did.
+func DecodeExact(r io.Reader) (*indoor.Building, []*object.Object, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, nil, fmt.Errorf("serde: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, nil, fmt.Errorf("serde: unsupported version %d", f.Version)
+	}
+	if f.FloorHeight <= 0 {
+		return nil, nil, fmt.Errorf("serde: floorHeight must be positive, got %g", f.FloorHeight)
+	}
+	b := indoor.NewBuilding(f.FloorHeight)
+	for _, sp := range f.Partitions {
+		kind, err := kindOf(sp.Kind)
+		if err != nil {
+			return nil, nil, err
+		}
+		var poly geom.Polygon
+		for _, v := range sp.Shape {
+			poly.V = append(poly.V, geom.Pt(v[0], v[1]))
+		}
+		p, err := b.AddPartitionWithID(indoor.PartitionID(sp.ID), kind, sp.Floor, poly)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serde: partition %d: %w", sp.ID, err)
+		}
+		p.StairLength = sp.StairLength
+	}
+	pid := func(id int) indoor.PartitionID {
+		if id == -1 {
+			return indoor.NoPartition
+		}
+		return indoor.PartitionID(id)
+	}
+	for _, sd := range f.Doors {
+		_, err := b.AddDoorWithID(indoor.DoorID(sd.ID), geom.Pt(sd.Pos[0], sd.Pos[1]), sd.Floor,
+			pid(sd.P1), pid(sd.P2), sd.OneWay, pid(sd.From), pid(sd.To), sd.Closed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serde: door %d: %w", sd.ID, err)
+		}
+	}
+	b.ReserveIDs(indoor.PartitionID(f.NextPartition), indoor.DoorID(f.NextDoor))
+	objs, err := decodeObjects(f.Objects)
+	if err != nil {
+		return nil, nil, err
 	}
 	if err := b.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("serde: decoded building invalid: %w", err)

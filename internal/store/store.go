@@ -1,0 +1,794 @@
+// Package store is the durable storage engine beneath the facade: a
+// versioned binary checkpoint format (building topology via the serde
+// layer, object store and registered subscriptions), a CRC-checked
+// write-ahead log of logical mutations appended — via the index's commit
+// hook, inside the writer mutex — strictly before each MVCC snapshot
+// publishes, and crash recovery that loads the newest valid checkpoint,
+// replays the WAL tail (truncating any torn final record) and
+// re-registers subscriptions.
+//
+// Replay is deterministic by construction: checkpoints restore the
+// building with exact ids and allocator state (serde.DecodeExact), so a
+// replayed SplitPartition allocates the same partition ids the original
+// execution did — and every record that allocates carries the expected
+// ids, turning any divergence into a hard recovery error instead of a
+// silent drift. Records are logical operations (an object batch, a door
+// toggle, a split), not physical page images: the index is rebuilt from
+// the restored state and the operations re-run through the ordinary
+// maintenance algorithms (§III-C of the paper).
+//
+// Durability levels: SyncAlways fsyncs inside each commit (every
+// acknowledged mutation survives power loss); SyncGrouped (the default)
+// buffers appends and fsyncs on a short group-commit window, bounding
+// loss to that window while keeping paced-churn throughput within a few
+// percent of the WAL-off baseline; SyncNever leaves syncing to the OS.
+// In every mode the log write is ordered before the snapshot publish,
+// and a log I/O failure is sticky: the engine fails stop, refusing
+// further mutations until reopened.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/object"
+	"repro/internal/serde"
+)
+
+// SyncPolicy selects when the WAL is fsynced.
+type SyncPolicy uint8
+
+const (
+	// SyncGrouped batches appends and fsyncs once per group-commit
+	// window (Options.GroupWindow). An acknowledged mutation may be lost
+	// to a crash inside the window; order is always preserved.
+	SyncGrouped SyncPolicy = iota
+	// SyncAlways fsyncs before a mutation is acknowledged.
+	SyncAlways
+	// SyncNever writes without explicit fsync (still flushed on
+	// rotation, checkpoint and Close).
+	SyncNever
+)
+
+// Options configures a store.
+type Options struct {
+	// Sync is the fsync policy; SyncGrouped by default.
+	Sync SyncPolicy
+	// GroupWindow is the group-commit flush interval for SyncGrouped and
+	// SyncNever; 5ms when zero or negative.
+	GroupWindow time.Duration
+	// CompactBytes is the WAL size past which the store signals for
+	// compaction (CompactC); 64 MiB when zero, disabled when negative.
+	CompactBytes int64
+}
+
+const (
+	defaultGroupWindow  = 5 * time.Millisecond
+	defaultCompactBytes = 64 << 20
+)
+
+func (o Options) withDefaults() Options {
+	if o.GroupWindow <= 0 {
+		o.GroupWindow = defaultGroupWindow // a ticker cannot run on a non-positive window
+	}
+	if o.CompactBytes == 0 {
+		o.CompactBytes = defaultCompactBytes
+	}
+	return o
+}
+
+// Store is one open durable database directory: the active WAL plus the
+// checkpoint generations. It attaches to an index as its commit hook;
+// subscription registration changes are logged through LogSubscribe and
+// LogUnsubscribe by the facade.
+type Store struct {
+	dir  string
+	opts Options
+	w    *wal
+
+	compactC chan struct{}
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// RecoveryStats reports what Open found and did.
+type RecoveryStats struct {
+	// CheckpointLSN is the LSN of the checkpoint recovery started from.
+	CheckpointLSN uint64
+	// Replayed counts WAL records applied on top of the checkpoint.
+	Replayed int
+	// SkippedStale counts records at or below the checkpoint LSN —
+	// subscription registrations that raced the checkpoint rotation and
+	// are already captured in it.
+	SkippedStale int
+	// TruncatedBytes is the torn tail removed from the active log.
+	TruncatedBytes int64
+	// CorruptCheckpoints counts newer checkpoints that failed validation
+	// and were skipped in favour of an older generation.
+	CorruptCheckpoints int
+}
+
+// OpenInfo is recovery output the facade needs beyond the index: the
+// query-processor flags and the subscriptions to re-register.
+type OpenInfo struct {
+	QueryFlags uint8
+	Subs       []serde.SubscriptionRec
+	Stats      RecoveryStats
+}
+
+// Create initialises dir as a durable store over a live index: it
+// writes the initial checkpoint (generation 0), opens the WAL and
+// attaches the commit hook. The index must not be mutated concurrently
+// with Create; subs is the subscription capture at this moment (empty
+// for a fresh database). Fails if dir already holds a store.
+func Create(dir string, idx *index.Index, qflags uint8, subs []serde.SubscriptionRec, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ckpts, wals, err := generations(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(ckpts) > 0 || len(wals) > 0 {
+		return nil, fmt.Errorf("store: %s already contains a store (use Open)", dir)
+	}
+	idx.RLock()
+	data, err := Capture(idx, qflags, subs, 0)
+	idx.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteSnapshot(ckptPath(dir, 0), data); err != nil {
+		return nil, err
+	}
+	w, err := openWAL(dir, 0, 1, opts.Sync)
+	if err != nil {
+		return nil, err
+	}
+	s := newStore(dir, opts, w)
+	idx.SetCommitHook(s.onCommit)
+	return s, nil
+}
+
+// Open recovers the store in dir: it loads the newest checkpoint that
+// validates, rebuilds the index from it, replays every WAL record past
+// the checkpoint in LSN order (truncating a torn final record), attaches
+// the commit hook and resumes logging where the durable tail ended. The
+// caller re-registers info.Subs and owns the returned index.
+func Open(dir string, opts Options) (*Store, *index.Index, OpenInfo, error) {
+	opts = opts.withDefaults()
+	var info OpenInfo
+	ckpts, wals, err := generations(dir)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	if len(ckpts) == 0 {
+		return nil, nil, info, fmt.Errorf("store: no checkpoint in %s", dir)
+	}
+
+	// Newest validating checkpoint wins; rename-atomicity makes a corrupt
+	// one unlikely, but a damaged disk must degrade to the previous
+	// generation, not to a refused open.
+	var data Data
+	var ckptGen uint64
+	found := false
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		d, derr := ReadSnapshot(ckptPath(dir, ckpts[i]))
+		if derr != nil {
+			info.Stats.CorruptCheckpoints++
+			continue
+		}
+		data, ckptGen, found = d, ckpts[i], true
+		break
+	}
+	if !found {
+		return nil, nil, info, fmt.Errorf("store: no valid checkpoint in %s", dir)
+	}
+	info.QueryFlags = data.QueryFlags
+	info.Stats.CheckpointLSN = data.LSN
+
+	idx, err := Rebuild(data)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	b := idx.Building()
+
+	// Replay the WAL generations at or past the checkpoint, oldest
+	// first. Only the newest generation may legitimately end in a torn
+	// record (it was the active log at crash time); it is truncated to
+	// its valid prefix before appending resumes.
+	subs := make(map[int64]serde.SubscriptionRec, len(data.Subs))
+	for _, sr := range data.Subs {
+		subs[sr.ID] = sr
+	}
+	// LSNs are globally sequential, so replay walks them contiguously
+	// from the checkpoint on. Two deviations have opposite meanings. A
+	// record at or below the running LSN is *stale* — a subscription
+	// record that raced the checkpoint rotation carries an LSN at or
+	// below the cut but lands in the new generation; its registration is
+	// already in the checkpoint's capture, so it is skipped. A record
+	// JUMPING past prev+1 means a log generation went missing (e.g. a
+	// half-finished prune followed by a checkpoint fallback): recovering
+	// past it would silently drop mutations, so it is a hard error.
+	prevLSN := data.LSN
+	activeGen := ckptGen
+	var activeEnd int64
+	for _, gen := range wals {
+		if gen < ckptGen {
+			continue
+		}
+		recs, validEnd, serr := scanWAL(walPath(dir, gen))
+		if serr != nil {
+			return nil, nil, info, serr
+		}
+		if gen >= activeGen {
+			activeGen, activeEnd = gen, validEnd
+		}
+		for _, r := range recs {
+			if r.lsn <= prevLSN {
+				info.Stats.SkippedStale++
+				continue
+			}
+			if r.lsn != prevLSN+1 {
+				return nil, nil, info, fmt.Errorf("store: log gap in %s: record lsn %d after %d — a generation is missing or damaged", walName(gen), r.lsn, prevLSN)
+			}
+			prevLSN = r.lsn
+			if err := applyRecord(idx, b, subs, r); err != nil {
+				return nil, nil, info, fmt.Errorf("store: replay record lsn %d (%s): %w", r.lsn, walName(gen), err)
+			}
+			info.Stats.Replayed++
+		}
+	}
+	maxLSN := prevLSN
+	for _, sr := range subs {
+		info.Subs = append(info.Subs, sr)
+	}
+	sortSubs(info.Subs)
+
+	if st, err := os.Stat(walPath(dir, activeGen)); err == nil && st.Size() > activeEnd {
+		info.Stats.TruncatedBytes = st.Size() - activeEnd
+		if err := os.Truncate(walPath(dir, activeGen), activeEnd); err != nil {
+			return nil, nil, info, fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+	}
+	w, err := openWAL(dir, activeGen, maxLSN+1, opts.Sync)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	s := newStore(dir, opts, w)
+	idx.SetCommitHook(s.onCommit)
+	return s, idx, info, nil
+}
+
+// Rebuild constructs a fresh index from checkpoint data: the building is
+// restored id-exact (serde.DecodeExact) and the composite index built
+// over it with the original construction options. Used by Open and by
+// the facade's standalone checkpoint loading.
+func Rebuild(data Data) (*index.Index, error) {
+	b, objs, err := serde.DecodeExact(bytes.NewReader(data.BuildingJSON))
+	if err != nil {
+		return nil, fmt.Errorf("store: checkpoint building: %w", err)
+	}
+	if len(objs) != 0 {
+		return nil, fmt.Errorf("store: checkpoint building document unexpectedly carries objects")
+	}
+	idx, _, err := index.Build(b, data.Objects, data.IndexOpts)
+	if err != nil {
+		return nil, fmt.Errorf("store: rebuild index: %w", err)
+	}
+	return idx, nil
+}
+
+func newStore(dir string, opts Options, w *wal) *Store {
+	s := &Store{
+		dir:      dir,
+		opts:     opts,
+		w:        w,
+		compactC: make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go flusher(w, opts.GroupWindow, s.done, &s.wg)
+	return s
+}
+
+// onCommit is the index commit hook: encode the mutation, append it to
+// the group-commit buffer (or durably, under SyncAlways) and signal
+// compaction when the log outgrew its threshold. It runs inside the
+// index writer mutex, strictly before the snapshot publish.
+func (s *Store) onCommit(m index.Mutation) error {
+	kind, body, err := encodeMutation(m)
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Append(kind, body); err != nil {
+		return err
+	}
+	s.maybeSignalCompact()
+	return nil
+}
+
+// LogSubscribe appends a subscription registration. Call it after the
+// engine assigned the handle; replay is idempotent, so the record may
+// race a concurrent checkpoint in either direction.
+func (s *Store) LogSubscribe(rec serde.SubscriptionRec) error {
+	_, err := s.w.Append(recSubscribe, serde.AppendSubscription(nil, rec))
+	if err == nil {
+		s.maybeSignalCompact()
+	}
+	return err
+}
+
+// LogUnsubscribe appends a subscription removal.
+func (s *Store) LogUnsubscribe(id int64) error {
+	_, err := s.w.Append(recUnsubscribe, binary.LittleEndian.AppendUint64(nil, uint64(id)))
+	if err == nil {
+		s.maybeSignalCompact()
+	}
+	return err
+}
+
+func (s *Store) maybeSignalCompact() {
+	if s.opts.CompactBytes > 0 && s.w.Size() > s.opts.CompactBytes {
+		select {
+		case s.compactC <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// CompactC signals when the WAL has outgrown Options.CompactBytes; the
+// owner (the facade's compaction goroutine) responds by running the
+// checkpoint protocol. At most one signal is pending at a time.
+func (s *Store) CompactC() <-chan struct{} { return s.compactC }
+
+// WALSize returns the active log generation's size in bytes, buffered
+// appends included.
+func (s *Store) WALSize() int64 { return s.w.Size() }
+
+// Sync flushes the group-commit buffer and fsyncs the log — an explicit
+// durability barrier under any policy.
+func (s *Store) Sync() error {
+	s.w.mu.Lock()
+	closed := s.w.closed
+	s.w.mu.Unlock()
+	if closed {
+		return errClosed
+	}
+	return s.w.flush(true)
+}
+
+// BeginCheckpoint rotates the log onto a fresh generation and returns
+// the cut LSN the new checkpoint must cover. The caller MUST have
+// stilled index mutators (index.RLock) before calling and must keep them
+// stilled until it has captured the checkpoint data, so the cut cleanly
+// separates records folded into the checkpoint from records that replay
+// on top of it. Finish with CommitCheckpoint.
+func (s *Store) BeginCheckpoint() (uint64, error) {
+	return s.w.Rotate()
+}
+
+// CommitCheckpoint durably writes the captured data as generation
+// data.LSN and prunes every older generation — the log compaction that
+// folds the WAL into a fresh checkpoint. Old generations are deleted
+// only after the new checkpoint is durable, so a crash at any point
+// leaves a recoverable pair on disk.
+func (s *Store) CommitCheckpoint(data Data) error {
+	if err := WriteSnapshot(ckptPath(s.dir, data.LSN), data); err != nil {
+		return err
+	}
+	ckpts, wals, err := generations(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, gen := range ckpts {
+		if gen < data.LSN {
+			os.Remove(ckptPath(s.dir, gen))
+		}
+	}
+	for _, gen := range wals {
+		if gen < data.LSN {
+			os.Remove(walPath(s.dir, gen))
+		}
+	}
+	return syncDir(s.dir)
+}
+
+// Close flushes and fsyncs the log and stops the group-commit flusher.
+// The attached index's next mutation will be refused (fail-stop) — a
+// closed store never silently drops durability.
+func (s *Store) Close() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	s.wg.Wait()
+	return s.w.Close()
+}
+
+// WAL record kinds. Values are part of the on-disk format.
+const (
+	recObjects         byte = 1
+	recSetDoorClosed   byte = 2
+	recAddPartition    byte = 3
+	recRemovePartition byte = 4
+	recAttachDoor      byte = 5
+	recDetachDoor      byte = 6
+	recSplit           byte = 7
+	recMerge           byte = 8
+	recRebuildSkeleton byte = 9
+	recSubscribe       byte = 10
+	recUnsubscribe     byte = 11
+)
+
+func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+func appendI64(dst []byte, v int64) []byte  { return binary.LittleEndian.AppendUint64(dst, uint64(v)) }
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+type reader struct{ data []byte }
+
+func (r *reader) u64() (uint64, error) {
+	if len(r.data) < 8 {
+		return 0, fmt.Errorf("record truncated")
+	}
+	v := binary.LittleEndian.Uint64(r.data)
+	r.data = r.data[8:]
+	return v, nil
+}
+
+func (r *reader) i64() (int64, error) { v, err := r.u64(); return int64(v), err }
+func (r *reader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+func (r *reader) u8() (byte, error) {
+	if len(r.data) < 1 {
+		return 0, fmt.Errorf("record truncated")
+	}
+	v := r.data[0]
+	r.data = r.data[1:]
+	return v, nil
+}
+
+// encodeMutation turns an index mutation into its WAL record kind and
+// body. It runs synchronously inside the commit hook, so the live
+// Partition/Door/Object payloads it reads cannot change underneath it.
+func encodeMutation(m index.Mutation) (byte, []byte, error) {
+	switch m.Kind {
+	case index.MutObjects:
+		body := appendU64(nil, uint64(len(m.Updates)))
+		for _, up := range m.Updates {
+			body = append(body, byte(up.Op))
+			if up.Op == index.UpdateDelete {
+				body = appendI64(body, int64(up.ID))
+			} else {
+				if up.Object == nil {
+					return 0, nil, fmt.Errorf("store: object update without object")
+				}
+				body = serde.AppendObject(body, up.Object)
+			}
+		}
+		return recObjects, body, nil
+	case index.MutSetDoorClosed:
+		body := appendI64(nil, int64(m.DoorID))
+		if m.Closed {
+			body = append(body, 1)
+		} else {
+			body = append(body, 0)
+		}
+		return recSetDoorClosed, body, nil
+	case index.MutAddPartition:
+		p := m.Part
+		if p == nil {
+			return 0, nil, fmt.Errorf("store: AddPartition mutation without partition payload")
+		}
+		body := appendI64(nil, int64(m.PartID))
+		body = append(body, byte(p.Kind))
+		body = appendI64(body, int64(p.Floor))
+		body = appendF64(body, p.StairLength)
+		body = appendU64(body, uint64(len(p.Shape.V)))
+		for _, v := range p.Shape.V {
+			body = appendF64(body, v.X)
+			body = appendF64(body, v.Y)
+		}
+		return recAddPartition, body, nil
+	case index.MutRemovePartition:
+		return recRemovePartition, appendI64(nil, int64(m.PartID)), nil
+	case index.MutAttachDoor:
+		d := m.Door
+		if d == nil {
+			return 0, nil, fmt.Errorf("store: AttachDoor mutation without door payload")
+		}
+		body := appendI64(nil, int64(m.DoorID))
+		body = appendF64(body, d.Pos.X)
+		body = appendF64(body, d.Pos.Y)
+		body = appendI64(body, int64(d.Floor))
+		body = appendI64(body, int64(d.P1))
+		body = appendI64(body, int64(d.P2))
+		flags := byte(0)
+		if d.OneWay {
+			flags |= 1
+		}
+		if d.Closed {
+			flags |= 2
+		}
+		body = append(body, flags)
+		body = appendI64(body, int64(d.From))
+		body = appendI64(body, int64(d.To))
+		return recAttachDoor, body, nil
+	case index.MutDetachDoor:
+		return recDetachDoor, appendI64(nil, int64(m.DoorID)), nil
+	case index.MutSplit:
+		body := appendI64(nil, int64(m.PartID))
+		if m.AlongX {
+			body = append(body, 1)
+		} else {
+			body = append(body, 0)
+		}
+		body = appendF64(body, m.At)
+		body = appendI64(body, int64(m.ResultA))
+		body = appendI64(body, int64(m.ResultB))
+		return recSplit, body, nil
+	case index.MutMerge:
+		body := appendI64(nil, int64(m.PartID))
+		body = appendI64(body, int64(m.PartID2))
+		body = appendI64(body, int64(m.ResultA))
+		return recMerge, body, nil
+	case index.MutRebuildSkeleton:
+		return recRebuildSkeleton, nil, nil
+	}
+	return 0, nil, fmt.Errorf("store: unknown mutation kind %d", m.Kind)
+}
+
+// applyRecord replays one WAL record against the recovering index (or,
+// for subscription records, the working registration map). Replayed
+// operations re-run the ordinary maintenance algorithms; any failure —
+// impossible when the log matches an execution that succeeded — is a
+// hard recovery error.
+func applyRecord(idx *index.Index, b *indoor.Building, subs map[int64]serde.SubscriptionRec, rec rawRecord) error {
+	r := &reader{data: rec.body}
+	switch rec.kind {
+	case recObjects:
+		n, err := r.u64()
+		if err != nil {
+			return err
+		}
+		// Every update needs at least an op byte and an 8-byte id, so a
+		// count beyond len/9 is corrupt — reject before the allocation,
+		// not after (a CRC-colliding record must not OOM recovery).
+		if n > uint64(len(r.data))/9+1 {
+			return fmt.Errorf("implausible batch size %d for %d-byte body", n, len(r.data))
+		}
+		ups := make([]index.ObjectUpdate, 0, n)
+		for i := uint64(0); i < n; i++ {
+			op, err := r.u8()
+			if err != nil {
+				return err
+			}
+			up := index.ObjectUpdate{Op: index.UpdateOp(op)}
+			if up.Op == index.UpdateDelete {
+				id, err := r.i64()
+				if err != nil {
+					return err
+				}
+				up.ID = object.ID(id)
+			} else {
+				o, rest, err := serde.DecodeObject(r.data)
+				if err != nil {
+					return err
+				}
+				r.data = rest
+				up.Object = o
+			}
+			ups = append(ups, up)
+		}
+		return idx.ApplyObjectUpdates(ups)
+	case recSetDoorClosed:
+		did, err := r.i64()
+		if err != nil {
+			return err
+		}
+		closed, err := r.u8()
+		if err != nil {
+			return err
+		}
+		return idx.SetDoorClosed(indoor.DoorID(did), closed != 0)
+	case recAddPartition:
+		pid, err := r.i64()
+		if err != nil {
+			return err
+		}
+		kind, err := r.u8()
+		if err != nil {
+			return err
+		}
+		floor, err := r.i64()
+		if err != nil {
+			return err
+		}
+		stairLen, err := r.f64()
+		if err != nil {
+			return err
+		}
+		nv, err := r.u64()
+		if err != nil {
+			return err
+		}
+		if nv > uint64(maxRecordSize) {
+			return fmt.Errorf("implausible vertex count %d", nv)
+		}
+		var poly geom.Polygon
+		for i := uint64(0); i < nv; i++ {
+			x, err := r.f64()
+			if err != nil {
+				return err
+			}
+			y, err := r.f64()
+			if err != nil {
+				return err
+			}
+			poly.V = append(poly.V, geom.Pt(x, y))
+		}
+		// The partition may predate the checkpoint (added to the
+		// building, indexed later); re-add it only when absent.
+		if b.Partition(indoor.PartitionID(pid)) == nil {
+			p, err := b.AddPartitionWithID(indoor.PartitionID(pid), indoor.Kind(kind), int(floor), poly)
+			if err != nil {
+				return err
+			}
+			p.StairLength = stairLen
+		}
+		return idx.AddPartition(indoor.PartitionID(pid))
+	case recRemovePartition:
+		pid, err := r.i64()
+		if err != nil {
+			return err
+		}
+		return idx.RemovePartition(indoor.PartitionID(pid))
+	case recAttachDoor:
+		did, err := r.i64()
+		if err != nil {
+			return err
+		}
+		x, err := r.f64()
+		if err != nil {
+			return err
+		}
+		y, err := r.f64()
+		if err != nil {
+			return err
+		}
+		floor, err := r.i64()
+		if err != nil {
+			return err
+		}
+		p1, err := r.i64()
+		if err != nil {
+			return err
+		}
+		p2, err := r.i64()
+		if err != nil {
+			return err
+		}
+		flags, err := r.u8()
+		if err != nil {
+			return err
+		}
+		from, err := r.i64()
+		if err != nil {
+			return err
+		}
+		to, err := r.i64()
+		if err != nil {
+			return err
+		}
+		if b.Door(indoor.DoorID(did)) == nil {
+			_, err := b.AddDoorWithID(indoor.DoorID(did), geom.Pt(x, y), int(floor),
+				indoor.PartitionID(p1), indoor.PartitionID(p2),
+				flags&1 != 0, indoor.PartitionID(from), indoor.PartitionID(to), flags&2 != 0)
+			if err != nil {
+				return err
+			}
+		}
+		return idx.AttachDoor(indoor.DoorID(did))
+	case recDetachDoor:
+		did, err := r.i64()
+		if err != nil {
+			return err
+		}
+		return idx.DetachDoor(indoor.DoorID(did))
+	case recSplit:
+		pid, err := r.i64()
+		if err != nil {
+			return err
+		}
+		alongX, err := r.u8()
+		if err != nil {
+			return err
+		}
+		at, err := r.f64()
+		if err != nil {
+			return err
+		}
+		wantA, err := r.i64()
+		if err != nil {
+			return err
+		}
+		wantB, err := r.i64()
+		if err != nil {
+			return err
+		}
+		pa, pb, err := idx.SplitPartition(indoor.PartitionID(pid), alongX != 0, at)
+		if err != nil {
+			return err
+		}
+		if int64(pa) != wantA || int64(pb) != wantB {
+			return fmt.Errorf("split of %d allocated (%d,%d), log recorded (%d,%d): id timeline diverged", pid, pa, pb, wantA, wantB)
+		}
+		return nil
+	case recMerge:
+		pa, err := r.i64()
+		if err != nil {
+			return err
+		}
+		pb, err := r.i64()
+		if err != nil {
+			return err
+		}
+		want, err := r.i64()
+		if err != nil {
+			return err
+		}
+		merged, err := idx.MergePartitions(indoor.PartitionID(pa), indoor.PartitionID(pb))
+		if err != nil {
+			return err
+		}
+		if int64(merged) != want {
+			return fmt.Errorf("merge of (%d,%d) allocated %d, log recorded %d: id timeline diverged", pa, pb, merged, want)
+		}
+		return nil
+	case recRebuildSkeleton:
+		idx.RebuildSkeleton()
+		return nil
+	case recSubscribe:
+		sr, _, err := serde.DecodeSubscription(rec.body)
+		if err != nil {
+			return err
+		}
+		if _, dup := subs[sr.ID]; !dup {
+			subs[sr.ID] = sr
+		}
+		return nil
+	case recUnsubscribe:
+		id, err := r.i64()
+		if err != nil {
+			return err
+		}
+		delete(subs, id)
+		return nil
+	}
+	return fmt.Errorf("unknown record kind %d", rec.kind)
+}
+
+func sortSubs(subs []serde.SubscriptionRec) {
+	sort.Slice(subs, func(i, j int) bool { return subs[i].ID < subs[j].ID })
+}

@@ -1,0 +1,363 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The write-ahead log. One file per checkpoint generation, named
+// wal-<gen>.log where <gen> is the LSN of the checkpoint it follows.
+// Records are length-prefixed and CRC32-checked:
+//
+//	u32 payload length | u32 CRC32(payload) | payload
+//	payload = u8 kind | u64 LSN | body
+//
+// A crash can tear at most the final record: recovery scans forward,
+// stops at the first frame whose length or checksum does not validate,
+// replays the valid prefix and truncates the rest. Appends go through a
+// group-commit buffer — the caller's bytes land in memory synchronously
+// (ordered before the MVCC publish by the commit hook) and a background
+// flusher writes and fsyncs the accumulated batch every GroupWindow, so
+// a paced update stream pays one fsync per window instead of one per
+// batch. SyncAlways trades that throughput for per-record durability.
+
+// frameHeaderSize is the per-record framing overhead.
+const frameHeaderSize = 8
+
+// maxRecordSize bounds a decoded length prefix: a torn or corrupt
+// header must not drive a giant allocation.
+const maxRecordSize = 1 << 30
+
+// flushThreshold forces an inline (non-fsync) write when the buffer
+// outgrows it, bounding memory between flusher ticks.
+const flushThreshold = 1 << 20
+
+// wal is the append side of the log. Two locks realise group commit
+// without stalling committers behind the disk: mu guards the in-memory
+// buffer and counters and is held only for memcpy-scale work, while
+// flushMu serialises file writes, fsyncs and rotation. A committer under
+// SyncGrouped touches only mu; the flusher swaps the buffer out under mu
+// and performs the write+fsync under flushMu alone, so an in-flight
+// fsync never blocks the index writer mutex. Lock order: flushMu → mu.
+type wal struct {
+	flushMu sync.Mutex // serialises write/fsync/rotate; taken before mu
+	mu      sync.Mutex // guards buf, spare, size, nextLSN, f, gen, err, closed
+
+	dir     string
+	f       *os.File
+	gen     uint64
+	nextLSN uint64
+	size    int64       // bytes written + buffered in the current file
+	buf     []byte      // pending frames; nil when drained
+	spare   []byte      // recycled drained buffer
+	dirty   atomic.Bool // bytes written since the last fsync (written under flushMu)
+	policy  SyncPolicy
+	err     error // sticky: a failed write or fsync poisons the log
+	closed  bool
+}
+
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%020d.log", gen) }
+func ckptName(gen uint64) string { return fmt.Sprintf("checkpoint-%020d.ckpt", gen) }
+
+// openWAL opens (creating if needed) the generation's log file for
+// appending. nextLSN must be one past the highest LSN already durable.
+func openWAL(dir string, gen, nextLSN uint64, policy SyncPolicy) (*wal, error) {
+	f, err := os.OpenFile(walPath(dir, gen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{dir: dir, f: f, gen: gen, nextLSN: nextLSN, size: st.Size(), policy: policy}, nil
+}
+
+func walPath(dir string, gen uint64) string  { return dir + string(os.PathSeparator) + walName(gen) }
+func ckptPath(dir string, gen uint64) string { return dir + string(os.PathSeparator) + ckptName(gen) }
+
+// Append frames one record and buffers it, returning the record's LSN.
+// Under SyncAlways it returns only after the record is on disk. An I/O
+// failure poisons the log: every later Append returns the same error,
+// putting the engine in fail-stop mode until the store is reopened.
+func (w *wal) Append(kind byte, body []byte) (uint64, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, errClosed
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return 0, err
+	}
+	lsn := w.nextLSN
+	w.nextLSN++
+
+	if w.buf == nil {
+		w.buf = w.spare[:0]
+		w.spare = nil
+	}
+	payloadLen := 1 + 8 + len(body)
+	start := len(w.buf)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(payloadLen))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, 0) // CRC placeholder
+	w.buf = append(w.buf, kind)
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, lsn)
+	w.buf = append(w.buf, body...)
+	crc := crc32.ChecksumIEEE(w.buf[start+frameHeaderSize:])
+	binary.LittleEndian.PutUint32(w.buf[start+4:], crc)
+	w.size += int64(frameHeaderSize + payloadLen)
+	needSync := w.policy == SyncAlways
+	needWrite := needSync || len(w.buf) >= flushThreshold
+	w.mu.Unlock()
+
+	if needWrite {
+		if err := w.flush(needSync); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// flush drains the buffer to the file and optionally fsyncs.
+func (w *wal) flush(sync bool) error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	return w.flushLocked(sync)
+}
+
+// flushLocked is flush with flushMu already held: swap the buffer out
+// under mu, then hit the disk with no committer-visible lock held. A
+// concurrent SyncAlways committer whose record was drained by this call
+// finds an empty buffer and a clean dirty flag — its own flush becomes
+// the no-op confirming durability.
+func (w *wal) flushLocked(sync bool) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	buf := w.buf
+	w.buf = nil
+	f := w.f
+	w.mu.Unlock()
+
+	if len(buf) > 0 {
+		_, werr := f.Write(buf)
+		w.mu.Lock()
+		if w.spare == nil {
+			w.spare = buf[:0]
+		}
+		if werr != nil && w.err == nil {
+			w.err = fmt.Errorf("store: wal write: %w", werr)
+		}
+		err := w.err
+		w.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		w.dirty.Store(true)
+	}
+	if sync && w.dirty.Load() {
+		if err := f.Sync(); err != nil {
+			w.mu.Lock()
+			if w.err == nil {
+				w.err = fmt.Errorf("store: wal fsync: %w", err)
+			}
+			err = w.err
+			w.mu.Unlock()
+			return err
+		}
+		w.dirty.Store(false)
+	}
+	return nil
+}
+
+// Flush empties the group-commit buffer; with sync (any policy but
+// SyncNever) it also fsyncs.
+func (w *wal) Flush() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return errClosed
+	}
+	w.mu.Unlock()
+	return w.flush(w.policy != SyncNever)
+}
+
+// Size returns the current generation's length including buffered bytes.
+func (w *wal) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// LastLSN returns the LSN of the most recently appended record (0 when
+// none).
+func (w *wal) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN - 1
+}
+
+// Rotate durably finishes the current generation and starts a fresh one
+// named after the cut — the LSN of the last record appended so far,
+// which is what it returns. Index-mutation appends are excluded by the
+// checkpoint protocol's stillness; records that race the rotation
+// (subscription logging) stay correct either way because their replay is
+// idempotent against the checkpoint's capture. Rotating twice with no
+// intervening record keeps the current (empty) generation.
+func (w *wal) Rotate() (uint64, error) {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	closed := w.closed
+	w.mu.Unlock()
+	if closed {
+		return 0, errClosed
+	}
+	if err := w.flushLocked(true); err != nil {
+		return 0, err
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cut := w.nextLSN - 1
+	if cut == w.gen {
+		return cut, nil // nothing appended since the last rotation
+	}
+	f, err := os.OpenFile(walPath(w.dir, cut), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		w.err = fmt.Errorf("store: wal rotate: %w", err)
+		return 0, w.err
+	}
+	w.f.Close()
+	w.f = f
+	w.gen = cut
+	w.size = 0
+	w.dirty.Store(false)
+	return cut, nil
+}
+
+// Close flushes, fsyncs and closes the log. The closed flag is raised
+// BEFORE the final drain: an Append racing Close fails with errClosed
+// and its mutation aborts pre-publish, rather than being acknowledged
+// with its record silently left in a buffer no one will ever write.
+func (w *wal) Close() error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	err := w.flushLocked(true)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
+}
+
+// rawRecord is one decoded WAL frame.
+type rawRecord struct {
+	kind byte
+	lsn  uint64
+	body []byte
+	end  int64 // file offset one past this record
+}
+
+// scanWAL reads every valid record of a log file in order. The first
+// frame that fails validation — short header, implausible length, bad
+// CRC, truncated payload — ends the scan: everything before it is the
+// durable prefix (validEnd is its length in bytes), everything after is
+// a torn tail or trailing corruption. A missing file is an empty log.
+func scanWAL(path string) (recs []rawRecord, validEnd int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeaderSize {
+			break
+		}
+		plen := int64(binary.LittleEndian.Uint32(rest))
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if plen < 9 || plen > maxRecordSize || int64(len(rest)) < frameHeaderSize+plen {
+			break
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		off += frameHeaderSize + plen
+		recs = append(recs, rawRecord{
+			kind: payload[0],
+			lsn:  binary.LittleEndian.Uint64(payload[1:9]),
+			body: payload[9:],
+			end:  off,
+		})
+	}
+	return recs, off, nil
+}
+
+// RecordEnds returns the end offset of every valid record of a WAL file,
+// in order — the exact truncation points the crash-recovery property
+// suite sweeps. Offset 0 (the empty prefix) is not included.
+func RecordEnds(path string) ([]int64, error) {
+	recs, _, err := scanWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	ends := make([]int64, len(recs))
+	for i, r := range recs {
+		ends[i] = r.end
+	}
+	return ends, nil
+}
+
+// flusher is the group-commit loop: every window it writes and fsyncs
+// whatever accumulated. It exits when done closes.
+func flusher(w *wal, window time.Duration, done <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	t := time.NewTicker(window)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.mu.Lock()
+			closed := w.closed
+			pending := len(w.buf) > 0
+			w.mu.Unlock()
+			// Flush buffered frames; also finish the fsync for bytes a
+			// threshold flush already wrote without syncing.
+			if !closed && (pending || w.dirty.Load()) {
+				_ = w.flush(w.policy != SyncNever)
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+// errClosed reports appends to a closed store.
+var errClosed = fmt.Errorf("store: closed")
+
+// ErrClosed reports whether err means the store was closed.
+func ErrClosed(err error) bool { return err == errClosed }
