@@ -1,0 +1,171 @@
+// Command indoorqd is the networked serving daemon: a long-lived HTTP
+// process answering indoor range and kNN queries, accepting object and
+// topology mutations, streaming subscription events, and — on a durable
+// leader — shipping its write-ahead log to read replicas.
+//
+// Leader (durable, with replication feed):
+//
+//	indoorqd -addr :7070 -dir /var/lib/indoorq
+//
+// An empty or missing -dir is seeded with a synthetic mall (-floors,
+// -objects control its size); an existing store directory is recovered.
+// Omitting -dir runs an ephemeral leader (no durability, no replication
+// feed).
+//
+// Read replica (bootstraps from the leader's checkpoint, then follows
+// its WAL; serves queries and stats, refuses mutations):
+//
+//	indoorqd -addr :7071 -follow http://leader:7070
+//
+// SIGINT/SIGTERM shut down gracefully: the listener drains, streams
+// close, and a leader's store flushes and fsyncs its log.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	indoorq "repro"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7070", "listen address")
+		dir      = flag.String("dir", "", "store directory (leader mode); empty runs an ephemeral leader")
+		follow   = flag.String("follow", "", "leader URL; makes this daemon a read replica")
+		floors   = flag.Int("floors", 2, "synthetic mall floors when seeding a fresh store")
+		objects  = flag.Int("objects", 2000, "synthetic objects when seeding a fresh store")
+		window   = flag.Duration("coalesce", 2*time.Millisecond, "query coalescing window (negative disables)")
+		maxBatch = flag.Int("max-batch", 64, "max queries per coalesced serve-pool batch")
+		inflight = flag.Int("max-inflight", 256, "admission bound on concurrent requests")
+		workers  = flag.Int("workers", 0, "serve-pool workers per batch (0 = GOMAXPROCS)")
+		hb       = flag.Duration("heartbeat", 200*time.Millisecond, "replication stream heartbeat")
+	)
+	flag.Parse()
+	log.SetPrefix("indoorqd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	cfg := server.Config{
+		CoalesceWindow: *window,
+		MaxBatch:       *maxBatch,
+		MaxInFlight:    *inflight,
+		Workers:        *workers,
+		Heartbeat:      *hb,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var (
+		srv      *server.Server
+		shutdown func()
+	)
+	if *follow != "" {
+		rep := replica.New(wire.NewClient(*follow, nil), replica.Config{})
+		// The leader may not be up yet (or mid-restart): keep retrying
+		// the bootstrap until it answers or we are told to shut down.
+		for {
+			err := rep.Start(ctx)
+			if err == nil {
+				break
+			}
+			log.Printf("replica bootstrap from %s: %v (retrying)", *follow, err)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Second):
+			}
+		}
+		log.Printf("replica of %s: bootstrapped at lsn %d, %d objects", *follow, rep.AppliedLSN(), rep.NumObjects())
+		srv = server.NewReplica(rep, cfg)
+		shutdown = rep.Close
+	} else {
+		db, err := openLeader(*dir, *floors, *objects)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "ephemeral"
+		if db.Store() != nil {
+			mode = "durable at " + *dir
+		}
+		log.Printf("leader (%s): %d objects, %d subscriptions", mode, db.NumObjects(), db.NumSubscriptions())
+		srv = server.NewLeader(db, cfg)
+		shutdown = func() {
+			if err := db.Close(); err != nil {
+				log.Printf("store close: %v", err)
+			}
+		}
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down")
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(dctx)
+	}()
+	log.Printf("listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	srv.Close()
+	shutdown()
+}
+
+// openLeader recovers a store directory, seeds a fresh one, or builds an
+// ephemeral DB when dir is empty.
+func openLeader(dir string, floors, objects int) (*indoorq.DB, error) {
+	if dir != "" {
+		if hasStore(dir) {
+			db, err := indoorq.OpenDir(dir, indoorq.DurabilityOptions{})
+			if err != nil {
+				return nil, err
+			}
+			ri := db.RecoveryInfo()
+			log.Printf("recovered %s: checkpoint lsn %d, %d records replayed", dir, ri.CheckpointLSN, ri.Replayed)
+			return db, nil
+		}
+		log.Printf("seeding fresh store in %s (%d floors, %d objects)", dir, floors, objects)
+	}
+	b, err := indoorq.GenerateMall(indoorq.MallSpec{Floors: floors})
+	if err != nil {
+		return nil, err
+	}
+	objs := indoorq.GenerateObjects(b, indoorq.ObjectSpec{N: objects, Radius: 6, Instances: 5, Seed: 1})
+	db, _, err := indoorq.Open(b, objs, indoorq.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if dir != "" {
+		if err := db.Persist(dir, indoorq.DurabilityOptions{}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// hasStore reports whether dir already holds a checkpoint (the marker
+// OpenDir needs).
+func hasStore(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if name := e.Name(); len(name) > 5 && name[len(name)-5:] == ".ckpt" {
+			return true
+		}
+	}
+	return false
+}

@@ -20,6 +20,7 @@ package indoorq
 import (
 	"fmt"
 
+	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/serde"
 	"repro/internal/store"
@@ -81,13 +82,18 @@ func OpenDir(dir string, opts DurabilityOptions) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	qopts := qoptsOf(info.QueryFlags)
-	db := &DB{idx: idx, proc: query.New(idx, qopts), qopts: qopts}
+	db := newDB(idx, qoptsOf(info.QueryFlags))
 	db.restoreSubs(info.Subs)
 	db.recovery = info.Stats
 	db.attachStore(st)
 	return db, nil
 }
+
+// Store returns the DB's attached durable store (nil for an ephemeral
+// DB). The serving layer uses it to expose the replication feed — the
+// newest checkpoint for replica bootstrap and the WAL tail for
+// streaming.
+func (db *DB) Store() *store.Store { return db.st }
 
 // RecoveryInfo returns the statistics of the recovery that produced this
 // DB (zero for DBs not created by OpenDir).
@@ -131,8 +137,7 @@ func LoadCheckpoint(path string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	qopts := qoptsOf(data.QueryFlags)
-	db := &DB{idx: idx, proc: query.New(idx, qopts), qopts: qopts}
+	db := newDB(idx, qoptsOf(data.QueryFlags))
 	db.restoreSubs(data.Subs)
 	return db, nil
 }
@@ -178,6 +183,16 @@ func (db *DB) Sync() error {
 // still answers queries, but every mutation is refused (fail-stop) —
 // reopen with OpenDir to resume. Close is idempotent; on an ephemeral
 // DB it is a no-op.
+//
+// Close serialises against in-flight compaction: it first stops the
+// background compactor, then waits for any user-called Compact to finish
+// (compactMu) before closing the store, so when Close returns no
+// checkpoint write or generation prune is still running against the
+// directory. A Compact that starts after Close fails with a closed-store
+// error instead of racing the shutdown. The lock order — compactor
+// stopped first, compactMu second — matters: the compactor goroutine
+// itself runs Compact under compactMu, so taking the mutex before the
+// goroutine exits would deadlock.
 func (db *DB) Close() error {
 	if db.st == nil {
 		return nil
@@ -186,6 +201,8 @@ func (db *DB) Close() error {
 	db.closeOnce.Do(func() {
 		close(db.closedC)
 		db.compactWG.Wait()
+		db.compactMu.Lock()
+		defer db.compactMu.Unlock()
 		err = db.st.Close()
 	})
 	return err
@@ -279,6 +296,23 @@ func (db *DB) restoreSubs(recs []serde.SubscriptionRec) {
 	for _, rec := range recs {
 		_ = e.Restore(specOfRec(rec))
 	}
+}
+
+// SubscriptionRec is a serialized standing-query registration — the form
+// subscriptions take in checkpoints, in the WAL, and on the replication
+// stream.
+type SubscriptionRec = serde.SubscriptionRec
+
+// AdoptIndex wraps an already-built index in a DB facade: query flags are
+// applied and the standing-query registrations re-installed, exactly as
+// recovery does after replaying a log. Its purpose is failover — a read
+// replica's Promote hands back (index, flags, subs), and AdoptIndex turns
+// them into a primary. The DB is ephemeral; attach durability by
+// checkpointing it into a fresh directory.
+func AdoptIndex(idx *index.Index, qflags uint8, subs []SubscriptionRec) *DB {
+	db := newDB(idx, qoptsOf(qflags))
+	db.restoreSubs(subs)
+	return db
 }
 
 // Query-processor ablation flags in the checkpoint header.

@@ -96,6 +96,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/indoor"
 	"repro/internal/object"
+	"repro/internal/pipeline"
 	"repro/internal/query"
 	"repro/internal/render"
 	"repro/internal/serde"
@@ -181,6 +182,12 @@ type DB struct {
 	proc  *query.Processor
 	qopts QueryOptions
 
+	// pipe is the commit pipeline every mutator delegates to: it owns the
+	// routing between the raw index and the subscription engine, and is
+	// shared with the network server and the replica replayer so all
+	// three commit paths are literally the same code.
+	pipe *pipeline.Pipeline
+
 	// subs is the continuous-query engine, created lazily by the first
 	// Subscribe. Once active, every DB mutator routes through it so
 	// standing results reconcile with each update.
@@ -211,8 +218,22 @@ func OpenWithQueryOptions(b *Building, objs []*Object, opts Options, qopts Query
 	if err != nil {
 		return nil, stats, err
 	}
-	return &DB{idx: idx, proc: query.New(idx, qopts), qopts: qopts}, stats, nil
+	return newDB(idx, qopts), stats, nil
 }
+
+// newDB assembles a DB over a built or recovered index: query processor,
+// and the commit pipeline wired to the lazily created subscription
+// engine.
+func newDB(idx *index.Index, qopts QueryOptions) *DB {
+	db := &DB{idx: idx, proc: query.New(idx, qopts), qopts: qopts}
+	db.pipe = pipeline.New(idx, func() *query.Subscriptions { return db.subs.Load() })
+	return db
+}
+
+// Pipeline exposes the DB's commit pipeline — the mutation path shared by
+// the facade, the network server and replica replay. Mutating through it
+// is identical to mutating through the DB's own methods.
+func (db *DB) Pipeline() *pipeline.Pipeline { return db.pipe }
 
 // Index exposes the underlying composite index for advanced use (the
 // benchmark harness and the baseline comparisons).
@@ -285,42 +306,18 @@ func (db *DB) BatchKNNQuery(reqs []KNNRequest, cfg ServeConfig) ([]BatchResponse
 // error/commit semantics; do not blindly retry inserts or deletes.
 
 // InsertObject adds an uncertain object (§III-C.2).
-func (db *DB) InsertObject(o *Object) error {
-	if s := db.subs.Load(); s != nil {
-		_, err := s.ApplyObjectUpdates([]ObjectUpdate{{Op: UpdateInsert, Object: o}})
-		return err
-	}
-	return db.idx.InsertObject(o)
-}
+func (db *DB) InsertObject(o *Object) error { return db.pipe.InsertObject(o) }
 
 // DeleteObject removes an object (§III-C.2).
-func (db *DB) DeleteObject(id ObjectID) error {
-	if s := db.subs.Load(); s != nil {
-		_, err := s.ApplyObjectUpdates([]ObjectUpdate{{Op: UpdateDelete, ID: id}})
-		return err
-	}
-	return db.idx.DeleteObject(id)
-}
+func (db *DB) DeleteObject(id ObjectID) error { return db.pipe.DeleteObject(id) }
 
 // UpdateObject replaces an object's uncertainty information (deletion
 // followed by insertion).
-func (db *DB) UpdateObject(o *Object) error {
-	if s := db.subs.Load(); s != nil {
-		_, err := s.ApplyObjectUpdates([]ObjectUpdate{{Op: UpdateReplace, Object: o}})
-		return err
-	}
-	return db.idx.UpdateObject(o)
-}
+func (db *DB) UpdateObject(o *Object) error { return db.pipe.UpdateObject(o) }
 
 // MoveObject is the adjacency-accelerated location update for frequently
 // reporting objects.
-func (db *DB) MoveObject(o *Object) error {
-	if s := db.subs.Load(); s != nil {
-		_, err := s.ApplyObjectUpdates([]ObjectUpdate{{Op: UpdateMove, Object: o}})
-		return err
-	}
-	return db.idx.MoveObject(o)
-}
+func (db *DB) MoveObject(o *Object) error { return db.pipe.MoveObject(o) }
 
 // ObjectUpdate is one element of an ApplyObjectUpdates batch.
 type ObjectUpdate = index.ObjectUpdate
@@ -353,11 +350,7 @@ const (
 // advanced iff the batch committed). Do not blindly retry a failed batch
 // containing inserts or deletes without checking.
 func (db *DB) ApplyObjectUpdates(ups []ObjectUpdate) error {
-	if s := db.subs.Load(); s != nil {
-		_, err := s.ApplyObjectUpdates(ups)
-		return err
-	}
-	return db.idx.ApplyObjectUpdates(ups)
+	return db.pipe.ApplyObjectUpdates(ups)
 }
 
 // SnapshotSwaps returns the number of index snapshots published so far
@@ -365,88 +358,39 @@ func (db *DB) ApplyObjectUpdates(ups []ObjectUpdate) error {
 // coalescing: a movement tick through ApplyObjectUpdates advances it once.
 func (db *DB) SnapshotSwaps() uint64 { return db.idx.SnapshotSwaps() }
 
-// invalidateSubs refreshes active subscriptions after a topological
-// mutation already applied to the index. A refresh failure (e.g. a
-// subscription whose query point's partition was removed) is deliberately
-// not an error of the mutation: the subscription keeps answering from its
-// last good snapshot until a later operation repairs it.
-func (db *DB) invalidateSubs() {
-	if s := db.subs.Load(); s != nil {
-		_, _ = s.InvalidateTopology()
-	}
-}
-
 // AddPartition indexes a partition previously added to the building.
-func (db *DB) AddPartition(pid PartitionID) error {
-	if err := db.idx.AddPartition(pid); err != nil {
-		return err
-	}
-	db.invalidateSubs()
-	return nil
-}
+func (db *DB) AddPartition(pid PartitionID) error { return db.pipe.AddPartition(pid) }
 
 // RemovePartition removes a partition and its doors from the building and
 // the index.
-func (db *DB) RemovePartition(pid PartitionID) error {
-	if err := db.idx.RemovePartition(pid); err != nil {
-		return err
-	}
-	db.invalidateSubs()
-	return nil
-}
+func (db *DB) RemovePartition(pid PartitionID) error { return db.pipe.RemovePartition(pid) }
 
 // AttachDoor indexes a door previously added to the building.
-func (db *DB) AttachDoor(did DoorID) error {
-	if err := db.idx.AttachDoor(did); err != nil {
-		return err
-	}
-	db.invalidateSubs()
-	return nil
-}
+func (db *DB) AttachDoor(did DoorID) error { return db.pipe.AttachDoor(did) }
 
 // DetachDoor removes a door from the building and the index. An unknown
 // door is a no-op; the only possible error is a refused durability log
 // (fail-stop store), in which case nothing was detached.
-func (db *DB) DetachDoor(did DoorID) error {
-	if err := db.idx.DetachDoor(did); err != nil {
-		return err
-	}
-	db.invalidateSubs()
-	return nil
-}
+func (db *DB) DetachDoor(did DoorID) error { return db.pipe.DetachDoor(did) }
 
 // SetDoorClosed closes or reopens a door; queries observe the change
 // immediately with no index maintenance. Active subscriptions refresh
 // (door distances changed) and emit their membership deltas to the Events
 // log.
 func (db *DB) SetDoorClosed(did DoorID, closed bool) error {
-	if s := db.subs.Load(); s != nil {
-		_, err := s.SetDoorClosed(did, closed)
-		return err
-	}
-	return db.idx.SetDoorClosed(did, closed)
+	return db.pipe.SetDoorClosed(did, closed)
 }
 
 // SplitPartition mounts a sliding wall, dividing a rectangular partition in
 // two (the paper's room-21 meeting-style scenario).
 func (db *DB) SplitPartition(pid PartitionID, alongX bool, at float64) (PartitionID, PartitionID, error) {
-	pa, pb, err := db.idx.SplitPartition(pid, alongX, at)
-	if err != nil {
-		return pa, pb, err
-	}
-	db.invalidateSubs()
-	return pa, pb, nil
+	return db.pipe.SplitPartition(pid, alongX, at)
 }
 
 // MergePartitions dismounts a sliding wall, merging two rectangular
 // partitions (banquet style).
 func (db *DB) MergePartitions(pa, pb PartitionID) (PartitionID, error) {
-	merged, err := db.idx.MergePartitions(pa, pb)
-	if err != nil {
-		return merged, err
-	}
-	db.invalidateSubs()
-	return merged, nil
+	return db.pipe.MergePartitions(pa, pb)
 }
 
 // LocatePartition returns the partition containing a position via the
@@ -599,13 +543,39 @@ func (db *DB) SubscriptionTopK(id int) []Result {
 // Events returns and clears the accumulated subscription events, in
 // serialisation order (see SubscriptionEvent for the per-operation
 // ordering guarantee). Replaying a subscription's enter/leave events over
-// its initial result set reproduces its current result set. Drain
-// regularly: the log is unbounded so no membership change is ever lost.
+// its initial result set reproduces its current result set — PROVIDED the
+// log did not overflow: the log is bounded (DefaultEventLogCap events,
+// SetEventLogCap adjusts), and past the bound the oldest events are
+// dropped so an undrained consumer costs bounded memory instead of an
+// OOM. Events discards the overflow signal; replay-based consumers must
+// use DrainEvents and re-fetch SubscriptionResults when it reports an
+// overflow.
 func (db *DB) Events() []SubscriptionEvent {
+	evs, _ := db.DrainEvents()
+	return evs
+}
+
+// DrainEvents is Events plus the overflow signal: overflowed reports
+// whether the bounded event log dropped events since the previous drain.
+// When it did, the returned events are NOT a complete replay stream —
+// re-fetch the affected subscriptions' current state with
+// SubscriptionResults or SubscriptionTopK instead of replaying.
+func (db *DB) DrainEvents() ([]SubscriptionEvent, bool) {
 	if s := db.subs.Load(); s != nil {
-		return s.DrainEvents()
+		return s.DrainEventsOverflow()
 	}
-	return nil
+	return nil, false
+}
+
+// DefaultEventLogCap is the subscription event log's default bound.
+const DefaultEventLogCap = query.DefaultEventLogCap
+
+// SetEventLogCap bounds the subscription event log at n events (n <= 0
+// removes the bound). On overflow the oldest events are dropped and the
+// next DrainEvents reports it. Serving deployments size this to the
+// slowest event consumer they are willing to buffer for.
+func (db *DB) SetEventLogCap(n int) {
+	db.subscriptions().SetEventLogCap(n)
 }
 
 // NumSubscriptions returns the number of active subscriptions.

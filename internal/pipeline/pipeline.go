@@ -1,0 +1,175 @@
+// Package pipeline is the commit pipeline: the single mutation path every
+// committed change to a database takes, extracted from the facade so the
+// network server, the replica replayer and the facade itself all route
+// through identical machinery. A Pipeline couples an index with an
+// optional continuous-query engine and applies each logical mutation in
+// the canonical order — index edit (which runs the durability hook and
+// publishes the MVCC snapshot) first, then one subscription
+// reconciliation pass over the affected standing queries.
+//
+// The pipeline is deliberately thin: all atomicity lives below it (the
+// index's copy-on-write editor plus the store's write-ahead hook), all
+// result maintenance lives beside it (the subscription engine). What the
+// pipeline owns is the ROUTING contract:
+//
+//   - With an active subscription engine, object updates and door toggles
+//     go through the engine so the snapshot swap and the reconciliation
+//     form one serialised operation whose events land in the ordered log.
+//   - Topology mutations apply to the index first and then invalidate
+//     every subscription; a failed refresh is not an error of the
+//     mutation (the subscription keeps its last good state and repairs
+//     later).
+//   - Without an engine, mutations apply to the index directly.
+//
+// A WAL record replayed on a recovering leader or a streaming replica
+// goes through the same Pipeline (store.ApplyRecord takes one), which is
+// what makes replica state provably equal to leader state at the same
+// LSN: both are the same deterministic fold of the same mutation
+// sequence over the same checkpoint.
+package pipeline
+
+import (
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/object"
+	"repro/internal/query"
+)
+
+// Pipeline routes mutations to an index and its subscription engine.
+type Pipeline struct {
+	idx *index.Index
+	// subs returns the current subscription engine, or nil before the
+	// first subscription exists. It is a getter (not a field) because the
+	// facade creates the engine lazily on first Subscribe.
+	subs func() *query.Subscriptions
+}
+
+// New returns a pipeline over the index. subs may be nil (no continuous
+// queries ever) or a getter that returns nil until an engine exists.
+func New(idx *index.Index, subs func() *query.Subscriptions) *Pipeline {
+	if subs == nil {
+		subs = func() *query.Subscriptions { return nil }
+	}
+	return &Pipeline{idx: idx, subs: subs}
+}
+
+// Index returns the underlying index.
+func (p *Pipeline) Index() *index.Index { return p.idx }
+
+// ApplyObjectUpdates commits a coalesced object batch: one snapshot swap,
+// then one reconciliation pass when subscriptions are active. On an index
+// error nothing is applied; an error from the reconciliation pass is
+// returned with the batch already committed (the snapshot-swap counter
+// distinguishes the cases).
+func (p *Pipeline) ApplyObjectUpdates(ups []index.ObjectUpdate) error {
+	if s := p.subs(); s != nil {
+		_, err := s.ApplyObjectUpdates(ups)
+		return err
+	}
+	return p.idx.ApplyObjectUpdates(ups)
+}
+
+// InsertObject commits a single insert as a one-element batch.
+func (p *Pipeline) InsertObject(o *object.Object) error {
+	return p.ApplyObjectUpdates([]index.ObjectUpdate{{Op: index.UpdateInsert, Object: o}})
+}
+
+// DeleteObject commits a single delete as a one-element batch.
+func (p *Pipeline) DeleteObject(id object.ID) error {
+	return p.ApplyObjectUpdates([]index.ObjectUpdate{{Op: index.UpdateDelete, ID: id}})
+}
+
+// UpdateObject commits a single replace as a one-element batch.
+func (p *Pipeline) UpdateObject(o *object.Object) error {
+	return p.ApplyObjectUpdates([]index.ObjectUpdate{{Op: index.UpdateReplace, Object: o}})
+}
+
+// MoveObject commits a single adjacency-accelerated move as a one-element
+// batch.
+func (p *Pipeline) MoveObject(o *object.Object) error {
+	return p.ApplyObjectUpdates([]index.ObjectUpdate{{Op: index.UpdateMove, Object: o}})
+}
+
+// SetDoorClosed toggles a door. With active subscriptions the toggle and
+// the full refresh pass (door distances changed everywhere) serialise as
+// one engine operation.
+func (p *Pipeline) SetDoorClosed(did indoor.DoorID, closed bool) error {
+	if s := p.subs(); s != nil {
+		_, err := s.SetDoorClosed(did, closed)
+		return err
+	}
+	return p.idx.SetDoorClosed(did, closed)
+}
+
+// invalidate refreshes active subscriptions after a topological mutation
+// already committed to the index. A refresh failure is deliberately not
+// an error of the mutation: the subscription keeps answering from its
+// last good snapshot until a later operation repairs it.
+func (p *Pipeline) invalidate() {
+	if s := p.subs(); s != nil {
+		_, _ = s.InvalidateTopology()
+	}
+}
+
+// AddPartition indexes a partition previously added to the building.
+func (p *Pipeline) AddPartition(pid indoor.PartitionID) error {
+	if err := p.idx.AddPartition(pid); err != nil {
+		return err
+	}
+	p.invalidate()
+	return nil
+}
+
+// RemovePartition removes a partition and its doors.
+func (p *Pipeline) RemovePartition(pid indoor.PartitionID) error {
+	if err := p.idx.RemovePartition(pid); err != nil {
+		return err
+	}
+	p.invalidate()
+	return nil
+}
+
+// AttachDoor indexes a door previously added to the building.
+func (p *Pipeline) AttachDoor(did indoor.DoorID) error {
+	if err := p.idx.AttachDoor(did); err != nil {
+		return err
+	}
+	p.invalidate()
+	return nil
+}
+
+// DetachDoor removes a door from the building and the index.
+func (p *Pipeline) DetachDoor(did indoor.DoorID) error {
+	if err := p.idx.DetachDoor(did); err != nil {
+		return err
+	}
+	p.invalidate()
+	return nil
+}
+
+// SplitPartition mounts a sliding wall.
+func (p *Pipeline) SplitPartition(pid indoor.PartitionID, alongX bool, at float64) (indoor.PartitionID, indoor.PartitionID, error) {
+	pa, pb, err := p.idx.SplitPartition(pid, alongX, at)
+	if err != nil {
+		return pa, pb, err
+	}
+	p.invalidate()
+	return pa, pb, nil
+}
+
+// MergePartitions dismounts a sliding wall.
+func (p *Pipeline) MergePartitions(pa, pb indoor.PartitionID) (indoor.PartitionID, error) {
+	merged, err := p.idx.MergePartitions(pa, pb)
+	if err != nil {
+		return merged, err
+	}
+	p.invalidate()
+	return merged, nil
+}
+
+// RebuildSkeleton recomputes the skeleton tier and invalidates standing
+// queries (skeleton anchors feed their bounds).
+func (p *Pipeline) RebuildSkeleton() {
+	p.idx.RebuildSkeleton()
+	p.invalidate()
+}

@@ -60,9 +60,16 @@ type Subscriptions struct {
 
 	// log accumulates events for DrainEvents when logging is enabled (the
 	// facade's pull API); engines used through the Monitor wrapper return
-	// events per call instead and keep the log off.
-	logging bool
-	log     []SubEvent
+	// events per call instead and keep the log off. The log is bounded by
+	// logCap (DefaultEventLogCap unless overridden): a consumer that stops
+	// draining — a dead streaming client, say — must cost bounded memory,
+	// not an OOM. When the bound is hit the oldest events are dropped and
+	// the overflow flag raised; DrainEventsOverflow reports it so the
+	// consumer knows replay is broken and re-fetches full result sets.
+	logging     bool
+	log         []SubEvent
+	logCap      int
+	logOverflow bool
 
 	// lastTopoEpoch is the topology epoch of the last snapshot a
 	// reconciliation pass ran against: while it matches the current
@@ -154,6 +161,9 @@ type SubStats struct {
 	// Refreshes counts wholesale re-runs of a subscription's filtering and
 	// subgraph phases (topology changes, kNN candidate exhaustion).
 	Refreshes uint64
+	// EventsDropped counts events discarded by event-log overflow (the
+	// log's cap was hit before the consumer drained).
+	EventsDropped uint64
 }
 
 // standingQuery is one subscription: the cached phase state of its last
@@ -243,30 +253,75 @@ func (e *Subscriptions) SetFanOut(f FanFunc) {
 	e.fan = f
 }
 
-// EnableEventLog turns on event accumulation for DrainEvents. Call
-// DrainEvents regularly once enabled — the log is unbounded by design, so
-// replay-based consumers never lose a membership change.
+// DefaultEventLogCap is the event-log bound EnableEventLog installs: past
+// it the oldest events are dropped and the overflow flag raised. Generous
+// enough that any consumer draining at all never sees it; small enough
+// that a dead consumer costs bounded memory.
+const DefaultEventLogCap = 1 << 20
+
+// EnableEventLog turns on event accumulation for DrainEvents, bounded at
+// DefaultEventLogCap events (SetEventLogCap adjusts). Drain regularly: a
+// log that overflows drops its oldest events, and replay-based consumers
+// must then re-fetch full result sets (DrainEventsOverflow reports the
+// overflow explicitly).
 func (e *Subscriptions) EnableEventLog() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.logging = true
+	if e.logCap == 0 {
+		e.logCap = DefaultEventLogCap
+	}
+}
+
+// SetEventLogCap bounds the event log at n events; n <= 0 removes the
+// bound (the pre-cap behaviour, for consumers that guarantee draining).
+// Shrinking the cap below the current backlog drops the oldest events at
+// the next append, not immediately.
+func (e *Subscriptions) SetEventLogCap(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n <= 0 {
+		e.logCap = -1
+		return
+	}
+	e.logCap = n
 }
 
 // DrainEvents returns and clears the accumulated event log, in
 // serialisation order. It returns nil unless EnableEventLog was called.
+// Consumers that rely on event replay must use DrainEventsOverflow — this
+// variant silently discards the overflow signal.
 func (e *Subscriptions) DrainEvents() []SubEvent {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := e.log
-	e.log = nil
-	return out
+	evs, _ := e.DrainEventsOverflow()
+	return evs
 }
 
-// record appends events to the log when logging is enabled. Callers hold
-// the writer mutex.
+// DrainEventsOverflow returns and clears the accumulated event log and
+// reports whether it overflowed since the previous drain. On overflow the
+// oldest events were dropped: the returned slice is NOT a complete replay
+// stream, and the consumer must re-fetch the current result sets
+// (Results/TopK) instead of replaying.
+func (e *Subscriptions) DrainEventsOverflow() ([]SubEvent, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out, over := e.log, e.logOverflow
+	e.log, e.logOverflow = nil, false
+	return out, over
+}
+
+// record appends events to the log when logging is enabled, enforcing the
+// cap: the newest logCap events are kept, older ones dropped with the
+// overflow flag raised. Callers hold the writer mutex.
 func (e *Subscriptions) record(evs []SubEvent) {
-	if e.logging && len(evs) > 0 {
-		e.log = append(e.log, evs...)
+	if !e.logging || len(evs) == 0 {
+		return
+	}
+	e.log = append(e.log, evs...)
+	if e.logCap > 0 && len(e.log) > e.logCap {
+		dropped := len(e.log) - e.logCap
+		e.log = append(e.log[:0], e.log[dropped:]...)
+		e.logOverflow = true
+		e.stats.EventsDropped += uint64(dropped)
 	}
 }
 

@@ -1,0 +1,339 @@
+// Package replica implements WAL-shipping read replicas: a Replica
+// bootstraps from a leader checkpoint, replays the shipped record stream
+// through the same commit pipeline the leader's facade mutates through,
+// and serves range/kNN queries from its own MVCC snapshots — reads scale
+// out across processes while the leader keeps sole ownership of the log.
+//
+// The replication contract, in terms of the store's LSN sequence:
+//
+//   - Bootstrap: fetch the leader's newest checkpoint (covering LSN c),
+//     rebuild the index from it, start streaming records with LSN > c.
+//   - Contiguity: a record is applied iff its LSN is exactly applied+1.
+//     Records at or below the applied LSN are stale re-logs racing a
+//     leader-side rotation and are skipped; a record JUMPING past
+//     applied+1 means the replica missed history and MUST NOT be applied.
+//   - Resync: on a gap (jump, or the leader signalling that compaction
+//     pruned the replica's position) the replica discards its state and
+//     re-bootstraps from a fresh checkpoint. Catch-up after arbitrary
+//     downtime is therefore always possible: either the log still holds
+//     the tail and replay resumes, or the checkpoint has advanced past it
+//     and the replica resyncs — never a silent divergence.
+//   - Durability horizon: records are shipped only after they are in the
+//     leader's log file, and heartbeats advertise the leader's fsynced
+//     LSN, so applied-vs-durable lag is observable at all times (Stats).
+//
+// Because checkpoints restore the building id-exact and the stream is the
+// same deterministic mutation fold recovery replays, a replica at applied
+// LSN n is byte-equal (building, objects) to the leader's durable state
+// at LSN n. Promotion is exactly recovery: stop the stream and adopt the
+// replayed index as a primary (the crash-failover harness exercises
+// this).
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/pipeline"
+	"repro/internal/query"
+	"repro/internal/serde"
+	"repro/internal/serve"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// Source is where a replica gets its data: a checkpoint to bootstrap
+// from and the record stream to follow. wire.Client (network) and
+// LocalSource (same-process leader, used by tests and benchmarks) both
+// satisfy it. StreamWAL delivers records and stream-control frames
+// (heartbeats, gap signals) in order and returns when the context
+// cancels, the stream ends, or fn errors.
+type Source interface {
+	FetchCheckpoint(ctx context.Context) ([]byte, uint64, error)
+	StreamWAL(ctx context.Context, afterLSN uint64, fn func(wire.Frame) error) error
+}
+
+// Config tunes a replica's streaming loop.
+type Config struct {
+	// ReconnectDelay is the pause before re-dialing a broken stream;
+	// 100ms when zero.
+	ReconnectDelay time.Duration
+}
+
+// errResync carries the gap decision out of the frame callback.
+var errResync = errors.New("replica: stream gap; resync from checkpoint")
+
+// state is the replica's serving state, swapped wholesale on resync.
+// Queries pin it with one atomic load; replay mutates idx through pipe,
+// publishing MVCC snapshots exactly as a leader does.
+type state struct {
+	idx  *index.Index
+	pipe *pipeline.Pipeline
+	proc *query.Processor
+	b    *indoor.Building
+}
+
+// Replica follows a leader through a Source. Create with New, start the
+// stream with Start, query at will (queries are wait-free against the
+// current snapshot, concurrent with replay), and stop with Close or
+// Promote.
+type Replica struct {
+	src Source
+	cfg Config
+
+	st     atomic.Pointer[state]
+	qflags atomic.Uint32
+
+	// subsMu guards subs — the standing-query registrations replayed from
+	// the stream, carried so a promoted replica restores them like
+	// recovery does.
+	subsMu sync.Mutex
+	subs   map[int64]serde.SubscriptionRec
+
+	applied       atomic.Uint64 // newest LSN applied to the index
+	leaderDurable atomic.Uint64 // newest durable LSN a heartbeat advertised
+	resyncs       atomic.Uint64
+	connected     atomic.Bool
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// New returns an unstarted replica over src.
+func New(src Source, cfg Config) *Replica {
+	if cfg.ReconnectDelay <= 0 {
+		cfg.ReconnectDelay = 100 * time.Millisecond
+	}
+	return &Replica{src: src, cfg: cfg}
+}
+
+// Start bootstraps from the leader's newest checkpoint and launches the
+// background streaming loop. It returns once the replica is serving (the
+// bootstrap state is queryable); catch-up replay proceeds behind it.
+func (r *Replica) Start(ctx context.Context) error {
+	if err := r.bootstrap(ctx); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	r.cancel = cancel
+	r.done = make(chan struct{})
+	go r.run(ctx)
+	return nil
+}
+
+// bootstrap (re)builds the replica's state from a fresh leader
+// checkpoint. On resync the previous state keeps serving until the new
+// one is ready, then swaps atomically — readers never observe a teardown.
+func (r *Replica) bootstrap(ctx context.Context) error {
+	raw, lsn, err := r.src.FetchCheckpoint(ctx)
+	if err != nil {
+		return fmt.Errorf("replica: checkpoint fetch: %w", err)
+	}
+	data, err := store.DecodeSnapshot(raw)
+	if err != nil {
+		return fmt.Errorf("replica: checkpoint decode: %w", err)
+	}
+	if data.LSN != lsn {
+		return fmt.Errorf("replica: checkpoint advertises lsn %d but decodes to %d", lsn, data.LSN)
+	}
+	idx, err := store.Rebuild(data)
+	if err != nil {
+		return fmt.Errorf("replica: checkpoint rebuild: %w", err)
+	}
+	qopts := query.Options{
+		DisablePruning:  data.QueryFlags&1 != 0,
+		DisableSkeleton: data.QueryFlags&2 != 0,
+	}
+	st := &state{
+		idx:  idx,
+		pipe: pipeline.New(idx, nil),
+		proc: query.New(idx, qopts),
+		b:    idx.Building(),
+	}
+	subs := make(map[int64]serde.SubscriptionRec, len(data.Subs))
+	for _, sr := range data.Subs {
+		subs[sr.ID] = sr
+	}
+	r.subsMu.Lock()
+	r.subs = subs
+	r.subsMu.Unlock()
+	r.qflags.Store(uint32(data.QueryFlags))
+	r.applied.Store(data.LSN)
+	r.st.Store(st)
+	return nil
+}
+
+// run is the streaming loop: follow the record stream from the applied
+// LSN, resync on gaps, re-dial on transport failures, exit on cancel.
+func (r *Replica) run(ctx context.Context) {
+	defer close(r.done)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		r.connected.Store(true)
+		err := r.src.StreamWAL(ctx, r.applied.Load(), r.onFrame)
+		r.connected.Store(false)
+		if ctx.Err() != nil {
+			return
+		}
+		if errors.Is(err, errResync) {
+			r.resyncs.Add(1)
+			if berr := r.bootstrap(ctx); berr != nil {
+				// The leader may be mid-compaction or briefly down; keep
+				// serving the old state and retry.
+				select {
+				case <-time.After(r.cfg.ReconnectDelay):
+				case <-ctx.Done():
+					return
+				}
+			}
+			continue
+		}
+		// Transport failure or clean server close: reconnect from the
+		// applied position after a pause.
+		select {
+		case <-time.After(r.cfg.ReconnectDelay):
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// onFrame handles one stream frame: control frames update the gauges,
+// record frames replay under the contiguity rule.
+func (r *Replica) onFrame(f wire.Frame) error {
+	switch f.Kind {
+	case wire.HeartbeatKind:
+		r.observeDurable(f.LSN)
+		return nil
+	case wire.GapKind:
+		r.observeDurable(f.LSN)
+		return errResync
+	}
+	applied := r.applied.Load()
+	if f.LSN <= applied {
+		return nil // stale re-log racing a leader rotation; already applied
+	}
+	if f.LSN != applied+1 {
+		return errResync // missed history; replaying would diverge silently
+	}
+	st := r.st.Load()
+	r.subsMu.Lock()
+	subs := r.subs
+	r.subsMu.Unlock()
+	if err := store.ApplyRecord(st.pipe, st.b, subs, store.Record{LSN: f.LSN, Kind: f.Kind, Body: f.Body}); err != nil {
+		return fmt.Errorf("replica: apply lsn %d: %w", f.LSN, err)
+	}
+	r.applied.Store(f.LSN)
+	r.observeDurable(f.LSN) // a shipped record is on the leader's log file
+	return nil
+}
+
+// observeDurable ratchets the leader-durability gauge.
+func (r *Replica) observeDurable(lsn uint64) {
+	for {
+		cur := r.leaderDurable.Load()
+		if lsn <= cur || r.leaderDurable.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// RangeQuery answers iRQ(q, r) from the replica's current snapshot.
+func (r *Replica) RangeQuery(q indoor.Position, radius float64) ([]query.Result, *query.Stats, error) {
+	return r.st.Load().proc.RangeQuery(q, radius)
+}
+
+// KNNQuery answers ikNNQ(q, k) from the replica's current snapshot.
+func (r *Replica) KNNQuery(q indoor.Position, k int) ([]query.Result, *query.Stats, error) {
+	return r.st.Load().proc.KNNQuery(q, k)
+}
+
+// BatchRangeQuery fans a batch across the serving layer against ONE
+// pinned snapshot, exactly like the leader facade's batch path.
+func (r *Replica) BatchRangeQuery(reqs []serve.RangeRequest, cfg serve.Config) ([]serve.Response, serve.Metrics) {
+	st := r.st.Load()
+	return serve.NewPool(st.idx, r.queryOptions(), cfg).RangeBatch(reqs)
+}
+
+// BatchKNNQuery is BatchRangeQuery for kNN requests.
+func (r *Replica) BatchKNNQuery(reqs []serve.KNNRequest, cfg serve.Config) ([]serve.Response, serve.Metrics) {
+	st := r.st.Load()
+	return serve.NewPool(st.idx, r.queryOptions(), cfg).KNNBatch(reqs)
+}
+
+func (r *Replica) queryOptions() query.Options {
+	f := uint8(r.qflags.Load())
+	return query.Options{DisablePruning: f&1 != 0, DisableSkeleton: f&2 != 0}
+}
+
+// Index returns the replica's current index (snapshot-published like any
+// other).
+func (r *Replica) Index() *index.Index { return r.st.Load().idx }
+
+// NumObjects returns the object count of the current snapshot.
+func (r *Replica) NumObjects() int { return r.st.Load().idx.Objects().Len() }
+
+// AppliedLSN returns the newest LSN the replica has applied.
+func (r *Replica) AppliedLSN() uint64 { return r.applied.Load() }
+
+// Stats reports the lag gauge: applied position, the leader's advertised
+// durable horizon, their distance in records, resync count and stream
+// liveness.
+func (r *Replica) Stats() wire.ReplicaStats {
+	applied, durable := r.applied.Load(), r.leaderDurable.Load()
+	var lag uint64
+	if durable > applied {
+		lag = durable - applied
+	}
+	return wire.ReplicaStats{
+		AppliedLSN:       applied,
+		LeaderDurableLSN: durable,
+		LagRecords:       lag,
+		Resyncs:          r.resyncs.Load(),
+		Connected:        r.connected.Load(),
+	}
+}
+
+// QueryFlags returns the leader's query-processor flags (from the
+// bootstrap checkpoint) — needed to adopt the index on promotion.
+func (r *Replica) QueryFlags() uint8 { return uint8(r.qflags.Load()) }
+
+// Subscriptions returns the standing-query registrations the replica has
+// replayed, for re-registration on promotion.
+func (r *Replica) Subscriptions() []serde.SubscriptionRec {
+	r.subsMu.Lock()
+	defer r.subsMu.Unlock()
+	out := make([]serde.SubscriptionRec, 0, len(r.subs))
+	for _, sr := range r.subs {
+		out = append(out, sr)
+	}
+	return out
+}
+
+// Close stops the streaming loop. The replica keeps answering queries
+// from its last applied state.
+func (r *Replica) Close() {
+	if r.cancel == nil {
+		return
+	}
+	r.cancel()
+	<-r.done
+	r.cancel = nil
+}
+
+// Promote stops replication and hands over the replayed index, the query
+// flags and the standing-query registrations — everything a facade needs
+// to adopt the replica as a primary. The replica's own query methods keep
+// working (same index) but its state is now the caller's to mutate.
+func (r *Replica) Promote() (*index.Index, uint8, []serde.SubscriptionRec) {
+	r.Close()
+	return r.st.Load().idx, r.QueryFlags(), r.Subscriptions()
+}

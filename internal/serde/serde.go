@@ -122,17 +122,7 @@ func Encode(w io.Writer, b *indoor.Building, objs []*object.Object) error {
 		})
 	}
 	for _, o := range objs {
-		so := ObjJSON{
-			ID:     int(o.ID),
-			Center: [3]float64{o.Center.Pt.X, o.Center.Pt.Y, float64(o.Center.Floor)},
-			Radius: o.Radius,
-		}
-		for _, in := range o.Instances {
-			so.Instances = append(so.Instances, InstJSON{
-				X: in.Pos.Pt.X, Y: in.Pos.Pt.Y, Floor: in.Pos.Floor, P: in.P,
-			})
-		}
-		f.Objects = append(f.Objects, so)
+		f.Objects = append(f.Objects, ObjJSONOf(o))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -237,26 +227,51 @@ func Decode(r io.Reader) (*indoor.Building, []*object.Object, error) {
 func decodeObjects(src []ObjJSON) ([]*object.Object, error) {
 	var objs []*object.Object
 	for _, so := range src {
-		o := &object.Object{
-			ID: object.ID(so.ID),
-			Center: indoor.Position{
-				Pt:    geom.Pt(so.Center[0], so.Center[1]),
-				Floor: int(so.Center[2]),
-			},
-			Radius: so.Radius,
-		}
-		for _, in := range so.Instances {
-			o.Instances = append(o.Instances, object.Instance{
-				Pos: indoor.Position{Pt: geom.Pt(in.X, in.Y), Floor: in.Floor},
-				P:   in.P,
-			})
-		}
-		if err := o.Validate(); err != nil {
-			return nil, fmt.Errorf("serde: %w", err)
+		o, err := so.Object()
+		if err != nil {
+			return nil, err
 		}
 		objs = append(objs, o)
 	}
 	return objs, nil
+}
+
+// ObjJSONOf returns an object's JSON form — shared by the document codec
+// and the wire protocol.
+func ObjJSONOf(o *object.Object) ObjJSON {
+	so := ObjJSON{
+		ID:     int(o.ID),
+		Center: [3]float64{o.Center.Pt.X, o.Center.Pt.Y, float64(o.Center.Floor)},
+		Radius: o.Radius,
+	}
+	for _, in := range o.Instances {
+		so.Instances = append(so.Instances, InstJSON{
+			X: in.Pos.Pt.X, Y: in.Pos.Pt.Y, Floor: in.Pos.Floor, P: in.P,
+		})
+	}
+	return so
+}
+
+// Object validates the JSON form and returns the domain object.
+func (so ObjJSON) Object() (*object.Object, error) {
+	o := &object.Object{
+		ID: object.ID(so.ID),
+		Center: indoor.Position{
+			Pt:    geom.Pt(so.Center[0], so.Center[1]),
+			Floor: int(so.Center[2]),
+		},
+		Radius: so.Radius,
+	}
+	for _, in := range so.Instances {
+		o.Instances = append(o.Instances, object.Instance{
+			Pos: indoor.Position{Pt: geom.Pt(in.X, in.Y), Floor: in.Floor},
+			P:   in.P,
+		})
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("serde: %w", err)
+	}
+	return o, nil
 }
 
 // DecodeExact reads a document and reconstructs the building with every

@@ -1,0 +1,366 @@
+package server
+
+// The endpoint handlers. Non-streaming endpoints run under admission
+// (MaxInFlight) and per-endpoint latency accounting; the two streaming
+// endpoints (events, WAL shipping) run outside admission — they are
+// long-lived by design and must not starve point traffic's slots.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	indoorq "repro"
+	"repro/internal/geom"
+	"repro/internal/replica"
+	"repro/internal/wire"
+)
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.handle(wire.PathRangeQuery, s.handleRange)
+	s.handle(wire.PathKNNQuery, s.handleKNN)
+	s.handle(wire.PathUpdates, s.leaderOnly(s.handleUpdates))
+	s.handle(wire.PathTopology, s.leaderOnly(s.handleTopology))
+	s.handle(wire.PathSubscribe, s.leaderOnly(s.handleSubscribe))
+	s.handle(wire.PathUnsubscribe, s.leaderOnly(s.handleUnsubscribe))
+	s.handle(wire.PathStats, s.handleStats)
+	s.stream(wire.PathEvents, s.leaderOnly(s.handleEvents))
+	s.stream(wire.PathReplCheckpoint, s.leaderOnly(s.handleReplCheckpoint))
+	s.stream(wire.PathReplWAL, s.leaderOnly(s.handleReplWAL))
+}
+
+// statusWriter records the response code for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so the streaming endpoints still
+// see a Flusher through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handle registers an admitted, instrumented endpoint.
+func (s *Server) handle(path string, h http.HandlerFunc) {
+	m := s.endpoint(path)
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			m.observe(0, true)
+			http.Error(w, "server at max in-flight requests", http.StatusTooManyRequests)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		m.observe(time.Since(start), sw.status >= 400)
+	})
+}
+
+// stream registers a long-lived endpoint: instrumented (latency = stream
+// lifetime) but not admission-bounded.
+func (s *Server) stream(path string, h http.HandlerFunc) {
+	m := s.endpoint(path)
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		m.observe(time.Since(start), sw.status >= 400)
+	})
+}
+
+// leaderOnly refuses mutation and replication-feed requests on a replica.
+func (s *Server) leaderOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.db == nil {
+			http.Error(w, "read replica: mutations and the replication feed are served by the leader", http.StatusForbidden)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// maxRequestBytes bounds a request body; a batch of this size is
+// malformed or hostile, not a workload.
+const maxRequestBytes = 64 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(v); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req wire.RangeBatch
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeJSON(w, wire.BatchResponse{})
+		return
+	}
+	writeJSON(w, s.rangeCo.submit(req.Queries))
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req wire.KNNBatch
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeJSON(w, wire.BatchResponse{})
+		return
+	}
+	writeJSON(w, s.knnCo.submit(req.Queries))
+}
+
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	var req wire.UpdateBatch
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	ups := make([]indoorq.ObjectUpdate, len(req.Updates))
+	for i, item := range req.Updates {
+		up, err := item.Domain()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ups[i] = up
+	}
+	// The whole batch commits as one snapshot swap; an error can follow a
+	// committed batch (reconciliation, or a refused durability log) —
+	// that is the facade's documented contract and it crosses the wire
+	// inside the Ack, not as an HTTP failure.
+	writeJSON(w, wire.Ack{Err: errString(s.db.ApplyObjectUpdates(ups))})
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	var req wire.TopologyRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	var resp wire.TopologyResponse
+	switch req.Op {
+	case wire.TopoSetDoorClosed:
+		resp.Err = errString(s.db.SetDoorClosed(indoorq.DoorID(req.Door), req.Closed))
+	case wire.TopoSplit:
+		pa, pb, err := s.db.SplitPartition(indoorq.PartitionID(req.Partition), req.AlongX, req.At)
+		resp.PartitionA, resp.PartitionB, resp.Err = int64(pa), int64(pb), errString(err)
+	case wire.TopoMerge:
+		p, err := s.db.MergePartitions(indoorq.PartitionID(req.Partition), indoorq.PartitionID(req.Partition2))
+		resp.PartitionA, resp.Err = int64(p), errString(err)
+	case wire.TopoRemovePartition:
+		resp.Err = errString(s.db.RemovePartition(indoorq.PartitionID(req.Partition)))
+	case wire.TopoDetachDoor:
+		resp.Err = errString(s.db.DetachDoor(indoorq.DoorID(req.Door)))
+	case wire.TopoRebuildSkeleton:
+		s.db.Pipeline().RebuildSkeleton()
+	case wire.TopoAddRoom:
+		if req.Rect == nil {
+			http.Error(w, "add_room requires rect", http.StatusBadRequest)
+			return
+		}
+		p := s.db.Building().AddRoom(req.Floor, geom.R(req.Rect[0], req.Rect[1], req.Rect[2], req.Rect[3]))
+		resp.PartitionA, resp.Err = int64(p.ID), errString(s.db.AddPartition(p.ID))
+	case wire.TopoAddDoor:
+		if req.Pos == nil {
+			http.Error(w, "add_door requires pos", http.StatusBadRequest)
+			return
+		}
+		b := s.db.Building()
+		pos := geom.Pt(req.Pos[0], req.Pos[1])
+		p1, p2 := indoorq.PartitionID(req.Partition), indoorq.PartitionID(req.Partition2)
+		d, err := b.AddDoor(pos, req.Floor, p1, p2)
+		if req.OneWay {
+			d, err = b.AddOneWayDoor(pos, req.Floor, p1, p2)
+		}
+		if err != nil {
+			resp.Err = err.Error()
+			break
+		}
+		resp.Door, resp.Err = int64(d.ID), errString(s.db.AttachDoor(d.ID))
+	default:
+		http.Error(w, fmt.Sprintf("unknown topology op %q", req.Op), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req wire.SubscribeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	id, members, err := s.db.Subscribe(indoorq.SubscriptionSpec{Q: req.Q.Domain(), R: req.R, K: req.K})
+	// id and err travel together: a fail-stop log append leaves a live
+	// in-memory registration whose handle the client must receive (see
+	// wire.SubscribeResponse).
+	resp := wire.SubscribeResponse{ID: id, Err: errString(err), Results: make([]int64, len(members))}
+	for i, m := range members {
+		resp.Results[i] = int64(m)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	var req wire.UnsubscribeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	writeJSON(w, wire.UnsubscribeResponse{Existed: s.db.Unsubscribe(req.ID)})
+}
+
+// handleEvents streams the subscription event log as NDJSON chunks. One
+// consumer at a time: the drain is destructive, so a second stream
+// queues behind the first rather than silently splitting the log.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported by transport", http.StatusNotImplemented)
+		return
+	}
+	s.eventsMu.Lock()
+	defer s.eventsMu.Unlock()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	// An immediate empty chunk confirms the stream is live.
+	if enc.Encode(wire.EventChunk{}) != nil {
+		return
+	}
+	fl.Flush()
+	tick := time.NewTicker(s.cfg.EventPoll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.closed:
+			return
+		case <-tick.C:
+		}
+		evs, overflow := s.db.DrainEvents()
+		if overflow {
+			s.eventsDropped.Add(1)
+		}
+		if len(evs) == 0 && !overflow {
+			continue
+		}
+		chunk := wire.EventChunk{Overflow: overflow, Events: make([]wire.Event, len(evs))}
+		for i, e := range evs {
+			chunk.Events[i] = wire.EventOf(e)
+		}
+		if enc.Encode(chunk) != nil {
+			return
+		}
+		fl.Flush()
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := wire.StatsResponse{Endpoints: make(map[string]wire.EndpointStats, len(s.eps))}
+	for path, m := range s.eps {
+		resp.Endpoints[path] = m.snapshot()
+	}
+	resp.EventsDropped = s.eventsDropped.Load()
+	resp.ReplStreams = int(s.replStreams.Load())
+	if s.db != nil {
+		resp.NumObjects = s.db.NumObjects()
+		resp.SnapshotSwaps = s.db.SnapshotSwaps()
+		resp.Subscriptions = s.db.NumSubscriptions()
+		if st := s.db.Store(); st != nil {
+			resp.WrittenLSN = st.WrittenLSN()
+			resp.DurableLSN = st.DurableLSN()
+			resp.WALSize = s.db.WALSize()
+		}
+	} else {
+		resp.NumObjects = s.rep.NumObjects()
+		resp.SnapshotSwaps = s.rep.Index().SnapshotSwaps()
+		rs := s.rep.Stats()
+		resp.Replica = &rs
+	}
+	writeJSON(w, resp)
+}
+
+// handleReplCheckpoint serves the newest checkpoint for replica
+// bootstrap, its covered LSN in the X-Indoorq-Lsn header.
+func (s *Server) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
+	st := s.db.Store()
+	if st == nil {
+		http.Error(w, "ephemeral leader: no replication feed", http.StatusNotFound)
+		return
+	}
+	raw, lsn, err := st.NewestCheckpoint()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set(wire.LSNHeader, strconv.FormatUint(lsn, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(raw)
+}
+
+// handleReplWAL streams WAL records from ?after=N, with heartbeats and
+// the gap signal, until the subscriber goes away or the store closes.
+func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	st := s.db.Store()
+	if st == nil {
+		http.Error(w, "ephemeral leader: no replication feed", http.StatusNotFound)
+		return
+	}
+	after, err := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad ?after= parameter", http.StatusBadRequest)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported by transport", http.StatusNotImplemented)
+		return
+	}
+	s.replStreams.Add(1)
+	defer s.replStreams.Add(-1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	src := replica.NewLocalSource(st, s.cfg.Heartbeat)
+	err = src.StreamWAL(r.Context(), after, func(f wire.Frame) error {
+		if err := wire.WriteFrame(w, f); err != nil {
+			return err
+		}
+		fl.Flush()
+		return nil
+	})
+	if err != nil && !errors.Is(err, r.Context().Err()) {
+		// The subscriber is gone or the transport broke; nothing to send.
+		return
+	}
+}

@@ -246,7 +246,7 @@ func Open(dir string, opts Options) (*Store, *index.Index, OpenInfo, error) {
 				return nil, nil, info, fmt.Errorf("store: log gap in %s: record lsn %d after %d — a generation is missing or damaged", walName(gen), r.lsn, prevLSN)
 			}
 			prevLSN = r.lsn
-			if err := applyRecord(idx, b, subs, r); err != nil {
+			if err := ApplyRecord(idx, b, subs, Record{LSN: r.lsn, Kind: r.kind, Body: r.body}); err != nil {
 				return nil, nil, info, fmt.Errorf("store: replay record lsn %d (%s): %w", r.lsn, walName(gen), err)
 			}
 			info.Stats.Replayed++
@@ -385,8 +385,13 @@ func (s *Store) BeginCheckpoint() (uint64, error) {
 // data.LSN and prunes every older generation — the log compaction that
 // folds the WAL into a fresh checkpoint. Old generations are deleted
 // only after the new checkpoint is durable, so a crash at any point
-// leaves a recoverable pair on disk.
+// leaves a recoverable pair on disk. A closed store refuses the commit:
+// shutdown must never race a checkpoint write or generation prune (the
+// facade additionally serialises Close against in-flight compaction).
 func (s *Store) CommitCheckpoint(data Data) error {
+	if s.isClosed() {
+		return errClosed
+	}
 	if err := WriteSnapshot(ckptPath(s.dir, data.LSN), data); err != nil {
 		return err
 	}
@@ -405,6 +410,13 @@ func (s *Store) CommitCheckpoint(data Data) error {
 		}
 	}
 	return syncDir(s.dir)
+}
+
+// isClosed reports whether Close ran (or is running).
+func (s *Store) isClosed() bool {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	return s.closed
 }
 
 // Close flushes and fsyncs the log and stops the group-commit flusher.
@@ -559,14 +571,35 @@ func encodeMutation(m index.Mutation) (byte, []byte, error) {
 	return 0, nil, fmt.Errorf("store: unknown mutation kind %d", m.Kind)
 }
 
-// applyRecord replays one WAL record against the recovering index (or,
-// for subscription records, the working registration map). Replayed
-// operations re-run the ordinary maintenance algorithms; any failure —
-// impossible when the log matches an execution that succeeded — is a
-// hard recovery error.
-func applyRecord(idx *index.Index, b *indoor.Building, subs map[int64]serde.SubscriptionRec, rec rawRecord) error {
-	r := &reader{data: rec.body}
-	switch rec.kind {
+// Applier is the mutation surface a WAL record replays against. Both
+// *index.Index (leader recovery: raw replay, no standing queries yet)
+// and the facade's commit pipeline (replica streaming: replay WITH
+// subscription reconciliation) satisfy it, which is what makes a replica
+// the same deterministic fold as recovery.
+type Applier interface {
+	ApplyObjectUpdates([]index.ObjectUpdate) error
+	SetDoorClosed(indoor.DoorID, bool) error
+	AddPartition(indoor.PartitionID) error
+	RemovePartition(indoor.PartitionID) error
+	AttachDoor(indoor.DoorID) error
+	DetachDoor(indoor.DoorID) error
+	SplitPartition(indoor.PartitionID, bool, float64) (indoor.PartitionID, indoor.PartitionID, error)
+	MergePartitions(indoor.PartitionID, indoor.PartitionID) (indoor.PartitionID, error)
+	RebuildSkeleton()
+}
+
+var _ Applier = (*index.Index)(nil)
+
+// ApplyRecord replays one WAL record: index mutations run through the
+// applier (re-running the ordinary maintenance algorithms), topology
+// payloads are restored id-exact into b first when absent, and
+// subscription records maintain the registration map (ignored when subs
+// is nil). Any failure — impossible when the log matches an execution
+// that succeeded against the same starting state — is a hard replay
+// error.
+func ApplyRecord(a Applier, b *indoor.Building, subs map[int64]serde.SubscriptionRec, rec Record) error {
+	r := &reader{data: rec.Body}
+	switch rec.Kind {
 	case recObjects:
 		n, err := r.u64()
 		if err != nil {
@@ -601,7 +634,7 @@ func applyRecord(idx *index.Index, b *indoor.Building, subs map[int64]serde.Subs
 			}
 			ups = append(ups, up)
 		}
-		return idx.ApplyObjectUpdates(ups)
+		return a.ApplyObjectUpdates(ups)
 	case recSetDoorClosed:
 		did, err := r.i64()
 		if err != nil {
@@ -611,7 +644,7 @@ func applyRecord(idx *index.Index, b *indoor.Building, subs map[int64]serde.Subs
 		if err != nil {
 			return err
 		}
-		return idx.SetDoorClosed(indoor.DoorID(did), closed != 0)
+		return a.SetDoorClosed(indoor.DoorID(did), closed != 0)
 	case recAddPartition:
 		pid, err := r.i64()
 		if err != nil {
@@ -657,13 +690,13 @@ func applyRecord(idx *index.Index, b *indoor.Building, subs map[int64]serde.Subs
 			}
 			p.StairLength = stairLen
 		}
-		return idx.AddPartition(indoor.PartitionID(pid))
+		return a.AddPartition(indoor.PartitionID(pid))
 	case recRemovePartition:
 		pid, err := r.i64()
 		if err != nil {
 			return err
 		}
-		return idx.RemovePartition(indoor.PartitionID(pid))
+		return a.RemovePartition(indoor.PartitionID(pid))
 	case recAttachDoor:
 		did, err := r.i64()
 		if err != nil {
@@ -709,13 +742,13 @@ func applyRecord(idx *index.Index, b *indoor.Building, subs map[int64]serde.Subs
 				return err
 			}
 		}
-		return idx.AttachDoor(indoor.DoorID(did))
+		return a.AttachDoor(indoor.DoorID(did))
 	case recDetachDoor:
 		did, err := r.i64()
 		if err != nil {
 			return err
 		}
-		return idx.DetachDoor(indoor.DoorID(did))
+		return a.DetachDoor(indoor.DoorID(did))
 	case recSplit:
 		pid, err := r.i64()
 		if err != nil {
@@ -737,7 +770,7 @@ func applyRecord(idx *index.Index, b *indoor.Building, subs map[int64]serde.Subs
 		if err != nil {
 			return err
 		}
-		pa, pb, err := idx.SplitPartition(indoor.PartitionID(pid), alongX != 0, at)
+		pa, pb, err := a.SplitPartition(indoor.PartitionID(pid), alongX != 0, at)
 		if err != nil {
 			return err
 		}
@@ -758,7 +791,7 @@ func applyRecord(idx *index.Index, b *indoor.Building, subs map[int64]serde.Subs
 		if err != nil {
 			return err
 		}
-		merged, err := idx.MergePartitions(indoor.PartitionID(pa), indoor.PartitionID(pb))
+		merged, err := a.MergePartitions(indoor.PartitionID(pa), indoor.PartitionID(pb))
 		if err != nil {
 			return err
 		}
@@ -767,15 +800,17 @@ func applyRecord(idx *index.Index, b *indoor.Building, subs map[int64]serde.Subs
 		}
 		return nil
 	case recRebuildSkeleton:
-		idx.RebuildSkeleton()
+		a.RebuildSkeleton()
 		return nil
 	case recSubscribe:
-		sr, _, err := serde.DecodeSubscription(rec.body)
+		sr, _, err := serde.DecodeSubscription(rec.Body)
 		if err != nil {
 			return err
 		}
-		if _, dup := subs[sr.ID]; !dup {
-			subs[sr.ID] = sr
+		if subs != nil {
+			if _, dup := subs[sr.ID]; !dup {
+				subs[sr.ID] = sr
+			}
 		}
 		return nil
 	case recUnsubscribe:
@@ -783,10 +818,12 @@ func applyRecord(idx *index.Index, b *indoor.Building, subs map[int64]serde.Subs
 		if err != nil {
 			return err
 		}
-		delete(subs, id)
+		if subs != nil {
+			delete(subs, id)
+		}
 		return nil
 	}
-	return fmt.Errorf("unknown record kind %d", rec.kind)
+	return fmt.Errorf("unknown record kind %d", rec.Kind)
 }
 
 func sortSubs(subs []serde.SubscriptionRec) {

@@ -59,6 +59,19 @@ type wal struct {
 	policy  SyncPolicy
 	err     error // sticky: a failed write or fsync poisons the log
 	closed  bool
+
+	// Tailing state (guarded by mu). writtenLSN is the highest LSN whose
+	// frame is fully in the log file — the readable horizon a Tailer may
+	// parse up to; it advances only after the file write returns, so every
+	// byte of every record at or below it is on the file. durableLSN is
+	// the highest LSN known fsynced — what replication heartbeats
+	// advertise. bufLast is the LSN of the newest buffered record. watch
+	// is closed and replaced whenever writtenLSN advances (and closed for
+	// good on Close), waking blocked tailers.
+	writtenLSN uint64
+	durableLSN uint64
+	bufLast    uint64
+	watch      chan struct{}
 }
 
 func walName(gen uint64) string  { return fmt.Sprintf("wal-%020d.log", gen) }
@@ -76,7 +89,16 @@ func openWAL(dir string, gen, nextLSN uint64, policy SyncPolicy) (*wal, error) {
 		f.Close()
 		return nil, err
 	}
-	return &wal{dir: dir, f: f, gen: gen, nextLSN: nextLSN, size: st.Size(), policy: policy}, nil
+	return &wal{
+		dir: dir, f: f, gen: gen, nextLSN: nextLSN, size: st.Size(), policy: policy,
+		// Everything recovery or creation left in the file is readable,
+		// and it survived whatever got us here — both horizons start at
+		// the log's tail.
+		writtenLSN: nextLSN - 1,
+		durableLSN: nextLSN - 1,
+		bufLast:    nextLSN - 1,
+		watch:      make(chan struct{}),
+	}, nil
 }
 
 func walPath(dir string, gen uint64) string  { return dir + string(os.PathSeparator) + walName(gen) }
@@ -114,6 +136,7 @@ func (w *wal) Append(kind byte, body []byte) (uint64, error) {
 	crc := crc32.ChecksumIEEE(w.buf[start+frameHeaderSize:])
 	binary.LittleEndian.PutUint32(w.buf[start+4:], crc)
 	w.size += int64(frameHeaderSize + payloadLen)
+	w.bufLast = lsn
 	needSync := w.policy == SyncAlways
 	needWrite := needSync || len(w.buf) >= flushThreshold
 	w.mu.Unlock()
@@ -146,6 +169,7 @@ func (w *wal) flushLocked(sync bool) error {
 		return err
 	}
 	buf := w.buf
+	last := w.bufLast
 	w.buf = nil
 	f := w.f
 	w.mu.Unlock()
@@ -160,6 +184,13 @@ func (w *wal) flushLocked(sync bool) error {
 			w.err = fmt.Errorf("store: wal write: %w", werr)
 		}
 		err := w.err
+		if err == nil && last > w.writtenLSN {
+			// The drained frames are fully on the file: advance the
+			// readable horizon and wake tailers.
+			w.writtenLSN = last
+			close(w.watch)
+			w.watch = make(chan struct{})
+		}
 		w.mu.Unlock()
 		if err != nil {
 			return err
@@ -177,6 +208,11 @@ func (w *wal) flushLocked(sync bool) error {
 			return err
 		}
 		w.dirty.Store(false)
+		// flushMu is held, so no write ran between our write and the
+		// fsync: everything at or below writtenLSN is now durable.
+		w.mu.Lock()
+		w.durableLSN = w.writtenLSN
+		w.mu.Unlock()
 	}
 	return nil
 }
@@ -206,6 +242,36 @@ func (w *wal) LastLSN() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.nextLSN - 1
+}
+
+// WrittenLSN returns the readable horizon: the highest LSN whose frame is
+// fully in a log file.
+func (w *wal) WrittenLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writtenLSN
+}
+
+// DurableLSN returns the highest LSN known fsynced.
+func (w *wal) DurableLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durableLSN
+}
+
+// Watch returns a channel closed the next time the readable horizon
+// advances (or the log closes). Callers re-arm by calling again.
+func (w *wal) Watch() <-chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.watch
+}
+
+// Gen returns the active generation.
+func (w *wal) Gen() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.gen
 }
 
 // Rotate durably finishes the current generation and starts a fresh one
@@ -267,6 +333,10 @@ func (w *wal) Close() error {
 	if cerr := w.f.Close(); err == nil && cerr != nil {
 		err = cerr
 	}
+	// Wake every tailer for good: the horizon will never advance again.
+	// flushLocked replaces the channel whenever it closes it, so this
+	// close is the channel's first.
+	close(w.watch)
 	return err
 }
 

@@ -1,0 +1,216 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Client is the HTTP side of the protocol: one method per endpoint,
+// translating between wire types and transport. Domain failures
+// (a query against a removed partition, a fail-stop store) travel inside
+// the response bodies; Client methods surface transport and protocol
+// failures as errors. A Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a daemon at base (e.g.
+// "http://127.0.0.1:7070"). A nil http.Client uses the default.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// post sends req as JSON and decodes the response body into resp.
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return fmt.Errorf("wire: %s: %s: %s", path, r.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// RangeBatch evaluates a batch of range queries.
+func (c *Client) RangeBatch(qs []RangeQuery) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.post(PathRangeQuery, RangeBatch{Queries: qs}, &out)
+	return out, err
+}
+
+// KNNBatch evaluates a batch of kNN queries.
+func (c *Client) KNNBatch(qs []KNNQuery) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.post(PathKNNQuery, KNNBatch{Queries: qs}, &out)
+	return out, err
+}
+
+// ApplyUpdates commits an object-update batch (one snapshot swap on the
+// server). A non-nil error may follow a committed batch — same contract
+// as the facade's ApplyObjectUpdates.
+func (c *Client) ApplyUpdates(ups []UpdateItem) error {
+	var ack Ack
+	if err := c.post(PathUpdates, UpdateBatch{Updates: ups}, &ack); err != nil {
+		return err
+	}
+	if ack.Err != "" {
+		return fmt.Errorf("wire: updates: %s", ack.Err)
+	}
+	return nil
+}
+
+// Topology applies one topology mutation.
+func (c *Client) Topology(req TopologyRequest) (TopologyResponse, error) {
+	var out TopologyResponse
+	err := c.post(PathTopology, req, &out)
+	return out, err
+}
+
+// Subscribe installs a standing query. Both the returned response's ID
+// and Err can be meaningful at once — see SubscribeResponse.
+func (c *Client) Subscribe(req SubscribeRequest) (SubscribeResponse, error) {
+	var out SubscribeResponse
+	err := c.post(PathSubscribe, req, &out)
+	return out, err
+}
+
+// Unsubscribe removes a standing query, reporting whether it existed.
+func (c *Client) Unsubscribe(id int) (bool, error) {
+	var out UnsubscribeResponse
+	err := c.post(PathUnsubscribe, UnsubscribeRequest{ID: id}, &out)
+	return out.Existed, err
+}
+
+// Stats fetches the daemon's observability snapshot.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	r, err := c.hc.Get(c.base + PathStats)
+	if err != nil {
+		return out, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("wire: stats: %s", r.Status)
+	}
+	err = json.NewDecoder(r.Body).Decode(&out)
+	return out, err
+}
+
+// FetchCheckpoint downloads the leader's newest checkpoint — the
+// replica-bootstrap payload — returning the raw validated-on-decode
+// bytes and the LSN the checkpoint covers.
+func (c *Client) FetchCheckpoint(ctx context.Context) ([]byte, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathReplCheckpoint, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	r, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("wire: checkpoint fetch: %s", r.Status)
+	}
+	lsn, err := strconv.ParseUint(r.Header.Get(LSNHeader), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wire: checkpoint fetch: bad %s header %q", LSNHeader, r.Header.Get(LSNHeader))
+	}
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return raw, lsn, nil
+}
+
+// StreamWAL subscribes to the leader's record stream from just after
+// afterLSN, invoking fn for every frame (records and heartbeats) until
+// the context cancels, the stream ends, or fn errors. A clean server-side
+// close returns nil; fn's error is returned verbatim so the consumer can
+// carry typed signals (e.g. a resync decision) out of the loop.
+func (c *Client) StreamWAL(ctx context.Context, afterLSN uint64, fn func(Frame) error) error {
+	url := fmt.Sprintf("%s%s?after=%d", c.base, PathReplWAL, afterLSN)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	r, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return fmt.Errorf("wire: wal stream: %s: %s", r.Status, bytes.TrimSpace(msg))
+	}
+	br := bufio.NewReaderSize(r.Body, 64<<10)
+	for {
+		f, err := ReadFrame(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		if err := fn(f); err != nil {
+			return err
+		}
+	}
+}
+
+// StreamEvents subscribes to the daemon's subscription-event stream
+// (NDJSON chunks), invoking fn per chunk until the context cancels, the
+// stream ends, or fn errors.
+func (c *Client) StreamEvents(ctx context.Context, fn func(EventChunk) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathEvents, nil)
+	if err != nil {
+		return err
+	}
+	r, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("wire: event stream: %s", r.Status)
+	}
+	dec := json.NewDecoder(r.Body)
+	for {
+		var chunk EventChunk
+		if err := dec.Decode(&chunk); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		if err := fn(chunk); err != nil {
+			return err
+		}
+	}
+}

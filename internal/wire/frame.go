@@ -1,0 +1,108 @@
+package wire
+
+// The replication stream's binary frame codec. Frames are deliberately
+// identical to the on-disk WAL framing —
+//
+//	u32 payload length | u32 CRC32(payload) | payload
+//	payload = u8 kind | u64 LSN | body
+//
+// — so a shipped record is byte-for-byte the durable record and the
+// replica's CRC check covers the whole path from the leader's log file
+// to its own replayer. The stream interleaves one extra kind that never
+// appears on disk: heartbeats (kind 255) carrying the leader's durable
+// LSN, which keep an idle stream alive and feed the replica's lag gauge.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// HeartbeatKind marks a stream-only frame whose LSN field carries the
+// leader's durable horizon. It is far outside the on-disk record-kind
+// space and never written to a log file.
+const HeartbeatKind byte = 255
+
+// GapKind marks a stream-only frame telling the subscriber its position
+// has been compacted away on the leader: replay cannot continue and the
+// subscriber must resync from a fresh checkpoint. The LSN field carries
+// the leader's durable horizon at signal time.
+const GapKind byte = 254
+
+// frameHeaderSize is the length+CRC prefix.
+const frameHeaderSize = 8
+
+// MaxFramePayload bounds a decoded length prefix, mirroring the log's
+// own limit: a corrupt header must not drive a giant allocation.
+const MaxFramePayload = 1 << 30
+
+// Frame is one replication stream message: a WAL record (Kind/LSN/Body
+// exactly as logged) or a heartbeat (Kind == HeartbeatKind, LSN == the
+// leader's durable LSN, empty body).
+type Frame struct {
+	Kind byte
+	LSN  uint64
+	Body []byte
+}
+
+// Heartbeat builds a heartbeat frame advertising the leader's durable
+// LSN.
+func Heartbeat(durableLSN uint64) Frame {
+	return Frame{Kind: HeartbeatKind, LSN: durableLSN}
+}
+
+// AppendFrame appends f's encoded form to dst.
+func AppendFrame(dst []byte, f Frame) []byte {
+	payloadLen := 1 + 8 + len(f.Body)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadLen))
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // CRC placeholder
+	start := len(dst)
+	dst = append(dst, f.Kind)
+	dst = binary.LittleEndian.AppendUint64(dst, f.LSN)
+	dst = append(dst, f.Body...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	binary.LittleEndian.PutUint32(dst[start-4:], crc)
+	return dst
+}
+
+// WriteFrame writes one encoded frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	_, err := w.Write(AppendFrame(nil, f))
+	return err
+}
+
+// ReadFrame reads and validates one frame. A clean end of stream between
+// frames returns io.EOF; a stream cut mid-frame returns
+// io.ErrUnexpectedEOF; a corrupt length or checksum is a hard error (the
+// transport delivered damaged bytes — there is no torn-tail tolerance on
+// a stream).
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	plen := int(binary.LittleEndian.Uint32(hdr[:4]))
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if plen < 9 || plen > MaxFramePayload {
+		return Frame{}, fmt.Errorf("wire: implausible frame length %d", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return Frame{}, fmt.Errorf("wire: frame checksum mismatch at lsn-field %d", binary.LittleEndian.Uint64(payload[1:9]))
+	}
+	return Frame{
+		Kind: payload[0],
+		LSN:  binary.LittleEndian.Uint64(payload[1:9]),
+		Body: payload[9:],
+	}, nil
+}

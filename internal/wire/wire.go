@@ -1,0 +1,385 @@
+// Package wire is the serving protocol: the JSON request/response types
+// the indoorqd daemon speaks over HTTP, the binary frame codec the
+// WAL-shipping replication stream uses (deliberately identical to the
+// on-disk log framing, so a shipped record is byte-for-byte the durable
+// record), and an HTTP client covering every endpoint. The package holds
+// no server logic — internal/server implements the endpoints,
+// internal/replica consumes the replication side through the client —
+// and translates faithfully between wire form and the domain types, so
+// protocol evolution stays in one place.
+//
+// Endpoints (all rooted at /v1):
+//
+//	POST /v1/query/range     RangeBatch    -> BatchResponse
+//	POST /v1/query/knn       KNNBatch      -> BatchResponse
+//	POST /v1/updates         UpdateBatch   -> Ack
+//	POST /v1/topology        TopologyRequest -> TopologyResponse
+//	POST /v1/subscribe       SubscribeRequest -> SubscribeResponse
+//	POST /v1/unsubscribe     UnsubscribeRequest -> UnsubscribeResponse
+//	GET  /v1/events          (NDJSON stream of EventChunk)
+//	GET  /v1/stats           -> StatsResponse
+//	GET  /v1/repl/checkpoint (binary checkpoint; X-Indoorq-Lsn header)
+//	GET  /v1/repl/wal?after=N (binary frame stream + heartbeats)
+//
+// Queries accept single-element batches, so there is no separate
+// point-query shape; the server coalesces whatever arrives into its
+// serve-pool batches.
+package wire
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/object"
+	"repro/internal/query"
+	"repro/internal/serde"
+	"repro/internal/serve"
+)
+
+// Endpoint paths. The client and the server both refer to these.
+const (
+	PathRangeQuery     = "/v1/query/range"
+	PathKNNQuery       = "/v1/query/knn"
+	PathUpdates        = "/v1/updates"
+	PathTopology       = "/v1/topology"
+	PathSubscribe      = "/v1/subscribe"
+	PathUnsubscribe    = "/v1/unsubscribe"
+	PathEvents         = "/v1/events"
+	PathStats          = "/v1/stats"
+	PathReplCheckpoint = "/v1/repl/checkpoint"
+	PathReplWAL        = "/v1/repl/wal"
+)
+
+// LSNHeader carries the checkpoint's covered LSN on the bootstrap
+// transfer.
+const LSNHeader = "X-Indoorq-Lsn"
+
+// Position is a planar indoor position in wire form.
+type Position struct {
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Floor int     `json:"floor"`
+}
+
+// PositionOf converts a domain position to wire form.
+func PositionOf(p indoor.Position) Position {
+	return Position{X: p.Pt.X, Y: p.Pt.Y, Floor: p.Floor}
+}
+
+// Domain converts back to the domain position.
+func (p Position) Domain() indoor.Position { return indoor.Pos(p.X, p.Y, p.Floor) }
+
+// RangeQuery is one iRQ: objects within expected indoor distance R of Q.
+type RangeQuery struct {
+	Q Position `json:"q"`
+	R float64  `json:"r"`
+}
+
+// KNNQuery is one ikNNQ: the K nearest objects by expected indoor
+// distance.
+type KNNQuery struct {
+	Q Position `json:"q"`
+	K int      `json:"k"`
+}
+
+// RangeBatch is the range-query request body.
+type RangeBatch struct {
+	Queries []RangeQuery `json:"queries"`
+}
+
+// KNNBatch is the kNN request body.
+type KNNBatch struct {
+	Queries []KNNQuery `json:"queries"`
+}
+
+// Result is one query answer. Dist is absent where the processor proved
+// membership without materialising the exact distance (kNN pruning can)
+// — JSON has no NaN.
+type Result struct {
+	ID   int64    `json:"id"`
+	Dist *float64 `json:"dist,omitempty"`
+}
+
+// ResultsOf converts domain results to wire form, NaN distances becoming
+// absent fields.
+func ResultsOf(rs []query.Result) []Result {
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = Result{ID: int64(r.ID)}
+		if !math.IsNaN(r.Distance) {
+			d := r.Distance
+			out[i].Dist = &d
+		}
+	}
+	return out
+}
+
+// QueryResponse is one query's outcome within a batch.
+type QueryResponse struct {
+	Results []Result `json:"results"`
+	Err     string   `json:"err,omitempty"`
+	// LatencyMicros is the query's wall time inside the serve pool.
+	LatencyMicros int64 `json:"latencyMicros"`
+}
+
+// BatchMetrics aggregates one coalesced batch execution.
+type BatchMetrics struct {
+	Queries       int     `json:"queries"`
+	Errors        int     `json:"errors"`
+	ThroughputQPS float64 `json:"throughputQps"`
+	P50Micros     int64   `json:"p50Micros"`
+	P99Micros     int64   `json:"p99Micros"`
+}
+
+// MetricsOf converts serve-pool metrics to wire form.
+func MetricsOf(m serve.Metrics) BatchMetrics {
+	return BatchMetrics{
+		Queries:       m.Queries,
+		Errors:        m.Errors,
+		ThroughputQPS: m.Throughput,
+		P50Micros:     m.P50.Microseconds(),
+		P99Micros:     m.P99.Microseconds(),
+	}
+}
+
+// BatchResponse answers a query batch in request order.
+type BatchResponse struct {
+	Responses []QueryResponse `json:"responses"`
+	Metrics   BatchMetrics    `json:"metrics"`
+}
+
+// Object-update operations in wire form.
+const (
+	OpMove    = "move"
+	OpInsert  = "insert"
+	OpDelete  = "delete"
+	OpReplace = "replace"
+)
+
+// UpdateItem is one object mutation of an update batch.
+type UpdateItem struct {
+	Op string `json:"op"`
+	// ID names the object for delete; other ops carry the full object.
+	ID     int64          `json:"id,omitempty"`
+	Object *serde.ObjJSON `json:"object,omitempty"`
+}
+
+// UpdateBatch is the update request body; the whole batch commits as one
+// snapshot swap.
+type UpdateBatch struct {
+	Updates []UpdateItem `json:"updates"`
+}
+
+// Ack is the bare success/error response body.
+type Ack struct {
+	Err string `json:"err,omitempty"`
+}
+
+// UpdateItemOf converts a domain update to wire form.
+func UpdateItemOf(u index.ObjectUpdate) (UpdateItem, error) {
+	switch u.Op {
+	case index.UpdateDelete:
+		return UpdateItem{Op: OpDelete, ID: int64(u.ID)}, nil
+	case index.UpdateMove, index.UpdateInsert, index.UpdateReplace:
+		if u.Object == nil {
+			return UpdateItem{}, fmt.Errorf("wire: %s update without object", opName(u.Op))
+		}
+		j := serde.ObjJSONOf(u.Object)
+		return UpdateItem{Op: opName(u.Op), Object: &j}, nil
+	}
+	return UpdateItem{}, fmt.Errorf("wire: unknown update op %d", u.Op)
+}
+
+// Domain converts a wire update to domain form, validating the payload.
+func (u UpdateItem) Domain() (index.ObjectUpdate, error) {
+	switch u.Op {
+	case OpDelete:
+		return index.ObjectUpdate{Op: index.UpdateDelete, ID: object.ID(u.ID)}, nil
+	case OpMove, OpInsert, OpReplace:
+		if u.Object == nil {
+			return index.ObjectUpdate{}, fmt.Errorf("wire: %s update without object", u.Op)
+		}
+		o, err := u.Object.Object()
+		if err != nil {
+			return index.ObjectUpdate{}, err
+		}
+		var op index.UpdateOp
+		switch u.Op {
+		case OpMove:
+			op = index.UpdateMove
+		case OpInsert:
+			op = index.UpdateInsert
+		default:
+			op = index.UpdateReplace
+		}
+		return index.ObjectUpdate{Op: op, Object: o}, nil
+	}
+	return index.ObjectUpdate{}, fmt.Errorf("wire: unknown update op %q", u.Op)
+}
+
+func opName(op index.UpdateOp) string {
+	switch op {
+	case index.UpdateMove:
+		return OpMove
+	case index.UpdateInsert:
+		return OpInsert
+	case index.UpdateDelete:
+		return OpDelete
+	case index.UpdateReplace:
+		return OpReplace
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// Topology operations in wire form.
+const (
+	TopoSetDoorClosed   = "set_door_closed"
+	TopoSplit           = "split"
+	TopoMerge           = "merge"
+	TopoRemovePartition = "remove_partition"
+	TopoDetachDoor      = "detach_door"
+	TopoRebuildSkeleton = "rebuild_skeleton"
+	TopoAddRoom         = "add_room"
+	TopoAddDoor         = "add_door"
+)
+
+// TopologyRequest is one topology mutation. Op selects which fields
+// apply: doors for door ops, partitions for partition ops, Rect/Pos for
+// the add ops.
+type TopologyRequest struct {
+	Op         string      `json:"op"`
+	Door       int64       `json:"door,omitempty"`
+	Closed     bool        `json:"closed,omitempty"`
+	Partition  int64       `json:"partition,omitempty"`
+	Partition2 int64       `json:"partition2,omitempty"`
+	AlongX     bool        `json:"alongX,omitempty"`
+	At         float64     `json:"at,omitempty"`
+	Floor      int         `json:"floor,omitempty"`
+	Rect       *[4]float64 `json:"rect,omitempty"` // add_room: x1,y1,x2,y2
+	Pos        *[2]float64 `json:"pos,omitempty"`  // add_door: x,y
+	OneWay     bool        `json:"oneWay,omitempty"`
+}
+
+// TopologyResponse reports a topology mutation's outcome and any ids it
+// allocated (split results, merge result, added room or door).
+type TopologyResponse struct {
+	Err        string `json:"err,omitempty"`
+	PartitionA int64  `json:"partitionA,omitempty"`
+	PartitionB int64  `json:"partitionB,omitempty"`
+	Door       int64  `json:"doorId,omitempty"`
+}
+
+// SubscribeRequest installs a standing query: exactly one of R or K.
+type SubscribeRequest struct {
+	Q Position `json:"q"`
+	R float64  `json:"r,omitempty"`
+	K int      `json:"k,omitempty"`
+}
+
+// SubscribeResponse returns the handle and initial result set. ID and Err
+// may BOTH be meaningful: on a durable leader whose log append failed the
+// subscription is registered in memory (its record may already be on
+// disk), so the server reports the valid handle alongside the error
+// instead of discarding it — discard would leak a registration the
+// client cannot ever unsubscribe.
+type SubscribeResponse struct {
+	ID      int     `json:"id"`
+	Results []int64 `json:"results"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// UnsubscribeRequest removes a standing query by handle.
+type UnsubscribeRequest struct {
+	ID int `json:"id"`
+}
+
+// UnsubscribeResponse reports whether the handle existed.
+type UnsubscribeResponse struct {
+	Existed bool `json:"existed"`
+}
+
+// Subscription event kinds in wire form.
+const (
+	EventEnter  = "enter"
+	EventLeave  = "leave"
+	EventUpdate = "update"
+)
+
+// Event is one subscription result change.
+type Event struct {
+	Sub    int    `json:"sub"`
+	Object int64  `json:"object"`
+	Kind   string `json:"kind"`
+	// Dist is set for kNN enter/update events; absent where the engine
+	// does not re-evaluate it (range events and leaves).
+	Dist *float64 `json:"dist,omitempty"`
+	Seq  uint64   `json:"seq"`
+}
+
+// EventOf converts a domain subscription event to wire form. NaN
+// distances (range events, leaves) become an absent field — JSON has no
+// NaN.
+func EventOf(e query.SubEvent) Event {
+	out := Event{Sub: e.Sub, Object: int64(e.Object), Seq: e.Seq}
+	switch e.Kind {
+	case query.EventEnter:
+		out.Kind = EventEnter
+	case query.EventLeave:
+		out.Kind = EventLeave
+	default:
+		out.Kind = EventUpdate
+	}
+	if !math.IsNaN(e.Distance) {
+		d := e.Distance
+		out.Dist = &d
+	}
+	return out
+}
+
+// EventChunk is one message of the event stream. Overflow signals that
+// the server's bounded event log dropped events since the previous
+// chunk: the stream is no longer a complete replay and the consumer must
+// re-fetch affected subscriptions' full results (the documented resync
+// path) instead of applying deltas.
+type EventChunk struct {
+	Events   []Event `json:"events"`
+	Overflow bool    `json:"overflow,omitempty"`
+}
+
+// EndpointStats is one endpoint's cumulative serving profile.
+type EndpointStats struct {
+	Count      uint64 `json:"count"`
+	Errors     uint64 `json:"errors"`
+	MeanMicros int64  `json:"meanMicros"`
+	P50Micros  int64  `json:"p50Micros"`
+	P99Micros  int64  `json:"p99Micros"`
+}
+
+// ReplicaStats is the lag gauge a replica daemon reports: how far its
+// applied state trails the leader's advertised durable horizon.
+type ReplicaStats struct {
+	AppliedLSN       uint64 `json:"appliedLsn"`
+	LeaderDurableLSN uint64 `json:"leaderDurableLsn"`
+	LagRecords       uint64 `json:"lagRecords"`
+	Resyncs          uint64 `json:"resyncs"`
+	Connected        bool   `json:"connected"`
+}
+
+// StatsResponse is the daemon's observability snapshot.
+type StatsResponse struct {
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	NumObjects    int                      `json:"numObjects"`
+	SnapshotSwaps uint64                   `json:"snapshotSwaps"`
+	Subscriptions int                      `json:"subscriptions"`
+	EventsDropped uint64                   `json:"eventsDropped"`
+	// Durability horizons; zero on an ephemeral or replica daemon.
+	WrittenLSN uint64 `json:"writtenLsn,omitempty"`
+	DurableLSN uint64 `json:"durableLsn,omitempty"`
+	WALSize    int64  `json:"walSize,omitempty"`
+	// ReplStreams counts connected WAL-shipping subscribers (leader side).
+	ReplStreams int `json:"replStreams,omitempty"`
+	// Replica is set when this daemon is a read replica.
+	Replica *ReplicaStats `json:"replica,omitempty"`
+}

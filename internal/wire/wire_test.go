@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/object"
+	"repro/internal/query"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Kind: 1, LSN: 42, Body: []byte("object batch payload")},
+		Heartbeat(999),
+		{Kind: 7, LSN: 43, Body: nil},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range frames {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.LSN != want.LSN || !bytes.Equal(got.Body, want.Body) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("stream end = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	raw := AppendFrame(nil, Frame{Kind: 1, LSN: 7, Body: []byte("payload")})
+	raw[len(raw)-1] ^= 0xff
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt frame read back without error")
+	}
+	// Mid-frame cut is ErrUnexpectedEOF, not a clean end.
+	raw = AppendFrame(nil, Frame{Kind: 1, LSN: 7, Body: []byte("payload")})
+	if _, err := ReadFrame(bytes.NewReader(raw[:len(raw)-3])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn frame = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestUpdateItemRoundTrip(t *testing.T) {
+	o := object.PointObject(12, indoor.Pos(3, 4, 1))
+	for _, up := range []index.ObjectUpdate{
+		{Op: index.UpdateMove, Object: o},
+		{Op: index.UpdateInsert, Object: o},
+		{Op: index.UpdateReplace, Object: o},
+		{Op: index.UpdateDelete, ID: 12},
+	} {
+		item, err := UpdateItemOf(up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Through JSON, as the transport would.
+		raw, err := json.Marshal(item)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back UpdateItem
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Domain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Op != up.Op {
+			t.Fatalf("op %v round-tripped to %v", up.Op, got.Op)
+		}
+		if up.Op == index.UpdateDelete {
+			if got.ID != up.ID {
+				t.Fatalf("delete id %d round-tripped to %d", up.ID, got.ID)
+			}
+			continue
+		}
+		if got.Object.ID != o.ID || got.Object.Instances[0].Pos != o.Instances[0].Pos {
+			t.Fatalf("object round-trip mismatch: %+v", got.Object)
+		}
+	}
+}
+
+func TestEventOfNaNDistance(t *testing.T) {
+	e := EventOf(query.SubEvent{Sub: 1, Object: 2, Kind: query.EventLeave, Distance: math.NaN(), Seq: 3})
+	if e.Dist != nil {
+		t.Fatal("NaN distance must become an absent field")
+	}
+	if _, err := json.Marshal(EventChunk{Events: []Event{e}}); err != nil {
+		t.Fatalf("event with NaN distance does not marshal: %v", err)
+	}
+	e = EventOf(query.SubEvent{Sub: 1, Object: 2, Kind: query.EventEnter, Distance: 12.5})
+	if e.Dist == nil || *e.Dist != 12.5 {
+		t.Fatalf("real distance lost: %+v", e.Dist)
+	}
+}
+
+func TestPositionRoundTrip(t *testing.T) {
+	p := indoor.Position{Pt: geom.Pt(1.5, -2.25), Floor: 3}
+	if got := PositionOf(p).Domain(); got != p {
+		t.Fatalf("position %v round-tripped to %v", p, got)
+	}
+}

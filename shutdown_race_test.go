@@ -1,0 +1,220 @@
+package indoorq
+
+// Regression tests for the Close vs Compact shutdown race. Close used to
+// stop the background compactor and close the store WITHOUT taking
+// compactMu, so a user-called Compact already past its log rotation kept
+// running the checkpoint protocol — snapshot write, generation prunes,
+// directory fsync — against a closing or closed store, after Close had
+// returned "clean shutdown" to the caller.
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/object"
+	"repro/internal/store"
+)
+
+// dirState fingerprints a store directory: names and sizes of every
+// checkpoint/WAL generation.
+func dirState(t *testing.T, dir string) map[string]int64 {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]int64, len(ents))
+	for _, e := range ents {
+		info, err := e.Info()
+		if err != nil {
+			continue // racing removal of a temp file
+		}
+		out[e.Name()] = info.Size()
+	}
+	return out
+}
+
+func equalDirState(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCloseWaitsForInflightCompact is the shutdown-race regression: once
+// Close returns, no compaction I/O may still mutate the store directory.
+// Pre-fix, a Compact launched just before Close regularly finished its
+// CommitCheckpoint after Close returned, changing generation files under
+// a "cleanly shut down" directory.
+func TestCloseWaitsForInflightCompact(t *testing.T) {
+	for attempt := 0; attempt < 8; attempt++ {
+		dir := t.TempDir()
+		b, err := GenerateMall(MallSpec{Floors: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs := GenerateObjects(b, ObjectSpec{N: 800, Radius: 5, Seed: int64(attempt)})
+		db, _, err := Open(b, objs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Persist(dir, DurabilityOptions{CompactBytes: -1}); err != nil {
+			t.Fatal(err)
+		}
+		// Grow the WAL so the compaction has real work to do.
+		pts := GenerateQueryPoints(b, 64, int64(attempt))
+		for i := 0; i < 64; i++ {
+			if err := db.MoveObject(object.PointObject(ObjectID(i%800), pts[i%len(pts)])); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		compactErr := make(chan error, 1)
+		go func() { compactErr <- db.Compact() }()
+		time.Sleep(time.Duration(attempt) * 200 * time.Microsecond)
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		after := dirState(t, dir)
+		cerr := <-compactErr
+		settled := dirState(t, dir)
+		if !equalDirState(after, settled) {
+			t.Fatalf("attempt %d: store directory changed after Close returned (compact err: %v):\nat close: %v\nafter compact: %v",
+				attempt, cerr, after, settled)
+		}
+		if cerr != nil && !store.ErrClosed(cerr) {
+			t.Fatalf("attempt %d: in-flight Compact failed with %v, want nil or store-closed", attempt, cerr)
+		}
+		// The directory must still recover.
+		db2, err := OpenDir(dir, DurabilityOptions{})
+		if err != nil {
+			t.Fatalf("attempt %d: recovery after Close/Compact race: %v", attempt, err)
+		}
+		db2.Close()
+	}
+}
+
+// TestCompactAfterCloseRefused pins the post-shutdown contract: Compact
+// on a closed DB errors instead of writing.
+func TestCompactAfterCloseRefused(t *testing.T) {
+	dir := t.TempDir()
+	b, err := GenerateMall(MallSpec{Floors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := Open(b, GenerateObjects(b, ObjectSpec{N: 50, Radius: 5, Seed: 1}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(dir, DurabilityOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MoveObject(object.PointObject(0, GenerateQueryPoints(b, 1, 2)[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := dirState(t, dir)
+	if err := db.Compact(); err == nil {
+		t.Fatal("Compact after Close succeeded, want refusal")
+	}
+	if !equalDirState(before, dirState(t, dir)) {
+		t.Fatal("Compact after Close modified the store directory")
+	}
+}
+
+// TestCloseCompactUpdateHammer drives Close against concurrent Compact
+// and ApplyObjectUpdates under the race detector: whatever interleaving
+// the scheduler finds, the shutdown must be data-race free, mutations
+// after Close must fail stop, and the directory must recover.
+func TestCloseCompactUpdateHammer(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		dir := t.TempDir()
+		b, err := GenerateMall(MallSpec{Floors: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs := GenerateObjects(b, ObjectSpec{N: 200, Radius: 5, Seed: int64(round)})
+		db, _, err := Open(b, objs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Persist(dir, DurabilityOptions{CompactBytes: -1}); err != nil {
+			t.Fatal(err)
+		}
+		pts := GenerateQueryPoints(b, 32, int64(round))
+
+		var wg sync.WaitGroup
+		var stopped atomic.Bool
+		start := make(chan struct{})
+		// Writer: paced object-update batches until fail-stop.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; !stopped.Load(); i++ {
+				ups := []ObjectUpdate{
+					{Op: UpdateMove, Object: object.PointObject(ObjectID(i%200), pts[i%len(pts)])},
+					{Op: UpdateMove, Object: object.PointObject(ObjectID((i+7)%200), pts[(i+1)%len(pts)])},
+				}
+				if err := db.ApplyObjectUpdates(ups); err != nil {
+					return // fail-stop after Close: expected
+				}
+			}
+		}()
+		// Compactor: hammer Compact.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for !stopped.Load() {
+				if err := db.Compact(); err != nil {
+					return
+				}
+			}
+		}()
+		// Closer: shut down mid-flight.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			time.Sleep(2 * time.Millisecond)
+			if err := db.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+			stopped.Store(true)
+		}()
+		close(start)
+		wg.Wait()
+
+		// Post-shutdown: mutations refused, directory recovers.
+		if err := db.MoveObject(object.PointObject(0, pts[0])); err == nil {
+			t.Fatal("mutation after Close succeeded")
+		}
+		db2, err := OpenDir(dir, DurabilityOptions{})
+		if err != nil {
+			t.Fatalf("round %d: recovery failed: %v", round, err)
+		}
+		if err := db2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Guard against stray temp files from an aborted checkpoint write.
+		ents, err := filepath.Glob(filepath.Join(dir, ".snap-*.tmp"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("round %d: leftover checkpoint temp files after shutdown: %v", round, ents)
+		}
+	}
+}
