@@ -50,6 +50,8 @@ func main() {
 		inflight = flag.Int("max-inflight", 256, "admission bound on concurrent requests")
 		workers  = flag.Int("workers", 0, "serve-pool workers per batch (0 = GOMAXPROCS)")
 		hb       = flag.Duration("heartbeat", 200*time.Millisecond, "replication stream heartbeat")
+		readyLag = flag.Int64("ready-max-lag", 0, "replica /readyz lag bound in records (0 = default 4096, negative disables)")
+		chaos    = flag.Bool("chaos", false, "expose POST /v1/chaos/poison: fail-stop the store on demand (drills only)")
 	)
 	flag.Parse()
 	log.SetPrefix("indoorqd: ")
@@ -61,6 +63,7 @@ func main() {
 		MaxInFlight:    *inflight,
 		Workers:        *workers,
 		Heartbeat:      *hb,
+		ReadyMaxLag:    *readyLag,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -69,19 +72,31 @@ func main() {
 	var (
 		srv      *server.Server
 		shutdown func()
+		leaderDB *indoorq.DB // nil on a replica; the chaos drill's target
 	)
 	if *follow != "" {
 		rep := replica.New(wire.NewClient(*follow, nil), replica.Config{})
 		// The leader may not be up yet (or mid-restart): keep retrying
-		// the bootstrap until it answers or we are told to shut down.
+		// the bootstrap until it answers or SIGINT/SIGTERM ends the wait.
+		// The retry log is rate-limited — a leader that stays down for an
+		// hour produces a handful of lines, not thousands.
+		var (
+			attempts int
+			lastLog  time.Time
+		)
 		for {
 			err := rep.Start(ctx)
 			if err == nil {
 				break
 			}
-			log.Printf("replica bootstrap from %s: %v (retrying)", *follow, err)
+			attempts++
+			if attempts == 1 || time.Since(lastLog) >= 10*time.Second {
+				log.Printf("replica bootstrap from %s: %v (attempt %d; retrying every 1s, logging at most every 10s)", *follow, err, attempts)
+				lastLog = time.Now()
+			}
 			select {
 			case <-ctx.Done():
+				log.Printf("shutdown requested during bootstrap (after %d attempts)", attempts)
 				return
 			case <-time.After(time.Second):
 			}
@@ -100,6 +115,7 @@ func main() {
 		}
 		log.Printf("leader (%s): %d objects, %d subscriptions", mode, db.NumObjects(), db.NumSubscriptions())
 		srv = server.NewLeader(db, cfg)
+		leaderDB = db
 		shutdown = func() {
 			if err := db.Close(); err != nil {
 				log.Printf("store close: %v", err)
@@ -107,7 +123,13 @@ func main() {
 		}
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *chaos {
+		handler = withChaosEndpoints(handler, leaderDB)
+		log.Print("chaos endpoints enabled (POST /v1/chaos/poison)")
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		<-ctx.Done()
 		log.Print("shutting down")
@@ -121,6 +143,30 @@ func main() {
 	}
 	srv.Close()
 	shutdown()
+}
+
+// withChaosEndpoints mounts the drill-only fault hooks in front of the
+// daemon's handler. POST /v1/chaos/poison fail-stops a durable leader's
+// store exactly as a log I/O failure would — the supervised way to
+// rehearse degraded read-only mode and the health/alerting around it
+// without breaking a real disk.
+func withChaosEndpoints(h http.Handler, db *indoorq.DB) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/v1/chaos/poison", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if db == nil || db.Store() == nil {
+			http.Error(w, "no durable store to poison", http.StatusNotFound)
+			return
+		}
+		db.Store().Poison(nil)
+		log.Print("chaos: store poisoned; leader is degraded read-only")
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
 }
 
 // openLeader recovers a store directory, seeds a fresh one, or builds an

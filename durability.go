@@ -95,6 +95,18 @@ func OpenDir(dir string, opts DurabilityOptions) (*DB, error) {
 // streaming.
 func (db *DB) Store() *store.Store { return db.st }
 
+// DurabilityErr reports the DB's degraded state: nil while healthy (or
+// ephemeral), the sticky log error once the WAL has fail-stopped. A
+// degraded DB keeps answering queries and serving the replication feed
+// but refuses every mutation with this error — the serving tier
+// surfaces it as a 503 read-only mode and flips /readyz.
+func (db *DB) DurabilityErr() error {
+	if db.st == nil {
+		return nil
+	}
+	return db.st.FailStopped()
+}
+
 // RecoveryInfo returns the statistics of the recovery that produced this
 // DB (zero for DBs not created by OpenDir).
 func (db *DB) RecoveryInfo() RecoveryStats { return db.recovery }

@@ -1,0 +1,100 @@
+package fsfault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNthSyncFails(t *testing.T) {
+	fs := New(nil, &Rule{Op: OpSync, Nth: 2})
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("1st sync should pass: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("2nd sync should inject, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("non-sticky rule must heal: %v", err)
+	}
+}
+
+func TestStickyRuleKeepsFailing(t *testing.T) {
+	fs := New(nil, &Rule{Op: OpSync, Nth: 1, Sticky: true, Err: ENOSPC})
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, ENOSPC) {
+			t.Fatalf("sync %d: want ENOSPC, got %v", i, err)
+		}
+	}
+}
+
+func TestShortWriteLeavesPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a")
+	fs := New(nil, &Rule{Op: OpWrite, Nth: 1, ShortBytes: 3, Err: ENOSPC})
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("hello world"))
+	f.Close()
+	if n != 3 || !errors.Is(werr, ENOSPC) {
+		t.Fatalf("want (3, ENOSPC), got (%d, %v)", n, werr)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hel" {
+		t.Fatalf("short prefix must be on the file, got %q", got)
+	}
+}
+
+func TestPathFilterAndOpenFault(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-1.log"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "other"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := New(nil, &Rule{Op: OpOpen, PathContains: "wal-", Nth: 1, Sticky: true})
+	if _, err := fs.Open(filepath.Join(dir, "other")); err != nil {
+		t.Fatalf("non-matching path must pass: %v", err)
+	}
+	if _, err := fs.Open(filepath.Join(dir, "wal-1.log")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching path must fail, got %v", err)
+	}
+}
+
+func TestClearHealsAndOpCounts(t *testing.T) {
+	fs := New(nil, &Rule{Op: OpWrite, Nth: 1, Sticky: true})
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("sticky write rule must fail")
+	}
+	fs.Clear()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("cleared plan must heal: %v", err)
+	}
+	if got := fs.OpCount(OpWrite); got != 2 {
+		t.Fatalf("want 2 writes counted, got %d", got)
+	}
+	if got := fs.OpCount(OpOpen); got != 1 {
+		t.Fatalf("want 1 open counted, got %d", got)
+	}
+}

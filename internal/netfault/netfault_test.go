@@ -1,0 +1,118 @@
+package netfault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTransportFailProb(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	tr := NewTransport(nil, Plan{Seed: 1, FailProb: 1})
+	hc := &http.Client{Transport: tr}
+	if _, err := hc.Get(srv.URL); err == nil || !errors.Is(errors.Unwrap(errTail(err)), ErrInjected) && !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	tr.SetEnabled(false)
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("disabled transport must pass through: %v", err)
+	}
+	resp.Body.Close()
+	if tr.Injected() != 1 {
+		t.Fatalf("want 1 injected fault, got %d", tr.Injected())
+	}
+}
+
+// errTail unwraps a *url.Error to its cause.
+func errTail(err error) error {
+	for {
+		u := errors.Unwrap(err)
+		if u == nil {
+			return err
+		}
+		err = u
+	}
+}
+
+func TestTransportCutsBodyMidStream(t *testing.T) {
+	payload := strings.Repeat("x", 1<<20)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+	tr := NewTransport(nil, Plan{Seed: 7, CutBodyProb: 1, CutAfterMax: 1024})
+	resp, err := (&http.Client{Transport: tr}).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("cut body must error; read %d bytes cleanly", len(got))
+	}
+	if len(got) == 0 || len(got) > 1025 {
+		t.Fatalf("cut must deliver a bounded prefix, got %d bytes", len(got))
+	}
+}
+
+func TestTransportChunkedReadsDeliverEverything(t *testing.T) {
+	payload := strings.Repeat("y", 64<<10)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+	tr := NewTransport(nil, Plan{Seed: 3, ChunkBytes: 7})
+	resp, err := (&http.Client{Transport: tr}).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil || string(got) != payload {
+		t.Fatalf("partial reads must still deliver the whole body (err %v, %d bytes)", err, len(got))
+	}
+}
+
+func TestProxyRelaysAndCuts(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hello")
+	}))
+	defer srv.Close()
+	target := strings.TrimPrefix(srv.URL, "http://")
+	px, err := NewProxy(target, Plan{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	resp, err := http.Get("http://" + px.Addr())
+	if err != nil {
+		t.Fatalf("relay through proxy: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "hello" {
+		t.Fatalf("want hello through proxy, got %q", body)
+	}
+
+	// A long-lived connection dies on CutAll, and a fresh dial succeeds
+	// (the partition heals).
+	hc := &http.Client{Timeout: 5 * time.Second}
+	px.CutAll()
+	resp, err = hc.Get("http://" + px.Addr())
+	if err != nil {
+		t.Fatalf("reconnect after CutAll: %v", err)
+	}
+	resp.Body.Close()
+	if px.Cuts() == 0 {
+		t.Fatal("CutAll must count")
+	}
+}

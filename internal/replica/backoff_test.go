@@ -1,0 +1,44 @@
+package replica
+
+// Unit tests for the reconnect ladder's deterministic core.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayLadder(t *testing.T) {
+	base, max := 100*time.Millisecond, 5*time.Second
+	want := []time.Duration{
+		100 * time.Millisecond, // streak 1: base
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		5 * time.Second, // streak 7: capped
+		5 * time.Second,
+	}
+	for i, w := range want {
+		if got := backoffDelay(base, max, i+1); got != w {
+			t.Fatalf("streak %d: got %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestBackoffDelayHugeStreakStaysCapped guards the doubling loop against
+// overflow: an outage lasting thousands of failed dials must still yield
+// the cap, not a negative or wrapped duration.
+func TestBackoffDelayHugeStreakStaysCapped(t *testing.T) {
+	if got := backoffDelay(time.Millisecond, 5*time.Second, 100000); got != 5*time.Second {
+		t.Fatalf("huge streak: got %v, want the 5s cap", got)
+	}
+}
+
+func TestBackoffDelayCapBelowBase(t *testing.T) {
+	// New() normalises MaxReconnectDelay >= ReconnectDelay, but the core
+	// must be safe standalone.
+	if got := backoffDelay(time.Second, 100*time.Millisecond, 3); got != 100*time.Millisecond {
+		t.Fatalf("cap below base: got %v", got)
+	}
+}

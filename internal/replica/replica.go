@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,9 +62,27 @@ type Source interface {
 
 // Config tunes a replica's streaming loop.
 type Config struct {
-	// ReconnectDelay is the pause before re-dialing a broken stream;
-	// 100ms when zero.
+	// ReconnectDelay is the base pause before re-dialing a broken
+	// stream; 100ms when zero. Consecutive failures double the pause
+	// (with jitter) up to MaxReconnectDelay; a connection that delivered
+	// at least one healthy frame resets the ladder to the base.
 	ReconnectDelay time.Duration
+	// MaxReconnectDelay caps the exponential backoff; 5s when zero.
+	MaxReconnectDelay time.Duration
+}
+
+// backoffDelay is the deterministic core of the reconnect ladder: the
+// capped exponential delay for the streak-th consecutive failure
+// (1-based), before jitter.
+func backoffDelay(base, max time.Duration, streak int) time.Duration {
+	d := base
+	for i := 1; i < streak && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
 }
 
 // errResync carries the gap decision out of the frame callback.
@@ -100,6 +119,9 @@ type Replica struct {
 	leaderDurable atomic.Uint64 // newest durable LSN a heartbeat advertised
 	resyncs       atomic.Uint64
 	connected     atomic.Bool
+	healthy       atomic.Bool   // a frame arrived on the current connection
+	reconnects    atomic.Uint64 // re-dials after stream failures
+	backoffMs     atomic.Int64  // pause currently being sat out; 0 while streaming
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -109,6 +131,12 @@ type Replica struct {
 func New(src Source, cfg Config) *Replica {
 	if cfg.ReconnectDelay <= 0 {
 		cfg.ReconnectDelay = 100 * time.Millisecond
+	}
+	if cfg.MaxReconnectDelay <= 0 {
+		cfg.MaxReconnectDelay = 5 * time.Second
+	}
+	if cfg.MaxReconnectDelay < cfg.ReconnectDelay {
+		cfg.MaxReconnectDelay = cfg.ReconnectDelay
 	}
 	return &Replica{src: src, cfg: cfg}
 }
@@ -171,38 +199,52 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 
 // run is the streaming loop: follow the record stream from the applied
 // LSN, resync on gaps, re-dial on transport failures, exit on cancel.
+// Re-dials pace themselves with capped exponential backoff plus jitter:
+// a flapping or partitioned leader sees a thinning dial rate instead of
+// a tight retry storm, and a connection that delivered even one healthy
+// frame resets the ladder so recovery after a real outage is fast.
 func (r *Replica) run(ctx context.Context) {
 	defer close(r.done)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	streak := 0
 	for {
 		if ctx.Err() != nil {
 			return
 		}
+		r.healthy.Store(false)
 		r.connected.Store(true)
 		err := r.src.StreamWAL(ctx, r.applied.Load(), r.onFrame)
 		r.connected.Store(false)
 		if ctx.Err() != nil {
 			return
 		}
+		if r.healthy.Load() {
+			streak = 0
+		}
+		streak++
 		if errors.Is(err, errResync) {
 			r.resyncs.Add(1)
-			if berr := r.bootstrap(ctx); berr != nil {
-				// The leader may be mid-compaction or briefly down; keep
-				// serving the old state and retry.
-				select {
-				case <-time.After(r.cfg.ReconnectDelay):
-				case <-ctx.Done():
-					return
-				}
+			if berr := r.bootstrap(ctx); berr == nil {
+				// A fresh checkpoint is serving: the leader is healthy,
+				// start the next stream (and a future ladder) from scratch.
+				streak = 0
+				continue
 			}
-			continue
+			// The leader may be mid-compaction or briefly down; keep
+			// serving the old state and retry with backoff.
 		}
-		// Transport failure or clean server close: reconnect from the
-		// applied position after a pause.
+		// Transport failure, failed resync or clean server close:
+		// reconnect from the applied position after the backoff pause.
+		d := backoffDelay(r.cfg.ReconnectDelay, r.cfg.MaxReconnectDelay, streak)
+		d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1)) // jitter in [d/2, d]
+		r.reconnects.Add(1)
+		r.backoffMs.Store(int64(d / time.Millisecond))
 		select {
-		case <-time.After(r.cfg.ReconnectDelay):
+		case <-time.After(d):
 		case <-ctx.Done():
 			return
 		}
+		r.backoffMs.Store(0)
 	}
 }
 
@@ -211,12 +253,16 @@ func (r *Replica) run(ctx context.Context) {
 func (r *Replica) onFrame(f wire.Frame) error {
 	switch f.Kind {
 	case wire.HeartbeatKind:
+		r.healthy.Store(true)
 		r.observeDurable(f.LSN)
 		return nil
 	case wire.GapKind:
+		// A gap is a resync order, not evidence of a healthy stream — it
+		// does not reset the backoff ladder.
 		r.observeDurable(f.LSN)
 		return errResync
 	}
+	r.healthy.Store(true)
 	applied := r.applied.Load()
 	if f.LSN <= applied {
 		return nil // stale re-log racing a leader rotation; already applied
@@ -285,8 +331,8 @@ func (r *Replica) NumObjects() int { return r.st.Load().idx.Objects().Len() }
 func (r *Replica) AppliedLSN() uint64 { return r.applied.Load() }
 
 // Stats reports the lag gauge: applied position, the leader's advertised
-// durable horizon, their distance in records, resync count and stream
-// liveness.
+// durable horizon, their distance in records, resync count, stream
+// liveness, and the self-healing loop's reconnect counters.
 func (r *Replica) Stats() wire.ReplicaStats {
 	applied, durable := r.applied.Load(), r.leaderDurable.Load()
 	var lag uint64
@@ -299,6 +345,8 @@ func (r *Replica) Stats() wire.ReplicaStats {
 		LagRecords:       lag,
 		Resyncs:          r.resyncs.Load(),
 		Connected:        r.connected.Load(),
+		Reconnects:       r.reconnects.Load(),
+		BackoffMillis:    r.backoffMs.Load(),
 	}
 }
 

@@ -23,14 +23,18 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.handle(wire.PathRangeQuery, s.handleRange)
 	s.handle(wire.PathKNNQuery, s.handleKNN)
-	s.handle(wire.PathUpdates, s.leaderOnly(s.handleUpdates))
-	s.handle(wire.PathTopology, s.leaderOnly(s.handleTopology))
+	s.handle(wire.PathUpdates, s.leaderOnly(s.notDegraded(s.handleUpdates)))
+	s.handle(wire.PathTopology, s.leaderOnly(s.notDegraded(s.handleTopology)))
 	s.handle(wire.PathSubscribe, s.leaderOnly(s.handleSubscribe))
 	s.handle(wire.PathUnsubscribe, s.leaderOnly(s.handleUnsubscribe))
 	s.handle(wire.PathStats, s.handleStats)
 	s.stream(wire.PathEvents, s.leaderOnly(s.handleEvents))
 	s.stream(wire.PathReplCheckpoint, s.leaderOnly(s.handleReplCheckpoint))
 	s.stream(wire.PathReplWAL, s.leaderOnly(s.handleReplWAL))
+	// Health probes run outside admission: a daemon shedding load with
+	// 429s must still tell its balancer it is alive.
+	s.mux.HandleFunc(wire.PathHealthz, s.handleHealthz)
+	s.mux.HandleFunc(wire.PathReadyz, s.handleReadyz)
 }
 
 // statusWriter records the response code for error accounting.
@@ -92,6 +96,82 @@ func (s *Server) leaderOnly(h http.HandlerFunc) http.HandlerFunc {
 		}
 		h(w, r)
 	}
+}
+
+// degraded reports the leader's read-only state: a non-empty reason code
+// (and the underlying error) once the attached store has fail-stopped.
+// Ephemeral leaders and replicas are never degraded.
+func (s *Server) degraded() (reason, detail string) {
+	if s.db == nil {
+		return "", ""
+	}
+	if err := s.db.DurabilityErr(); err != nil {
+		return wire.ReasonWALFailStop, err.Error()
+	}
+	return "", ""
+}
+
+// notDegraded gates object and topology mutations on durability: once
+// the WAL has fail-stopped the leader is read-only, and these requests
+// are refused up front with 503 and the machine-readable reason —
+// retrying them could never succeed and would only burn the engine's
+// time re-discovering the same sticky error. Subscription registration
+// is deliberately NOT gated: its fail-stop contract is in-band (handle
+// and error both cross the wire, see wire.SubscribeResponse), because a
+// registration can land in memory even when its log append fails.
+func (s *Server) notDegraded(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if reason, detail := s.degraded(); reason != "" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(wire.ErrorBody{
+				Err:    "leader is degraded read-only: " + detail,
+				Reason: reason,
+			})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleHealthz is liveness: 200 whenever the process answers HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, wire.HealthResponse{Status: "ok", Role: s.role()})
+}
+
+// handleReadyz is readiness: 200 only while this daemon should receive
+// traffic. A leader is ready until its store fail-stops; a replica is
+// ready while its stream is connected and within the lag bound.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := wire.HealthResponse{Status: "ok", Role: s.role()}
+	if s.db != nil {
+		resp.Reason, resp.Detail = s.degraded()
+	} else {
+		rs := s.rep.Stats()
+		switch {
+		case !rs.Connected:
+			resp.Reason = wire.ReasonReplicaDisconnected
+			resp.Detail = fmt.Sprintf("stream down (reconnects=%d, backoff=%dms); serving last applied lsn %d", rs.Reconnects, rs.BackoffMillis, rs.AppliedLSN)
+		case s.cfg.ReadyMaxLag > 0 && rs.LagRecords > uint64(s.cfg.ReadyMaxLag):
+			resp.Reason = wire.ReasonReplicaLagging
+			resp.Detail = fmt.Sprintf("%d records behind the leader's durable horizon (bound %d)", rs.LagRecords, s.cfg.ReadyMaxLag)
+		}
+	}
+	if resp.Reason != "" {
+		resp.Status = "unavailable"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) role() string {
+	if s.db != nil {
+		return "leader"
+	}
+	return "replica"
 }
 
 // maxRequestBytes bounds a request body; a batch of this size is
@@ -300,6 +380,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp.WrittenLSN = st.WrittenLSN()
 			resp.DurableLSN = st.DurableLSN()
 			resp.WALSize = s.db.WALSize()
+		}
+		if reason, detail := s.degraded(); reason != "" {
+			resp.Degraded = true
+			resp.DegradedReason = reason
+			resp.DegradedDetail = detail
 		}
 	} else {
 		resp.NumObjects = s.rep.NumObjects()

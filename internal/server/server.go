@@ -19,6 +19,12 @@
 //     signals) — the feed internal/replica consumes.
 //   - Every endpoint feeds per-endpoint latency/QPS counters served at
 //     /v1/stats, alongside index, durability and replication gauges.
+//   - /healthz (liveness) and /readyz (readiness) run outside admission
+//     so probes still answer while the daemon sheds load. A durable
+//     leader whose WAL has fail-stopped degrades to read-only: queries,
+//     streams and the replication feed keep serving, object/topology
+//     mutations are refused with 503 and a machine-readable reason, and
+//     /readyz flips to 503 so load balancers drain it.
 package server
 
 import (
@@ -53,6 +59,11 @@ type Config struct {
 	Heartbeat time.Duration
 	// EventPoll is the event stream's drain interval; 25ms when zero.
 	EventPoll time.Duration
+	// ReadyMaxLag is the replica-readiness bound: /readyz reports 503
+	// once the replica trails the leader's durable horizon by more than
+	// this many records. 4096 when zero; negative disables the lag gate
+	// (readiness then tracks stream liveness only).
+	ReadyMaxLag int64
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EventPoll <= 0 {
 		c.EventPoll = 25 * time.Millisecond
+	}
+	if c.ReadyMaxLag == 0 {
+		c.ReadyMaxLag = 4096
 	}
 	return c
 }

@@ -6,10 +6,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 
+	"repro/internal/fsfault"
 	"repro/internal/index"
 	"repro/internal/object"
 	"repro/internal/serde"
@@ -174,14 +174,22 @@ func decodeSnapshot(raw []byte) (Data, error) {
 // backing of both the store's own generations and the facade's
 // standalone DB.Checkpoint(path) export.
 func WriteSnapshot(path string, d Data) error {
+	return writeSnapshotFS(fsfault.OS, path, d)
+}
+
+// writeSnapshotFS is WriteSnapshot against an injectable filesystem. A
+// failure at any step — create, write, fsync, rename — leaves either
+// the complete new checkpoint or the old state; the temporary file is
+// removed on a best-effort basis.
+func writeSnapshotFS(fs fsfault.FS, path string, d Data) error {
 	raw := encodeSnapshot(d)
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")
+	tmp, err := fs.CreateTemp(dir, ".snap-*.tmp")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
-	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	cleanup := func() { tmp.Close(); fs.Remove(tmpName) }
 	if _, err := tmp.Write(raw); err != nil {
 		cleanup()
 		return err
@@ -191,19 +199,23 @@ func WriteSnapshot(path string, d Data) error {
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fs.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fs.Rename(tmpName, path); err != nil {
+		fs.Remove(tmpName)
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fs, dir)
 }
 
 // ReadSnapshot reads and validates a checkpoint file.
 func ReadSnapshot(path string) (Data, error) {
-	raw, err := os.ReadFile(path)
+	return readSnapshotFS(fsfault.OS, path)
+}
+
+func readSnapshotFS(fs fsfault.FS, path string) (Data, error) {
+	raw, err := fs.ReadFile(path)
 	if err != nil {
 		return Data{}, err
 	}
@@ -212,8 +224,8 @@ func ReadSnapshot(path string) (Data, error) {
 
 // syncDir fsyncs a directory so renames and removals inside it are
 // durable.
-func syncDir(dir string) error {
-	f, err := os.Open(dir)
+func syncDir(fs fsfault.FS, dir string) error {
+	f, err := fs.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -223,8 +235,8 @@ func syncDir(dir string) error {
 
 // generations lists the checkpoint and WAL generation numbers present in
 // a store directory, each sorted ascending.
-func generations(dir string) (ckpts, wals []uint64, err error) {
-	ents, err := os.ReadDir(dir)
+func generations(fs fsfault.FS, dir string) (ckpts, wals []uint64, err error) {
+	ents, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -32,11 +32,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/fsfault"
 	"repro/internal/geom"
 	"repro/internal/index"
 	"repro/internal/indoor"
@@ -69,6 +69,10 @@ type Options struct {
 	// CompactBytes is the WAL size past which the store signals for
 	// compaction (CompactC); 64 MiB when zero, disabled when negative.
 	CompactBytes int64
+	// FS is the filesystem the store runs on; nil uses the real one.
+	// Fault-injection tests and chaos drills substitute an
+	// fsfault.Faulty here.
+	FS fsfault.FS
 }
 
 const (
@@ -83,6 +87,9 @@ func (o Options) withDefaults() Options {
 	if o.CompactBytes == 0 {
 		o.CompactBytes = defaultCompactBytes
 	}
+	if o.FS == nil {
+		o.FS = fsfault.OS
+	}
 	return o
 }
 
@@ -93,6 +100,7 @@ func (o Options) withDefaults() Options {
 type Store struct {
 	dir  string
 	opts Options
+	fs   fsfault.FS
 	w    *wal
 
 	compactC chan struct{}
@@ -135,10 +143,10 @@ type OpenInfo struct {
 // for a fresh database). Fails if dir already holds a store.
 func Create(dir string, idx *index.Index, qflags uint8, subs []serde.SubscriptionRec, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	ckpts, wals, err := generations(dir)
+	ckpts, wals, err := generations(opts.FS, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -151,10 +159,10 @@ func Create(dir string, idx *index.Index, qflags uint8, subs []serde.Subscriptio
 	if err != nil {
 		return nil, err
 	}
-	if err := WriteSnapshot(ckptPath(dir, 0), data); err != nil {
+	if err := writeSnapshotFS(opts.FS, ckptPath(dir, 0), data); err != nil {
 		return nil, err
 	}
-	w, err := openWAL(dir, 0, 1, opts.Sync)
+	w, err := openWAL(opts.FS, dir, 0, 1, opts.Sync)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +179,7 @@ func Create(dir string, idx *index.Index, qflags uint8, subs []serde.Subscriptio
 func Open(dir string, opts Options) (*Store, *index.Index, OpenInfo, error) {
 	opts = opts.withDefaults()
 	var info OpenInfo
-	ckpts, wals, err := generations(dir)
+	ckpts, wals, err := generations(opts.FS, dir)
 	if err != nil {
 		return nil, nil, info, err
 	}
@@ -186,7 +194,7 @@ func Open(dir string, opts Options) (*Store, *index.Index, OpenInfo, error) {
 	var ckptGen uint64
 	found := false
 	for i := len(ckpts) - 1; i >= 0; i-- {
-		d, derr := ReadSnapshot(ckptPath(dir, ckpts[i]))
+		d, derr := readSnapshotFS(opts.FS, ckptPath(dir, ckpts[i]))
 		if derr != nil {
 			info.Stats.CorruptCheckpoints++
 			continue
@@ -230,7 +238,7 @@ func Open(dir string, opts Options) (*Store, *index.Index, OpenInfo, error) {
 		if gen < ckptGen {
 			continue
 		}
-		recs, validEnd, serr := scanWAL(walPath(dir, gen))
+		recs, validEnd, serr := scanWAL(opts.FS, walPath(dir, gen))
 		if serr != nil {
 			return nil, nil, info, serr
 		}
@@ -258,13 +266,13 @@ func Open(dir string, opts Options) (*Store, *index.Index, OpenInfo, error) {
 	}
 	sortSubs(info.Subs)
 
-	if st, err := os.Stat(walPath(dir, activeGen)); err == nil && st.Size() > activeEnd {
+	if st, err := opts.FS.Stat(walPath(dir, activeGen)); err == nil && st.Size() > activeEnd {
 		info.Stats.TruncatedBytes = st.Size() - activeEnd
-		if err := os.Truncate(walPath(dir, activeGen), activeEnd); err != nil {
+		if err := opts.FS.Truncate(walPath(dir, activeGen), activeEnd); err != nil {
 			return nil, nil, info, fmt.Errorf("store: truncate torn tail: %w", err)
 		}
 	}
-	w, err := openWAL(dir, activeGen, maxLSN+1, opts.Sync)
+	w, err := openWAL(opts.FS, dir, activeGen, maxLSN+1, opts.Sync)
 	if err != nil {
 		return nil, nil, info, err
 	}
@@ -296,6 +304,7 @@ func newStore(dir string, opts Options, w *wal) *Store {
 	s := &Store{
 		dir:      dir,
 		opts:     opts,
+		fs:       opts.FS,
 		w:        w,
 		compactC: make(chan struct{}, 1),
 		done:     make(chan struct{}),
@@ -392,24 +401,43 @@ func (s *Store) CommitCheckpoint(data Data) error {
 	if s.isClosed() {
 		return errClosed
 	}
-	if err := WriteSnapshot(ckptPath(s.dir, data.LSN), data); err != nil {
+	if err := writeSnapshotFS(s.fs, ckptPath(s.dir, data.LSN), data); err != nil {
 		return err
 	}
-	ckpts, wals, err := generations(s.dir)
+	ckpts, wals, err := generations(s.fs, s.dir)
 	if err != nil {
 		return err
 	}
 	for _, gen := range ckpts {
 		if gen < data.LSN {
-			os.Remove(ckptPath(s.dir, gen))
+			s.fs.Remove(ckptPath(s.dir, gen))
 		}
 	}
 	for _, gen := range wals {
 		if gen < data.LSN {
-			os.Remove(walPath(s.dir, gen))
+			s.fs.Remove(walPath(s.dir, gen))
 		}
 	}
-	return syncDir(s.dir)
+	return syncDir(s.fs, s.dir)
+}
+
+// FailStopped returns the sticky log error that put the store in
+// fail-stop mode, nil while the log is healthy. In fail-stop mode every
+// mutation is refused with this error while queries and the replication
+// feed keep working — the degraded read-only state the serving tier
+// reports through its health endpoints.
+func (s *Store) FailStopped() error { return s.w.failErr() }
+
+// Poison forces the store into fail-stop mode as if err had just come
+// back from a log write: every later mutation fails with it until the
+// store is reopened. Chaos drills use it to rehearse the degraded
+// read-only path on a live daemon without breaking a real disk. A store
+// already fail-stopped keeps its first error.
+func (s *Store) Poison(err error) {
+	if err == nil {
+		err = fmt.Errorf("store: poisoned by chaos drill")
+	}
+	s.w.poison(err)
 }
 
 // isClosed reports whether Close ran (or is running).

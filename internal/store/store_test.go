@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/fsfault"
 	"repro/internal/geom"
 	"repro/internal/index"
 	"repro/internal/indoor"
@@ -235,7 +236,7 @@ func TestCheckpointProtocol(t *testing.T) {
 	if err := st.CommitCheckpoint(data); err != nil {
 		t.Fatal(err)
 	}
-	ckpts, wals, err := generations(dir)
+	ckpts, wals, err := generations(fsfault.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +294,7 @@ func TestStaleSubscriptionRecordSkipped(t *testing.T) {
 	st.Close()
 
 	// Forge the raced record: lsn == cut, in the new generation's file.
-	w, err := openWAL(dir, cut, cut, SyncAlways)
+	w, err := openWAL(fsfault.OS, dir, cut, cut, SyncAlways)
 	if err != nil {
 		t.Fatal(err)
 	}

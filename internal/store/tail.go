@@ -19,6 +19,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"repro/internal/fsfault"
 )
 
 // Record is one committed WAL record in stream form: the globally
@@ -59,12 +61,12 @@ func (s *Store) Closed() bool { return s.isClosed() }
 // decoded on the far side with DecodeSnapshot) so the transfer inherits
 // the checkpoint's own CRC.
 func (s *Store) NewestCheckpoint() ([]byte, uint64, error) {
-	ckpts, _, err := generations(s.dir)
+	ckpts, _, err := generations(s.fs, s.dir)
 	if err != nil {
 		return nil, 0, err
 	}
 	for i := len(ckpts) - 1; i >= 0; i-- {
-		raw, rerr := os.ReadFile(ckptPath(s.dir, ckpts[i]))
+		raw, rerr := s.fs.ReadFile(ckptPath(s.dir, ckpts[i]))
 		if rerr != nil {
 			continue
 		}
@@ -90,7 +92,7 @@ func DecodeSnapshot(raw []byte) (Data, error) { return decodeSnapshot(raw) }
 // own.
 type Tailer struct {
 	s     *Store
-	f     *os.File
+	f     fsfault.File
 	gen   uint64
 	off   int64
 	after uint64 // newest LSN already yielded (or the tail's start)
@@ -102,7 +104,7 @@ type Tailer struct {
 // applied (reconnect). Returns ErrLogGap when that point of the log has
 // been pruned.
 func (s *Store) TailWAL(afterLSN uint64) (*Tailer, error) {
-	_, wals, err := generations(s.dir)
+	_, wals, err := generations(s.fs, s.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +120,7 @@ func (s *Store) TailWAL(afterLSN uint64) (*Tailer, error) {
 	if !found {
 		return nil, ErrLogGap
 	}
-	f, err := os.Open(walPath(s.dir, gen))
+	f, err := s.fs.Open(walPath(s.dir, gen))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, ErrLogGap // pruned between the listing and the open
@@ -189,7 +191,7 @@ func (t *Tailer) Close() error {
 
 // advanceGen moves the tailer to the next generation file on disk.
 func (t *Tailer) advanceGen() error {
-	_, wals, err := generations(t.s.dir)
+	_, wals, err := generations(t.s.fs, t.s.dir)
 	if err != nil {
 		return err
 	}
@@ -203,7 +205,7 @@ func (t *Tailer) advanceGen() error {
 	if !found {
 		return ErrLogGap
 	}
-	f, err := os.Open(walPath(t.s.dir, next))
+	f, err := t.s.fs.Open(walPath(t.s.dir, next))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return ErrLogGap
@@ -218,7 +220,7 @@ func (t *Tailer) advanceGen() error {
 // readFrame parses the frame at off. ok is false when no complete valid
 // frame starts there (EOF, torn tail, or bytes still being written);
 // err reports real I/O failures only.
-func readFrame(f *os.File, off int64) (rec rawRecord, size int64, ok bool, err error) {
+func readFrame(f fsfault.File, off int64) (rec rawRecord, size int64, ok bool, err error) {
 	var hdr [frameHeaderSize]byte
 	if _, rerr := f.ReadAt(hdr[:], off); rerr != nil {
 		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {

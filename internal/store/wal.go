@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fsfault"
 )
 
 // The write-ahead log. One file per checkpoint generation, named
@@ -49,7 +51,8 @@ type wal struct {
 	mu      sync.Mutex // guards buf, spare, size, nextLSN, f, gen, err, closed
 
 	dir     string
-	f       *os.File
+	fs      fsfault.FS
+	f       fsfault.File
 	gen     uint64
 	nextLSN uint64
 	size    int64       // bytes written + buffered in the current file
@@ -79,8 +82,8 @@ func ckptName(gen uint64) string { return fmt.Sprintf("checkpoint-%020d.ckpt", g
 
 // openWAL opens (creating if needed) the generation's log file for
 // appending. nextLSN must be one past the highest LSN already durable.
-func openWAL(dir string, gen, nextLSN uint64, policy SyncPolicy) (*wal, error) {
-	f, err := os.OpenFile(walPath(dir, gen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openWAL(fs fsfault.FS, dir string, gen, nextLSN uint64, policy SyncPolicy) (*wal, error) {
+	f, err := fs.OpenFile(walPath(dir, gen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +93,7 @@ func openWAL(dir string, gen, nextLSN uint64, policy SyncPolicy) (*wal, error) {
 		return nil, err
 	}
 	return &wal{
-		dir: dir, f: f, gen: gen, nextLSN: nextLSN, size: st.Size(), policy: policy,
+		dir: dir, fs: fs, f: f, gen: gen, nextLSN: nextLSN, size: st.Size(), policy: policy,
 		// Everything recovery or creation left in the file is readable,
 		// and it survived whatever got us here — both horizons start at
 		// the log's tail.
@@ -267,6 +270,25 @@ func (w *wal) Watch() <-chan struct{} {
 	return w.watch
 }
 
+// poison injects a sticky log failure, exactly as if a write or fsync
+// had just returned err: every later Append fails with it and the
+// engine is in fail-stop mode until reopened. An already-poisoned log
+// keeps its first error.
+func (w *wal) poison(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// failErr returns the sticky log error (nil while healthy).
+func (w *wal) failErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
 // Gen returns the active generation.
 func (w *wal) Gen() uint64 {
 	w.mu.Lock()
@@ -300,7 +322,7 @@ func (w *wal) Rotate() (uint64, error) {
 	if cut == w.gen {
 		return cut, nil // nothing appended since the last rotation
 	}
-	f, err := os.OpenFile(walPath(w.dir, cut), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := w.fs.OpenFile(walPath(w.dir, cut), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		w.err = fmt.Errorf("store: wal rotate: %w", err)
 		return 0, w.err
@@ -353,8 +375,8 @@ type rawRecord struct {
 // CRC, truncated payload — ends the scan: everything before it is the
 // durable prefix (validEnd is its length in bytes), everything after is
 // a torn tail or trailing corruption. A missing file is an empty log.
-func scanWAL(path string) (recs []rawRecord, validEnd int64, err error) {
-	data, err := os.ReadFile(path)
+func scanWAL(fs fsfault.FS, path string) (recs []rawRecord, validEnd int64, err error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, 0, nil
@@ -391,7 +413,7 @@ func scanWAL(path string) (recs []rawRecord, validEnd int64, err error) {
 // in order — the exact truncation points the crash-recovery property
 // suite sweeps. Offset 0 (the empty prefix) is not included.
 func RecordEnds(path string) ([]int64, error) {
-	recs, _, err := scanWAL(path)
+	recs, _, err := scanWAL(fsfault.OS, path)
 	if err != nil {
 		return nil, err
 	}

@@ -3,13 +3,15 @@ package store
 import (
 	"os"
 	"path/filepath"
+
+	"repro/internal/fsfault"
 	"testing"
 )
 
 func tmpWAL(t *testing.T, policy SyncPolicy) (*wal, string) {
 	t.Helper()
 	dir := t.TempDir()
-	w, err := openWAL(dir, 0, 1, policy)
+	w, err := openWAL(fsfault.OS, dir, 0, 1, policy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +33,7 @@ func TestWALAppendScanRoundTrip(t *testing.T) {
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	recs, validEnd, err := scanWAL(path)
+	recs, validEnd, err := scanWAL(fsfault.OS, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func TestWALTornTail(t *testing.T) {
 		if err := os.WriteFile(p, full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		recs, validEnd, err := scanWAL(p)
+		recs, validEnd, err := scanWAL(fsfault.OS, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +118,7 @@ func TestWALCorruptMiddle(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	recs, validEnd, err := scanWAL(path)
+	recs, validEnd, err := scanWAL(fsfault.OS, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,14 +152,14 @@ func TestWALRotate(t *testing.T) {
 	}
 	w.Close()
 
-	recs0, _, err := scanWAL(path0)
+	recs0, _, err := scanWAL(fsfault.OS, path0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(recs0) != 2 {
 		t.Fatalf("old generation holds %d records, want 2", len(recs0))
 	}
-	recs1, _, err := scanWAL(filepath.Join(filepath.Dir(path0), walName(cut)))
+	recs1, _, err := scanWAL(fsfault.OS, filepath.Join(filepath.Dir(path0), walName(cut)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // Client is the HTTP side of the protocol: one method per endpoint,
@@ -16,10 +17,21 @@ import (
 // (a query against a removed partition, a fail-stop store) travel inside
 // the response bodies; Client methods surface transport and protocol
 // failures as errors. A Client is safe for concurrent use.
+//
+// Every unary call carries a per-request deadline (DefaultRequestTimeout
+// unless SetRequestTimeout changed it), so a stalled or partitioned
+// daemon fails the call instead of hanging it forever. The streaming
+// methods (StreamWAL, StreamEvents) are deliberately unbounded — they
+// are long-lived by design and end with their context.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	timeout time.Duration
 }
+
+// DefaultRequestTimeout bounds each unary call unless SetRequestTimeout
+// overrides it.
+const DefaultRequestTimeout = 30 * time.Second
 
 // NewClient returns a client for a daemon at base (e.g.
 // "http://127.0.0.1:7070"). A nil http.Client uses the default.
@@ -30,16 +42,37 @@ func NewClient(base string, hc *http.Client) *Client {
 	for len(base) > 0 && base[len(base)-1] == '/' {
 		base = base[:len(base)-1]
 	}
-	return &Client{base: base, hc: hc}
+	return &Client{base: base, hc: hc, timeout: DefaultRequestTimeout}
 }
 
-// post sends req as JSON and decodes the response body into resp.
+// SetRequestTimeout changes the per-request deadline applied to unary
+// calls; d <= 0 disables the bound. Call before sharing the client
+// between goroutines.
+func (c *Client) SetRequestTimeout(d time.Duration) { c.timeout = d }
+
+// unaryCtx derives the per-request context for a unary call.
+func (c *Client) unaryCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	if c.timeout <= 0 {
+		return parent, func() {}
+	}
+	return context.WithTimeout(parent, c.timeout)
+}
+
+// post sends req as JSON under the unary deadline and decodes the
+// response body into resp.
 func (c *Client) post(path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	r, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	ctx, cancel := c.unaryCtx(context.Background())
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	r, err := c.hc.Do(hr)
 	if err != nil {
 		return err
 	}
@@ -104,7 +137,13 @@ func (c *Client) Unsubscribe(id int) (bool, error) {
 // Stats fetches the daemon's observability snapshot.
 func (c *Client) Stats() (StatsResponse, error) {
 	var out StatsResponse
-	r, err := c.hc.Get(c.base + PathStats)
+	ctx, cancel := c.unaryCtx(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathStats, nil)
+	if err != nil {
+		return out, err
+	}
+	r, err := c.hc.Do(req)
 	if err != nil {
 		return out, err
 	}
@@ -116,10 +155,40 @@ func (c *Client) Stats() (StatsResponse, error) {
 	return out, err
 }
 
+// Healthz probes liveness, returning the decoded body and HTTP status.
+func (c *Client) Healthz() (HealthResponse, int, error) { return c.health(PathHealthz) }
+
+// Readyz probes readiness: status 200 means "send traffic here", 503
+// means the daemon is up but degraded — the response's Reason says why.
+func (c *Client) Readyz() (HealthResponse, int, error) { return c.health(PathReadyz) }
+
+func (c *Client) health(path string) (HealthResponse, int, error) {
+	var out HealthResponse
+	ctx, cancel := c.unaryCtx(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return out, 0, err
+	}
+	r, err := c.hc.Do(req)
+	if err != nil {
+		return out, 0, err
+	}
+	defer r.Body.Close()
+	if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+		return out, r.StatusCode, fmt.Errorf("wire: %s: %w", path, err)
+	}
+	return out, r.StatusCode, nil
+}
+
 // FetchCheckpoint downloads the leader's newest checkpoint — the
 // replica-bootstrap payload — returning the raw validated-on-decode
-// bytes and the LSN the checkpoint covers.
+// bytes and the LSN the checkpoint covers. The unary deadline applies
+// on top of the caller's context: a stalled leader fails the bootstrap
+// (which then retries with backoff) instead of wedging it forever.
 func (c *Client) FetchCheckpoint(ctx context.Context) ([]byte, uint64, error) {
+	ctx, cancel := c.unaryCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathReplCheckpoint, nil)
 	if err != nil {
 		return nil, 0, err

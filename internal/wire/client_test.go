@@ -1,0 +1,88 @@
+package wire
+
+// Client timeout regression tests: every unary call carries a deadline,
+// so a stalled or partitioned daemon fails the call instead of hanging
+// the caller — in particular, a replica bootstrapping against a wedged
+// leader must get its error back and retry, never block forever.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stalledServer accepts requests and never answers, like a leader wedged
+// behind a dead disk or a black-holed connection.
+func stalledServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	done := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-done:
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(func() { close(done); srv.Close() })
+	return srv
+}
+
+func TestUnaryCallsTimeOutAgainstStalledLeader(t *testing.T) {
+	srv := stalledServer(t)
+	c := NewClient(srv.URL, nil)
+	c.SetRequestTimeout(50 * time.Millisecond)
+
+	calls := map[string]func() error{
+		"stats":   func() error { _, err := c.Stats(); return err },
+		"updates": func() error { return c.ApplyUpdates(nil) },
+		"readyz":  func() error { _, _, err := c.Readyz(); return err },
+	}
+	for name, call := range calls {
+		start := time.Now()
+		err := call()
+		if err == nil {
+			t.Fatalf("%s against a stalled leader returned no error", name)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("%s took %v; the deadline did not bound it", name, d)
+		}
+	}
+}
+
+// TestBootstrapCannotHangForever is the replica-bootstrap half: the
+// checkpoint fetch carries the unary deadline even under a background
+// context, so a stalled leader turns into a retryable error.
+func TestBootstrapCannotHangForever(t *testing.T) {
+	srv := stalledServer(t)
+	c := NewClient(srv.URL, nil)
+	c.SetRequestTimeout(50 * time.Millisecond)
+
+	start := time.Now()
+	_, _, err := c.FetchCheckpoint(context.Background())
+	if err == nil {
+		t.Fatal("checkpoint fetch from a stalled leader returned no error")
+	}
+	if !strings.Contains(err.Error(), "deadline") && !strings.Contains(err.Error(), "context") {
+		t.Logf("fetch failed as expected: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("bootstrap fetch took %v; the deadline did not bound it", d)
+	}
+}
+
+// TestTimeoutDisabled pins the escape hatch: d <= 0 removes the bound
+// and the caller's own context governs (used by tests and operators who
+// bring their own deadlines).
+func TestTimeoutDisabled(t *testing.T) {
+	srv := stalledServer(t)
+	c := NewClient(srv.URL, nil)
+	c.SetRequestTimeout(0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, _, err := c.FetchCheckpoint(ctx); err == nil {
+		t.Fatal("caller context must still cancel an unbounded call")
+	}
+}

@@ -20,6 +20,8 @@
 //	GET  /v1/stats           -> StatsResponse
 //	GET  /v1/repl/checkpoint (binary checkpoint; X-Indoorq-Lsn header)
 //	GET  /v1/repl/wal?after=N (binary frame stream + heartbeats)
+//	GET  /healthz            -> HealthResponse (liveness: 200 while serving)
+//	GET  /readyz             -> HealthResponse (readiness: 503 + reason when degraded)
 //
 // Queries accept single-element batches, so there is no separate
 // point-query shape; the server coalesces whatever arrives into its
@@ -50,11 +52,55 @@ const (
 	PathStats          = "/v1/stats"
 	PathReplCheckpoint = "/v1/repl/checkpoint"
 	PathReplWAL        = "/v1/repl/wal"
+	// PathHealthz is liveness: 200 whenever the process serves HTTP at
+	// all, regardless of durability or replication state.
+	PathHealthz = "/healthz"
+	// PathReadyz is readiness: 200 only while the daemon should receive
+	// traffic — a leader that has not fail-stopped, a replica that is
+	// connected and within its lag bound. 503 otherwise, with a
+	// machine-readable reason.
+	PathReadyz = "/readyz"
 )
 
 // LSNHeader carries the checkpoint's covered LSN on the bootstrap
 // transfer.
 const LSNHeader = "X-Indoorq-Lsn"
+
+// Machine-readable degradation reasons, carried in HealthResponse and in
+// the ErrorBody of a 503-refused mutation. Automation keys off these;
+// the prose Detail is for humans.
+const (
+	// ReasonWALFailStop: the leader's log poisoned itself after an I/O
+	// failure; the daemon is in degraded read-only mode.
+	ReasonWALFailStop = "wal_failstop"
+	// ReasonStoreClosed: the store was closed under the daemon; reads
+	// keep working, mutations are refused.
+	ReasonStoreClosed = "store_closed"
+	// ReasonReplicaDisconnected: the replica's stream to the leader is
+	// down (it keeps serving its last applied state).
+	ReasonReplicaDisconnected = "replica_disconnected"
+	// ReasonReplicaLagging: the replica trails the leader's durable
+	// horizon by more than the configured readiness bound.
+	ReasonReplicaLagging = "replica_lagging"
+)
+
+// HealthResponse is the /healthz and /readyz body. Status is "ok" on
+// 200 and "unavailable" on 503; Reason is one of the Reason* constants
+// when unavailable.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Role   string `json:"role"` // "leader" or "replica"
+	Reason string `json:"reason,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// ErrorBody is the JSON body of a refused request (e.g. a mutation
+// against a degraded read-only leader): a human-readable error plus the
+// machine-readable reason automation retries or alerts on.
+type ErrorBody struct {
+	Err    string `json:"err"`
+	Reason string `json:"reason,omitempty"`
+}
 
 // Position is a planar indoor position in wire form.
 type Position struct {
@@ -365,6 +411,12 @@ type ReplicaStats struct {
 	LagRecords       uint64 `json:"lagRecords"`
 	Resyncs          uint64 `json:"resyncs"`
 	Connected        bool   `json:"connected"`
+	// Reconnects counts stream re-dials after transport failures.
+	Reconnects uint64 `json:"reconnects,omitempty"`
+	// BackoffMillis is the reconnect pause the replica is currently
+	// sitting out (0 while streaming): the capped-exponential delay its
+	// self-healing loop chose.
+	BackoffMillis int64 `json:"backoffMillis,omitempty"`
 }
 
 // StatsResponse is the daemon's observability snapshot.
@@ -380,6 +432,12 @@ type StatsResponse struct {
 	WALSize    int64  `json:"walSize,omitempty"`
 	// ReplStreams counts connected WAL-shipping subscribers (leader side).
 	ReplStreams int `json:"replStreams,omitempty"`
+	// Degraded is true while a durable leader is in fail-stop read-only
+	// mode; DegradedReason carries the Reason* constant and
+	// DegradedDetail the underlying error.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
+	DegradedDetail string `json:"degradedDetail,omitempty"`
 	// Replica is set when this daemon is a read replica.
 	Replica *ReplicaStats `json:"replica,omitempty"`
 }
