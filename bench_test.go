@@ -659,3 +659,65 @@ func BenchmarkMonitorScale(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkReconcileSharded sweeps reconciliation shard width against
+// subscription count on the city-scale churn workload: one iteration is
+// one coalesced 32-move batch (snapshot swap + sharded reconciliation).
+// The workload is stationary jitter, so the engine is shared across the
+// sweep and each width measures the same steady state; the merged event
+// stream is byte-identical at every width (the equivalence tests prove
+// it), making the widths directly comparable. On a single-core host the
+// width-1 and width-n paths should be near-identical — the sweep is the
+// scaling instrument for multi-core hosts.
+func BenchmarkReconcileSharded(b *testing.B) {
+	for _, subs := range []int{1000, 10000} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("subs=%d/shards=%d", subs, shards), func(b *testing.B) {
+				w, err := bench.NewCityChurn(bench.CitySmoke(), subs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.Engine.SetShards(shards)
+				before := w.Engine.Stats()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := w.Engine.ApplyObjectUpdates(w.Batches[i%len(w.Batches)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				st := w.Engine.Stats()
+				n := float64(b.N)
+				b.ReportMetric(float64(st.RoutedPairs-before.RoutedPairs)/n, "routed/op")
+				b.ReportMetric(float64(st.AffectedSubs-before.AffectedSubs)/n, "affected-subs/op")
+			})
+		}
+	}
+}
+
+// BenchmarkCityMixed is the city-scale mixed panel: one iteration is one
+// round of the read/write/subscription mix (one move batch through the
+// engine, one iRQ, one ikNN). The benchfig "city" panel publishes the
+// corresponding p99 latency budget at the full CityDefault scale.
+func BenchmarkCityMixed(b *testing.B) {
+	w, err := bench.NewCityChurn(bench.CitySmoke(), 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := query.New(w.Idx, query.Options{})
+	queries := gen.QueryPoints(w.Idx.Building(), 64, 7106)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Engine.ApplyObjectUpdates(w.Batches[i%len(w.Batches)]); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := p.RangeQuery(queries[i%len(queries)], 50); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := p.KNNQuery(queries[(i+7)%len(queries)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

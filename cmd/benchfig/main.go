@@ -55,6 +55,7 @@ var (
 	queries   = flag.Int("queries", bench.DefaultQueries, "queries averaged per data point")
 	fullPre   = flag.Bool("full-precompute", false, "run the true all-pairs pre-computation for Fig 15(d) instead of extrapolating")
 	updateOps = flag.Int("update-ops", 100, "dynamic operations per class for Fig 15(c)")
+	citySmoke = flag.Bool("city-smoke", false, "run the city panel at the CI smoke scale instead of CityDefault")
 )
 
 func main() {
@@ -76,7 +77,7 @@ func main() {
 		{"14a", fig14a}, {"14b", fig14b}, {"14c", fig14c}, {"14d", fig14d},
 		{"15a", fig15a}, {"15b", fig15b}, {"15c", fig15c}, {"15d", fig15d},
 		{"conc", figConc}, {"hotpath", figHotPath}, {"mvcc", figMVCC},
-		{"monitor", figMonitor},
+		{"monitor", figMonitor}, {"city", figCity},
 	}
 	ran := 0
 	for _, p := range panels {
@@ -89,6 +90,7 @@ func main() {
 		// query cost. Rebuilds are deterministic, so results are
 		// unaffected.
 		bench.DropFixtures()
+		bench.DropCityFixtures()
 		runtime.GC()
 		if err := p.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "fig %s: %v\n", p.name, err)
@@ -731,5 +733,58 @@ func figMVCC() error {
 		fmt.Printf("%12d %12.0f %12.1f %12.0f %s %s\n",
 			offered, sustained, swapsPerSec, agg.Throughput, ms(agg.P50), ms(agg.P99))
 	}
+	return nil
+}
+
+// --- City scale: mixed panel + reconciliation shard sweep ---
+
+// figCity is the city-scale workload panel: scale statistics, the mixed
+// read/write/subscription p99 latency budget, and a reconciliation
+// shard-width sweep on the same steady-state churn. The README's
+// performance section publishes this table at CityDefault scale;
+// -city-smoke selects the CI-sized city instead.
+func figCity() error {
+	cfg := bench.CityDefault()
+	subs := 10000
+	if *citySmoke {
+		cfg = bench.CitySmoke()
+		subs = 1000
+	}
+	header(fmt.Sprintf("City scale — %s, %d subscriptions", cfg, subs))
+	w, err := bench.NewCityChurn(cfg, subs)
+	if err != nil {
+		return err
+	}
+	bld := w.Idx.Building()
+	fmt.Printf("buildings %d  partitions %d  doors %d  objects %d  subs %d\n",
+		len(w.Layout.Buildings), len(bld.Partitions()), len(bld.Doors()), cfg.Objects, subs)
+
+	// Mixed panel first: its batches fill the engine's latency window
+	// cleanly before the sweep reuses the engine.
+	rep, err := bench.RunCityMixed(cfg, subs, 256, query.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%-28s %10s %10s\n", "latency budget (ms)", "p50", "p99")
+	fmt.Printf("%-28s %s %s\n", "iRQ (r=50)", ms(rep.RangeP50), ms(rep.RangeP99))
+	fmt.Printf("%-28s %s %s\n", "ikNN (k=10)", ms(rep.KNNP50), ms(rep.KNNP99))
+	fmt.Printf("%-28s %s %s   (mean %s)\n", "reconcile (32-move batch)",
+		ms(rep.ReconcileP50), ms(rep.ReconcileP99), ms(rep.ReconcileMean))
+	fmt.Printf("%-28s %10.0f moves/s\n", "write throughput", rep.MovesPerSec)
+
+	fmt.Printf("\n%8s %14s %14s\n", "shards", "ms/batch", "batches/s")
+	for _, shards := range []int{1, 2, 4, 8} {
+		w.Engine.SetShards(shards)
+		start := time.Now()
+		for _, ups := range w.Batches {
+			if _, err := w.Engine.ApplyObjectUpdates(ups); err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		per := elapsed / time.Duration(len(w.Batches))
+		fmt.Printf("%8d %s %14.1f\n", shards, ms(per), float64(len(w.Batches))/elapsed.Seconds())
+	}
+	w.Engine.SetShards(0)
 	return nil
 }

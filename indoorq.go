@@ -595,6 +595,14 @@ func (db *DB) SubscriptionStatsSnapshot() SubscriptionStats {
 	return SubscriptionStats{}
 }
 
+// SetReconcileShards pins the subscription engine's reconciliation shard
+// width; 0 restores the default (GOMAXPROCS at each pass). The merged
+// event stream is identical for every width — this is a performance
+// knob, not a semantic one.
+func (db *DB) SetReconcileShards(n int) {
+	db.subscriptions().SetShards(n)
+}
+
 // Monitor maintains standing (continuous) range queries over the index,
 // reconciled incrementally as objects move. See NewMonitor.
 type Monitor = query.Monitor

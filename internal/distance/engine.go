@@ -43,10 +43,9 @@ type Engine struct {
 	anchor *index.SkelAnchor
 	full   bool
 
-	// Reusable evaluation buffers (see expected.go).
-	evalBuf []subEval
-	doorBuf []doorW
-	sufBuf  []float64
+	// Reusable evaluation buffers, recycled across engines through the
+	// package pool (see batch.go).
+	bufs *evalBufs
 
 	// Stats counts which expected-distance case (§II-C) each evaluated
 	// subregion hit.
@@ -94,6 +93,7 @@ func NewFull(idx *index.Snapshot, q indoor.Position) (*Engine, error) {
 func (e *Engine) run(unitIDs []index.UnitID, bound float64) {
 	e.dg = e.idx.DoorGraph()
 	e.anchor = e.idx.NewSkelAnchor(e.q)
+	e.bufs = acquireEvalBufs()
 	e.sc = graph.AcquireScratch()
 	e.sc.Reset(e.dg.NumDoors(), e.dg.NumUnits())
 	if !e.full {
@@ -138,14 +138,19 @@ func (e *Engine) Rebind(s *index.Snapshot) bool {
 // Snapshot returns the index snapshot the engine is bound to.
 func (e *Engine) Snapshot() *index.Snapshot { return e.idx }
 
-// Close releases the engine's pooled scratch storage. The engine must not
-// be used afterwards; Close is idempotent and safe on a nil engine.
+// Close releases the engine's pooled scratch storage and evaluation
+// buffers. The engine must not be used afterwards; Close is idempotent and
+// safe on a nil engine.
 func (e *Engine) Close() {
 	if e == nil || e.sc == nil {
 		return
 	}
 	e.sc.Release()
 	e.sc = nil
+	if e.bufs != nil {
+		e.bufs.release()
+		e.bufs = nil
+	}
 }
 
 // Full reports whether the engine covers every unit.

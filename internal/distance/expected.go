@@ -62,28 +62,30 @@ type doorW struct {
 }
 
 // evalScratch returns the engine's reusable subEval buffer sized to n; the
-// contents are overwritten by the caller. Keeping it on the engine makes
-// per-object bound evaluation allocation-free in the steady state.
+// contents are overwritten by the caller. The buffer lives in the pooled
+// evalBufs bundle (batch.go), so per-object bound evaluation is
+// allocation-free in the steady state and the grown storage is recycled
+// across engines instead of thrown away at Close.
 func (e *Engine) evalScratch(n int) []subEval {
-	if cap(e.evalBuf) < n {
-		e.evalBuf = make([]subEval, n)
+	if cap(e.bufs.eval) < n {
+		e.bufs.eval = make([]subEval, n)
 	}
-	e.evalBuf = e.evalBuf[:n]
-	return e.evalBuf
+	e.bufs.eval = e.bufs.eval[:n]
+	return e.bufs.eval
 }
 
 // doorScratch is evalScratch's counterpart for per-unit door evaluations.
 func (e *Engine) doorScratch() []doorW {
-	return e.doorBuf[:0]
+	return e.bufs.door[:0]
 }
 
 // sufScratch returns the reusable suffix-maximum buffer sized to n.
 func (e *Engine) sufScratch(n int) []float64 {
-	if cap(e.sufBuf) < n {
-		e.sufBuf = make([]float64, n)
+	if cap(e.bufs.suf) < n {
+		e.bufs.suf = make([]float64, n)
 	}
-	e.sufBuf = e.sufBuf[:n]
-	return e.sufBuf
+	e.bufs.suf = e.bufs.suf[:n]
+	return e.bufs.suf
 }
 
 // sortEvalsByTmin is an allocation-free insertion sort (ascending tmin).
@@ -296,7 +298,7 @@ func (e *Engine) exactSub(o *object.Object, s *index.Subregion, cap float64) (lo
 		}
 		doors = append(doors, doorW{d: d, base: base, low: lowW})
 	}
-	e.doorBuf = doors
+	e.bufs.door = doors
 	direct := u.ID == e.qUnit.ID
 
 	if len(doors) == 0 && !direct {

@@ -1,0 +1,183 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/indoor"
+)
+
+// CitySpec parameterises the synthetic city: a Rows × Cols grid of
+// mall-shaped buildings with seeded per-building floor counts, joined by
+// ground-level streets. Vertical streets run between building columns and a
+// south boulevard chains the streets together, so the whole city is one
+// connected accessibility graph — objects and queries can cross between
+// buildings the way the paper's distance model requires (door-to-door
+// paths, never Euclidean shortcuts).
+type CitySpec struct {
+	// Rows × Cols is the building grid; 4 × 6 (24 buildings) when zero.
+	Rows, Cols int
+	// FloorsMin..FloorsMax bounds the seeded per-building floor count;
+	// 3..8 when zero.
+	FloorsMin, FloorsMax int
+	// BuildingSize is the side length of each building in metres; 300
+	// when zero.
+	BuildingSize float64
+	// StreetWidth in metres; 12 when zero.
+	StreetWidth float64
+	// FloorHeight in metres; 4 when zero.
+	FloorHeight float64
+	// OneWayFraction of room doors made unidirectional; 0 disables.
+	OneWayFraction float64
+	// Seed drives floor counts and one-way door selection.
+	Seed int64
+}
+
+func (s CitySpec) withDefaults() CitySpec {
+	if s.Rows == 0 {
+		s.Rows = 4
+	}
+	if s.Cols == 0 {
+		s.Cols = 6
+	}
+	if s.FloorsMin == 0 {
+		s.FloorsMin = 3
+	}
+	if s.FloorsMax == 0 {
+		s.FloorsMax = 8
+	}
+	if s.FloorsMax < s.FloorsMin {
+		s.FloorsMax = s.FloorsMin
+	}
+	if s.BuildingSize == 0 {
+		s.BuildingSize = 300
+	}
+	if s.StreetWidth == 0 {
+		s.StreetWidth = 12
+	}
+	if s.FloorHeight == 0 {
+		s.FloorHeight = 4
+	}
+	return s
+}
+
+// CityBuilding is the footprint metadata for one building of the grid; the
+// bench layer uses it to place localized churn and subscriptions inside a
+// chosen building instead of sampling blindly.
+type CityBuilding struct {
+	Row, Col int
+	// Origin is the south-west corner of the building footprint.
+	Origin geom.Point
+	// Size is the side length of the square footprint.
+	Size float64
+	// Floors this building has (others in the city may differ).
+	Floors int
+	// Corridors holds the ground-floor horizontal corridor partitions,
+	// south to north.
+	Corridors []indoor.PartitionID
+}
+
+// CityLayout is the generated city plus the metadata needed to target
+// specific buildings.
+type CityLayout struct {
+	B         *indoor.Building
+	Spec      CitySpec
+	Buildings []CityBuilding
+	// Streets holds the vertical street partitions (west to east) and
+	// Boulevard the east-west boulevard joining them, all on floor 0.
+	Streets   []indoor.PartitionID
+	Boulevard indoor.PartitionID
+}
+
+// Center returns a point in the middle of the building footprint (on the
+// central corridor band of the ground floor).
+func (cb CityBuilding) Center() indoor.Position {
+	scale := cb.Size / 600.0
+	y := cb.Origin.Y + (2*bandHeight+roomDepth+corridorW/2)*scale
+	return indoor.Position{Pt: geom.Pt(cb.Origin.X+cb.Size/2, y), Floor: 0}
+}
+
+// City builds the street-grid city. Streets are modelled as ground-floor
+// hallways; every building connects its three full-width corridor bands
+// (bands 1–3) to an adjacent vertical street, and every street meets the
+// boulevard, so the accessibility graph has a single connected component.
+func City(spec CitySpec) (*CityLayout, error) {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	b := indoor.NewBuilding(spec.FloorHeight)
+
+	size, w := spec.BuildingSize, spec.StreetWidth
+	pitch := size + w
+	nStreets := spec.Cols - 1
+	if nStreets == 0 {
+		nStreets = 1 // a single column still needs one street to its east
+	}
+
+	layout := &CityLayout{B: b, Spec: spec}
+
+	// Boulevard first: y ∈ [0, w], spanning every street mouth.
+	blvd, err := b.AddHallway(0, geom.RectPoly(geom.R(0, 0, float64(nStreets)*pitch, w)))
+	if err != nil {
+		return nil, err
+	}
+	layout.Boulevard = blvd.ID
+
+	// Vertical streets between building columns (or east of a single
+	// column), running from the boulevard past the last building row.
+	streetTop := w + float64(spec.Rows)*pitch - w
+	for sc := 0; sc < nStreets; sc++ {
+		x0 := float64(sc)*pitch + size
+		st, err := b.AddHallway(0, geom.RectPoly(geom.R(x0, w, x0+w, streetTop)))
+		if err != nil {
+			return nil, err
+		}
+		layout.Streets = append(layout.Streets, st.ID)
+		// Street mouth onto the boulevard.
+		if _, err := b.AddDoor(geom.Pt(x0+w/2, w), 0, st.ID, blvd.ID); err != nil {
+			return nil, err
+		}
+	}
+
+	// Buildings, row-major; per-building floor counts are drawn before the
+	// mall body so the rng stream stays deterministic per (Seed, grid).
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			floors := spec.FloorsMin + rng.Intn(spec.FloorsMax-spec.FloorsMin+1)
+			ox := float64(c) * pitch
+			oy := w + float64(r)*pitch
+			frame, err := addMall(b, ox, oy, floors, size, spec.FloorHeight, spec.OneWayFraction, rng)
+			if err != nil {
+				return nil, err
+			}
+			cb := CityBuilding{
+				Row: r, Col: c,
+				Origin: geom.Pt(ox, oy), Size: size, Floors: floors,
+				Corridors: frame.corridors[0][:],
+			}
+
+			// Doors from the full-width corridor bands (1–3; bands 0 and 4
+			// are trimmed for staircases) into the adjacent street: east
+			// street for every column that has one, west street for the
+			// last column of a multi-column grid.
+			street := layout.Streets[min(c, nStreets-1)]
+			doorX := ox + size // east edge
+			if c >= nStreets {
+				doorX = ox // last column opens west
+			}
+			scale := size / 600.0
+			for band := 1; band <= 3; band++ {
+				doorY := oy + (float64(band)*bandHeight+roomDepth+corridorW/2)*scale
+				if _, err := b.AddDoor(geom.Pt(doorX, doorY), 0, frame.corridors[0][band], street); err != nil {
+					return nil, err
+				}
+			}
+			layout.Buildings = append(layout.Buildings, cb)
+		}
+	}
+
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: generated city invalid: %w", err)
+	}
+	return layout, nil
+}

@@ -187,6 +187,128 @@ func TestQueryPoints(t *testing.T) {
 	}
 }
 
+func TestCityConnectedAndCounts(t *testing.T) {
+	layout, err := City(CitySpec{Rows: 2, Cols: 2, FloorsMin: 2, FloorsMax: 3, BuildingSize: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := layout.B
+	if len(layout.Buildings) != 4 {
+		t.Fatalf("buildings = %d, want 4", len(layout.Buildings))
+	}
+	if len(layout.Streets) != 1 {
+		t.Fatalf("streets = %d, want 1", len(layout.Streets))
+	}
+	wantParts := 1 + len(layout.Streets) // boulevard + streets
+	for _, cb := range layout.Buildings {
+		if cb.Floors < 2 || cb.Floors > 3 {
+			t.Fatalf("building floors = %d outside spec bounds", cb.Floors)
+		}
+		// 109 partitions per floor plus 4 staircases per inter-floor gap.
+		wantParts += cb.Floors*109 + (cb.Floors-1)*4
+	}
+	if n := b.NumPartitions(); n != wantParts {
+		t.Errorf("partitions = %d, want %d", n, wantParts)
+	}
+	// The whole city must be one connected component.
+	parts := b.Partitions()
+	visited := make(map[indoor.PartitionID]bool)
+	queue := []indoor.PartitionID{parts[0].ID}
+	visited[parts[0].ID] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range b.AdjacentPartitions(cur) {
+			if !visited[n] {
+				visited[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	if len(visited) != len(parts) {
+		t.Errorf("connected component has %d of %d partitions", len(visited), len(parts))
+	}
+}
+
+func TestCityDeterministic(t *testing.T) {
+	a, err := City(CitySpec{Rows: 2, Cols: 3, FloorsMin: 2, FloorsMax: 5, OneWayFraction: 0.2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := City(CitySpec{Rows: 2, Cols: 3, FloorsMin: 2, FloorsMax: 5, OneWayFraction: 0.2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.B.NumPartitions() != c.B.NumPartitions() {
+		t.Fatal("partition counts differ under the same seed")
+	}
+	for i := range a.Buildings {
+		if a.Buildings[i].Floors != c.Buildings[i].Floors {
+			t.Fatal("per-building floor counts differ under the same seed")
+		}
+	}
+	da, dc := a.B.Doors(), c.B.Doors()
+	if len(da) != len(dc) {
+		t.Fatal("door counts differ under the same seed")
+	}
+	for i := range da {
+		if da[i].OneWay != dc[i].OneWay || !da[i].Pos.Eq(dc[i].Pos) {
+			t.Fatal("same seed must generate identical cities")
+		}
+	}
+}
+
+// Sampling must be area-weighted over the whole layout — a city whose
+// buildings have different heights must see each floor drawn in proportion
+// to its walkable area, not uniformly by floor index (which would skew
+// load onto the floors only tall buildings have, and historically onto
+// building 0).
+func TestSamplingBuildingAware(t *testing.T) {
+	layout, err := City(CitySpec{Rows: 1, Cols: 3, FloorsMin: 2, FloorsMax: 6, BuildingSize: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := layout.B
+	varied := false
+	for _, cb := range layout.Buildings {
+		if cb.Floors != layout.Buildings[0].Floors {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("seed must give buildings of different heights for this test")
+	}
+
+	area := make([]float64, b.Floors())
+	total := 0.0
+	for _, p := range b.Partitions() {
+		if p.Kind == indoor.Staircase {
+			continue
+		}
+		for _, r := range p.Shape.RectDecompose() {
+			area[p.Floor] += r.Area()
+			total += r.Area()
+		}
+	}
+	if area[0] < 1.5*area[b.Floors()-1] {
+		t.Fatalf("test layout not discriminating: floor 0 area %.0f vs top %.0f", area[0], area[b.Floors()-1])
+	}
+
+	const n = 6000
+	qs := QueryPoints(b, n, 42)
+	counts := make([]int, b.Floors())
+	for _, q := range qs {
+		counts[q.Floor]++
+	}
+	for f := range area {
+		want := area[f] / total
+		got := float64(counts[f]) / n
+		if got < want-0.05 || got > want+0.05 {
+			t.Errorf("floor %d: sampled fraction %.3f, area fraction %.3f", f, got, want)
+		}
+	}
+}
+
 func TestObjectsDeterministic(t *testing.T) {
 	b, err := Mall(MallSpec{Floors: 1})
 	if err != nil {

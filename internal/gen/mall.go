@@ -2,8 +2,9 @@
 // shopping-mall building with 600 m × 600 m × 4 m floors, 100 rooms and 4
 // corner staircases per floor connected by hallways; uncertain objects with
 // circular uncertainty regions sampled as truncated Gaussians; and random
-// query points. All generation is deterministic under a caller-provided
-// seed.
+// query points. A city generator composes dozens of such buildings into a
+// connected street grid for the scale benchmarks. All generation is
+// deterministic under a caller-provided seed.
 //
 // The real mall floor plan the paper uses is an image; this generator is
 // the synthetic substitution documented in DESIGN.md — identical partition
@@ -63,6 +64,13 @@ const (
 	stairW       = corridorW
 )
 
+// mallFrame records the partitions a surrounding layout (the city street
+// grid) needs to stitch a mall into a larger building: the horizontal
+// corridors per floor, south to north.
+type mallFrame struct {
+	corridors [][bands]indoor.PartitionID
+}
+
 // Mall builds the synthetic mall. Per floor it creates 100 rooms
 // (5 bands × 2 rows × 10 rooms), 5 horizontal corridors, 4 spine segments
 // and, between consecutive floors, 4 corner staircases — about 113
@@ -71,46 +79,56 @@ const (
 func Mall(spec MallSpec) (*indoor.Building, error) {
 	spec = spec.withDefaults()
 	rng := rand.New(rand.NewSource(spec.Seed))
-	scale := spec.Size / 600.0
 	b := indoor.NewBuilding(spec.FloorHeight)
-
-	type floorParts struct {
-		corridors [bands]indoor.PartitionID // horizontal corridors, south to north
+	if _, err := addMall(b, 0, 0, spec.Floors, spec.Size, spec.FloorHeight, spec.OneWayFraction, rng); err != nil {
+		return nil, err
 	}
-	perFloor := make([]floorParts, spec.Floors)
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: generated mall invalid: %w", err)
+	}
+	return b, nil
+}
 
-	for f := 0; f < spec.Floors; f++ {
-		var fp floorParts
+// addMall adds one mall-shaped structure to b with its south-west corner at
+// (ox, oy). Partition and door IDs are allocated in a fixed order, so a
+// mall at the origin is bit-identical to the historical Mall output and
+// city layouts stay deterministic under a seed.
+func addMall(b *indoor.Building, ox, oy float64, floors int, size, floorHeight, oneWayFraction float64, rng *rand.Rand) (*mallFrame, error) {
+	scale := size / 600.0
+	frame := &mallFrame{corridors: make([][bands]indoor.PartitionID, floors)}
+
+	for f := 0; f < floors; f++ {
+		var fp [bands]indoor.PartitionID
 		for band := 0; band < bands; band++ {
-			y0 := float64(band) * bandHeight * scale
+			y0 := oy + float64(band)*bandHeight*scale
 			corrMinY := y0 + roomDepth*scale
 			corrMaxY := corrMinY + corridorW*scale
 
 			// Horizontal corridor; bands 0 and 4 leave room for corner
 			// staircases at the two ends.
-			cMinX, cMaxX := 0.0, spec.Size
+			cMinX, cMaxX := ox, ox+size
 			if band == 0 || band == bands-1 {
-				cMinX, cMaxX = stairLen*scale, spec.Size-stairLen*scale
+				cMinX, cMaxX = ox+stairLen*scale, ox+size-stairLen*scale
 			}
 			corr, err := b.AddHallway(f, geom.RectPoly(geom.R(cMinX, corrMinY, cMaxX, corrMaxY)))
 			if err != nil {
 				return nil, err
 			}
-			fp.corridors[band] = corr.ID
+			fp[band] = corr.ID
 
 			// Rooms: two rows per band, 5 rooms west of the spine and 5
 			// east, with doors onto the corridor.
-			spineMinX := (300 - corridorW/2) * scale
-			spineMaxX := (300 + corridorW/2) * scale
+			spineMinX := ox + (300-corridorW/2)*scale
+			spineMaxX := ox + (300+corridorW/2)*scale
 			addRow := func(ry0, ry1 float64, doorY float64) error {
-				halves := [][2]float64{{0, spineMinX}, {spineMaxX, spec.Size}}
+				halves := [][2]float64{{ox, spineMinX}, {spineMaxX, ox + size}}
 				for _, h := range halves {
 					w := (h[1] - h[0]) / roomsPerSide
 					for i := 0; i < roomsPerSide; i++ {
 						x0 := h[0] + float64(i)*w
 						room := b.AddRoom(f, geom.R(x0, ry0, x0+w, ry1))
 						doorX := x0 + w/2
-						if rng.Float64() < spec.OneWayFraction {
+						if rng.Float64() < oneWayFraction {
 							if _, err := b.AddOneWayDoor(geom.Pt(doorX, doorY), f, corr.ID, room.ID); err != nil {
 								return err
 							}
@@ -132,58 +150,54 @@ func Mall(spec MallSpec) (*indoor.Building, error) {
 		}
 
 		// Spine segments join consecutive corridors through the room bands.
-		spineMinX := (300 - corridorW/2) * scale
-		spineMaxX := (300 + corridorW/2) * scale
+		spineMinX := ox + (300-corridorW/2)*scale
+		spineMaxX := ox + (300+corridorW/2)*scale
 		for band := 0; band+1 < bands; band++ {
-			yTop := float64(band)*bandHeight*scale + (roomDepth+corridorW)*scale
-			yNext := float64(band+1)*bandHeight*scale + roomDepth*scale
+			yTop := oy + float64(band)*bandHeight*scale + (roomDepth+corridorW)*scale
+			yNext := oy + float64(band+1)*bandHeight*scale + roomDepth*scale
 			seg, err := b.AddHallway(f, geom.RectPoly(geom.R(spineMinX, yTop, spineMaxX, yNext)))
 			if err != nil {
 				return nil, err
 			}
 			mid := (spineMinX + spineMaxX) / 2
-			if _, err := b.AddDoor(geom.Pt(mid, yTop), f, seg.ID, fp.corridors[band]); err != nil {
+			if _, err := b.AddDoor(geom.Pt(mid, yTop), f, seg.ID, fp[band]); err != nil {
 				return nil, err
 			}
-			if _, err := b.AddDoor(geom.Pt(mid, yNext), f, seg.ID, fp.corridors[band+1]); err != nil {
+			if _, err := b.AddDoor(geom.Pt(mid, yNext), f, seg.ID, fp[band+1]); err != nil {
 				return nil, err
 			}
 		}
-		perFloor[f] = fp
+		frame.corridors[f] = fp
 	}
 
 	// Corner staircases: at both ends of the southmost and northmost
 	// corridors, spanning each pair of consecutive floors. The run length
 	// approximates walking two flights of stairs for a 4 m slab.
-	run := 2 * spec.FloorHeight * (stairLen / 20)
-	for f := 0; f+1 < spec.Floors; f++ {
+	run := 2 * floorHeight * (stairLen / 20)
+	for f := 0; f+1 < floors; f++ {
 		corners := []struct {
 			rect geom.Rect
 			door geom.Point
 			band int
 		}{
-			{geom.R(0, roomDepth*scale, stairLen*scale, (roomDepth+stairW)*scale),
-				geom.Pt(stairLen*scale, (roomDepth+stairW/2)*scale), 0},
-			{geom.R(600*scale-stairLen*scale, roomDepth*scale, 600*scale, (roomDepth+stairW)*scale),
-				geom.Pt(600*scale-stairLen*scale, (roomDepth+stairW/2)*scale), 0},
-			{geom.R(0, (4*bandHeight+roomDepth)*scale, stairLen*scale, (4*bandHeight+roomDepth+stairW)*scale),
-				geom.Pt(stairLen*scale, (4*bandHeight+roomDepth+stairW/2)*scale), bands - 1},
-			{geom.R(600*scale-stairLen*scale, (4*bandHeight+roomDepth)*scale, 600*scale, (4*bandHeight+roomDepth+stairW)*scale),
-				geom.Pt(600*scale-stairLen*scale, (4*bandHeight+roomDepth+stairW/2)*scale), bands - 1},
+			{geom.R(ox, oy+roomDepth*scale, ox+stairLen*scale, oy+(roomDepth+stairW)*scale),
+				geom.Pt(ox+stairLen*scale, oy+(roomDepth+stairW/2)*scale), 0},
+			{geom.R(ox+600*scale-stairLen*scale, oy+roomDepth*scale, ox+600*scale, oy+(roomDepth+stairW)*scale),
+				geom.Pt(ox+600*scale-stairLen*scale, oy+(roomDepth+stairW/2)*scale), 0},
+			{geom.R(ox, oy+(4*bandHeight+roomDepth)*scale, ox+stairLen*scale, oy+(4*bandHeight+roomDepth+stairW)*scale),
+				geom.Pt(ox+stairLen*scale, oy+(4*bandHeight+roomDepth+stairW/2)*scale), bands - 1},
+			{geom.R(ox+600*scale-stairLen*scale, oy+(4*bandHeight+roomDepth)*scale, ox+600*scale, oy+(4*bandHeight+roomDepth+stairW)*scale),
+				geom.Pt(ox+600*scale-stairLen*scale, oy+(4*bandHeight+roomDepth+stairW/2)*scale), bands - 1},
 		}
 		for _, c := range corners {
 			st := b.AddStaircase(f, c.rect, run)
-			if _, err := b.AddDoor(c.door, f, st.ID, perFloor[f].corridors[c.band]); err != nil {
+			if _, err := b.AddDoor(c.door, f, st.ID, frame.corridors[f][c.band]); err != nil {
 				return nil, err
 			}
-			if _, err := b.AddDoor(c.door, f+1, st.ID, perFloor[f+1].corridors[c.band]); err != nil {
+			if _, err := b.AddDoor(c.door, f+1, st.ID, frame.corridors[f+1][c.band]); err != nil {
 				return nil, err
 			}
 		}
 	}
-
-	if err := b.Validate(); err != nil {
-		return nil, fmt.Errorf("gen: generated mall invalid: %w", err)
-	}
-	return b, nil
+	return frame, nil
 }

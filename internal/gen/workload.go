@@ -2,6 +2,7 @@ package gen
 
 import (
 	"math/rand"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/indoor"
@@ -10,60 +11,65 @@ import (
 
 // sampler draws positions uniformly from a building's walkable area (rooms
 // and hallways; staircases are excluded as the paper's objects live on
-// floors). It precomputes the per-floor rectangle catalogue once.
+// floors). Selection is globally area-weighted over every rectangle of
+// every floor, so layouts with uneven mass — a city where buildings have
+// different floor counts, or streets that exist only at ground level — are
+// sampled in proportion to their true walkable area instead of skewing
+// load onto low-index floors or building 0.
 type sampler struct {
-	b      *indoor.Building
-	floors int
-	// rects per floor, with prefix areas for weighted selection.
-	rects  map[int][]geom.Rect
-	prefix map[int][]float64
+	b *indoor.Building
+	// rects is the flat catalogue of walkable rectangles with their
+	// floors; prefix holds cumulative areas for weighted binary search.
+	rects  []sampleRect
+	prefix []float64
+	// byFloor indexes the same rectangles per floor for inside().
+	byFloor map[int][]geom.Rect
+}
+
+type sampleRect struct {
+	r     geom.Rect
+	floor int
 }
 
 func newSampler(b *indoor.Building) *sampler {
-	s := &sampler{
-		b: b, floors: b.Floors(),
-		rects:  make(map[int][]geom.Rect),
-		prefix: make(map[int][]float64),
-	}
+	s := &sampler{b: b, byFloor: make(map[int][]geom.Rect)}
 	for _, p := range b.Partitions() {
 		if p.Kind == indoor.Staircase {
 			continue
 		}
 		for _, r := range p.Shape.RectDecompose() {
-			s.rects[p.Floor] = append(s.rects[p.Floor], r)
+			s.rects = append(s.rects, sampleRect{r: r, floor: p.Floor})
+			s.byFloor[p.Floor] = append(s.byFloor[p.Floor], r)
 		}
 	}
-	for f, rs := range s.rects {
-		acc := make([]float64, len(rs))
-		sum := 0.0
-		for i, r := range rs {
-			sum += r.Area()
-			acc[i] = sum
-		}
-		s.prefix[f] = acc
+	s.prefix = make([]float64, len(s.rects))
+	sum := 0.0
+	for i, sr := range s.rects {
+		sum += sr.r.Area()
+		s.prefix[i] = sum
 	}
 	return s
 }
 
-// point draws a uniform position on the given floor.
-func (s *sampler) point(rng *rand.Rand, floor int) indoor.Position {
-	rs, acc := s.rects[floor], s.prefix[floor]
-	total := acc[len(acc)-1]
+// point draws a position uniformly over the building's total walkable
+// area, floor choice included.
+func (s *sampler) point(rng *rand.Rand) indoor.Position {
+	total := s.prefix[len(s.prefix)-1]
 	t := rng.Float64() * total
-	i := 0
-	for i < len(acc)-1 && acc[i] < t {
-		i++
+	i := sort.SearchFloat64s(s.prefix, t)
+	if i >= len(s.rects) {
+		i = len(s.rects) - 1
 	}
-	r := rs[i]
+	sr := s.rects[i]
 	return indoor.Position{
-		Pt:    geom.Pt(r.MinX+rng.Float64()*r.Width(), r.MinY+rng.Float64()*r.Height()),
-		Floor: floor,
+		Pt:    geom.Pt(sr.r.MinX+rng.Float64()*sr.r.Width(), sr.r.MinY+rng.Float64()*sr.r.Height()),
+		Floor: sr.floor,
 	}
 }
 
 // inside reports whether the position lies in walkable area of its floor.
 func (s *sampler) inside(pos indoor.Position) bool {
-	for _, r := range s.rects[pos.Floor] {
+	for _, r := range s.byFloor[pos.Floor] {
 		if r.Contains(pos.Pt) {
 			return true
 		}
@@ -91,9 +97,10 @@ func (s ObjectSpec) withDefaults() ObjectSpec {
 }
 
 // Objects generates uncertain objects randomly distributed in the building:
-// centres uniform over walkable area, pdf a truncated Gaussian over the
-// uncertainty circle (σ = diameter/6) resampled so every instance lies in
-// walkable space (positioning never reports a location inside a wall).
+// centres uniform over walkable area (area-weighted across all floors of
+// all buildings), pdf a truncated Gaussian over the uncertainty circle
+// (σ = diameter/6) resampled so every instance lies in walkable space
+// (positioning never reports a location inside a wall).
 func Objects(b *indoor.Building, spec ObjectSpec) []*object.Object {
 	spec = spec.withDefaults()
 	rng := rand.New(rand.NewSource(spec.Seed))
@@ -103,8 +110,8 @@ func Objects(b *indoor.Building, spec ObjectSpec) []*object.Object {
 
 	out := make([]*object.Object, 0, spec.N)
 	for i := 0; i < spec.N; i++ {
-		floor := rng.Intn(s.floors)
-		center := s.point(rng, floor)
+		center := s.point(rng)
+		floor := center.Floor
 		o := &object.Object{
 			ID: object.ID(i), Center: center, Radius: spec.Radius,
 			Instances: make([]object.Instance, 0, spec.Instances),
@@ -136,7 +143,7 @@ func QueryPoints(b *indoor.Building, n int, seed int64) []indoor.Position {
 	s := newSampler(b)
 	out := make([]indoor.Position, n)
 	for i := range out {
-		out[i] = s.point(rng, rng.Intn(s.floors))
+		out[i] = s.point(rng)
 	}
 	return out
 }

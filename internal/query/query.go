@@ -12,10 +12,10 @@
 package query
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/distance"
@@ -279,6 +279,85 @@ func (rf *refiner) exact(o *object.Object) (float64, error) {
 	return d, nil
 }
 
+// exactBatch resolves the true expected distance of every candidate id
+// through the batched Eq-8 kernels: one bracket pass per ladder rung over
+// the whole (shrinking) slice instead of climbing the ladder per object.
+// Each rung shares its engine's single pinned snapshot/anchor setup and
+// writes into the recycled arena; only candidates whose bracket stays open
+// ride to the next rung. Resolved distances are delivered through emit in
+// resolution order (callers sort or key by id, so order carries no
+// meaning). Unknown ids resolve to +Inf like the serial ladder would.
+func (rf *refiner) exactBatch(ids []object.ID, a *distance.Arena, emit func(object.ID, float64)) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	low, high := rf.eng.ExactDistBracketBatch(ids, rf.r, a)
+	open := a.IDs()
+	for i, id := range ids {
+		if low[i] == high[i] {
+			emit(id, high[i])
+		} else {
+			open = append(open, id)
+		}
+	}
+	defer a.KeepIDs(open)
+	if len(open) == 0 {
+		return nil
+	}
+	if err := rf.ensureExt(); err != nil {
+		return err
+	}
+	low, high = rf.ext.ExactDistBracketBatch(open, rf.extR, a)
+	n := 0
+	for i, id := range open {
+		if low[i] == high[i] {
+			emit(id, high[i])
+		} else {
+			open[n] = id
+			n++
+		}
+	}
+	open = open[:n]
+	if n == 0 {
+		return nil
+	}
+	if err := rf.ensureFull(); err != nil {
+		return err
+	}
+	objs := rf.ex.s.Objects()
+	for _, id := range open {
+		rf.stats.FullFallbacks++
+		if o := objs.Get(id); o != nil {
+			d, _ := rf.full.ExactDist(o)
+			emit(id, d)
+		} else {
+			emit(id, math.Inf(1))
+		}
+	}
+	return nil
+}
+
+// knnScratch pools the ikNN query-layer staging slices (sorted uppers, the
+// undetermined set, the exact-result staging) so steady-state queries
+// reuse grown storage instead of allocating it per call.
+type knnScratch struct {
+	uppers []float64
+	undet  []object.ID
+	exact  []Result
+}
+
+var knnScratchPool = sync.Pool{New: func() any { return new(knnScratch) }}
+
+// growFloats sizes a reusable float64 buffer to n, reallocating only on
+// capacity growth.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // RangeQuery evaluates iRQq,r(O) per Algorithm 1, returning the objects
 // whose expected indoor distance is at most r. The evaluation pins the
 // index's current snapshot, so any number of queries proceed in parallel
@@ -358,9 +437,12 @@ func (p *Processor) RangeQueryOn(s *index.Snapshot, q indoor.Position, r float64
 	return results, st, nil
 }
 
-// seedFrontier is the kSeedsSelection priority queue: a container/heap of
-// (unit, geometric-bound key) entries popped nearest-first with the
-// deterministic (key, uid) tie-break the old linear scan used.
+// seedFrontier is the kSeedsSelection priority queue: a typed binary
+// min-heap of (unit, geometric-bound key) entries popped nearest-first
+// with the deterministic (key, uid) tie-break the old linear scan used.
+// It deliberately avoids container/heap — the interface indirection boxes
+// every pushed and popped entry, which profiling showed was the single
+// largest allocation source on the ikNN hot path.
 type seedFrontier []seedEntry
 
 type seedEntry struct {
@@ -368,21 +450,81 @@ type seedEntry struct {
 	key float64
 }
 
-func (h seedFrontier) Len() int { return len(h) }
-func (h seedFrontier) Less(i, j int) bool {
-	if h[i].key != h[j].key {
-		return h[i].key < h[j].key
+func (a seedEntry) less(b seedEntry) bool {
+	if a.key != b.key {
+		return a.key < b.key
 	}
-	return h[i].uid < h[j].uid
+	return a.uid < b.uid
 }
-func (h seedFrontier) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *seedFrontier) Push(x interface{}) { *h = append(*h, x.(seedEntry)) }
-func (h *seedFrontier) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *seedFrontier) push(e seedEntry) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s[i].less(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *seedFrontier) pop() seedEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s[l].less(s[small]) {
+			small = l
+		}
+		if r < n && s[r].less(s[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}
+
+// seedScratch pools the kSeedsSelection working state — the frontier heap
+// and the bookkeeping maps — so the flood reuses warmed buckets instead of
+// allocating five maps per query.
+type seedScratch struct {
+	h         seedFrontier
+	queued    map[index.UnitID]bool
+	popped    map[index.UnitID]bool
+	seen      map[object.ID]bool
+	remaining map[object.ID]int            // unvisited units per seen object
+	waiting   map[index.UnitID][]object.ID // objects waiting on a unit
+}
+
+var seedScratchPool = sync.Pool{New: func() any {
+	return &seedScratch{
+		queued:    make(map[index.UnitID]bool),
+		popped:    make(map[index.UnitID]bool),
+		seen:      make(map[object.ID]bool),
+		remaining: make(map[object.ID]int),
+		waiting:   make(map[index.UnitID][]object.ID),
+	}
+}}
+
+func (sc *seedScratch) put() {
+	sc.h = sc.h[:0]
+	clear(sc.queued)
+	clear(sc.popped)
+	clear(sc.seen)
+	clear(sc.remaining)
+	clear(sc.waiting)
+	seedScratchPool.Put(sc)
 }
 
 // kSeedsSelection is Algorithm 5: expand units outward from the query
@@ -399,16 +541,18 @@ func (ex *exec) kSeedsSelection(q indoor.Position, k int) (units []index.UnitID,
 	// The seed flood always keys on the skeleton bound (the ablation only
 	// swaps the filtering bound), so anchor unconditionally.
 	anchor := ex.s.NewSkelAnchor(q)
-	h := seedFrontier{{uid: start.ID, key: 0}}
-	queued := map[index.UnitID]bool{start.ID: true}
-	popped := make(map[index.UnitID]bool)
-	seen := make(map[object.ID]bool)
-	remaining := make(map[object.ID]int)          // unvisited units per seen object
-	waiting := make(map[index.UnitID][]object.ID) // objects waiting on a unit
+	sscr := seedScratchPool.Get().(*seedScratch)
+	defer sscr.put()
+	h := sscr.h
+	defer func() { sscr.h = h }()
+	h.push(seedEntry{uid: start.ID, key: 0})
+	queued, popped := sscr.queued, sscr.popped
+	seen, remaining, waiting := sscr.seen, sscr.remaining, sscr.waiting
+	queued[start.ID] = true
 	closed := 0
 
 	for len(h) > 0 && closed < k {
-		cur := heap.Pop(&h).(seedEntry)
+		cur := h.pop()
 
 		u := ex.s.Unit(cur.uid)
 		if u == nil {
@@ -457,7 +601,7 @@ func (ex *exec) kSeedsSelection(q indoor.Position, k int) (units []index.UnitID,
 				continue
 			}
 			queued[next] = true
-			heap.Push(&h, seedEntry{uid: next, key: ex.s.AnchorMinDistUnit(anchor, nu)})
+			h.push(seedEntry{uid: next, key: ex.s.AnchorMinDistUnit(anchor, nu)})
 		}
 	}
 	return units, objs, nil
@@ -479,6 +623,11 @@ func (p *Processor) KNNQueryOn(s *index.Snapshot, q indoor.Position, k int) ([]R
 		return nil, st, nil
 	}
 
+	ar := distance.AcquireArena()
+	defer ar.Release()
+	scr := knnScratchPool.Get().(*knnScratch)
+	defer knnScratchPool.Put(scr)
+
 	// Phase 1: filtering — seeds, kbound from the TLU (Lemma 3), then the
 	// geometric range search with kbound.
 	start := time.Now()
@@ -497,10 +646,7 @@ func (p *Processor) KNNQueryOn(s *index.Snapshot, q indoor.Position, k int) ([]R
 		if err != nil {
 			return nil, st, err
 		}
-		tlus := make([]float64, 0, len(seeds))
-		for _, oid := range seeds {
-			tlus = append(tlus, seedEng.TLU(s.Objects().Get(oid)))
-		}
+		tlus := seedEng.TLUBatch(seeds, ar)
 		seedEng.Close()
 		sort.Float64s(tlus)
 		kbound = tlus[k-1]
@@ -519,27 +665,19 @@ func (p *Processor) KNNQueryOn(s *index.Snapshot, q indoor.Position, k int) ([]R
 	defer eng.Close()
 	st.Subgraph = time.Since(start)
 
-	// Phase 3: pruning around the k-th smallest upper bound.
+	// Phase 3: pruning around the k-th smallest upper bound, with the
+	// bounds of all candidates evaluated in one batch against the shared
+	// subgraph engine (bounds[i] corresponds to candidates[i]).
 	start = time.Now()
-	type cand struct {
-		id     object.ID
-		bounds distance.Bounds
-	}
-	cands := make([]cand, 0, len(candidates))
-	for _, oid := range candidates {
-		o := s.Objects().Get(oid)
-		cands = append(cands, cand{id: oid, bounds: eng.ObjectBounds(o, kbound)})
-	}
+	bounds := eng.ObjectBoundsBatch(candidates, kbound, ar)
 	var results []Result
-	var undetermined []object.ID
-	if p.opts.DisablePruning || len(cands) <= k {
-		for _, c := range cands {
-			undetermined = append(undetermined, c.id)
-		}
+	undetermined := scr.undet[:0]
+	if p.opts.DisablePruning || len(candidates) <= k {
+		undetermined = append(undetermined, candidates...)
 	} else {
-		uppers := make([]float64, len(cands))
-		for i, c := range cands {
-			uppers[i] = c.bounds.Upper
+		uppers := growFloats(&scr.uppers, len(bounds))
+		for i, b := range bounds {
+			uppers[i] = b.Upper
 		}
 		sort.Float64s(uppers)
 		kthUpper := uppers[k-1]
@@ -549,40 +687,41 @@ func (p *Processor) KNNQueryOn(s *index.Snapshot, q indoor.Position, k int) ([]R
 		// k-th-ranked lower bound is a sure result. We use the safest
 		// (smallest) lower bound among objects whose upper bound reaches
 		// kthUpper.
-		for _, c := range cands {
-			if c.bounds.Upper >= kthUpper && c.bounds.Lower < kthLower {
-				kthLower = c.bounds.Lower
+		for _, b := range bounds {
+			if b.Upper >= kthUpper && b.Lower < kthLower {
+				kthLower = b.Lower
 			}
 		}
-		for _, c := range cands {
+		for i, b := range bounds {
 			switch {
-			case c.bounds.Upper < kthLower:
+			case b.Upper < kthLower:
 				st.AcceptedBounds++
-				results = append(results, Result{ID: c.id, Distance: math.NaN()})
-			case c.bounds.Lower <= kthUpper:
-				undetermined = append(undetermined, c.id)
+				results = append(results, Result{ID: candidates[i], Distance: math.NaN()})
+			case b.Lower <= kthUpper:
+				undetermined = append(undetermined, candidates[i])
 			default:
 				st.RejectedBounds++
 			}
 		}
 	}
+	scr.undet = undetermined
 	st.Pruning = time.Since(start)
 
 	// Phase 4: refinement — candidates whose bracket stays open (far
-	// subregions beyond kbound) climb the escalation ladder so the final
-	// ordering uses true expected distances.
+	// subregions beyond kbound) climb the escalation ladder, one batched
+	// bracket pass per rung, so the final ordering uses true expected
+	// distances.
 	start = time.Now()
 	rf := &refiner{ex: ex, q: q, r: kbound, eng: eng, stats: st}
 	defer rf.Close()
-	exact := make([]Result, 0, len(undetermined))
-	for _, oid := range undetermined {
-		o := s.Objects().Get(oid)
-		st.Refined++
-		d, err := rf.exact(o)
-		if err != nil {
-			return nil, st, err
-		}
-		exact = append(exact, Result{ID: oid, Distance: d})
+	exact := scr.exact[:0]
+	st.Refined += len(undetermined)
+	err = rf.exactBatch(undetermined, ar, func(id object.ID, d float64) {
+		exact = append(exact, Result{ID: id, Distance: d})
+	})
+	scr.exact = exact
+	if err != nil {
+		return nil, st, err
 	}
 	sort.Slice(exact, func(i, j int) bool {
 		if exact[i].Distance != exact[j].Distance {

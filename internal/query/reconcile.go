@@ -3,6 +3,7 @@ package query
 import (
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/index"
 	"repro/internal/indoor"
@@ -12,20 +13,68 @@ import (
 // Batch reconciliation. ApplyObjectUpdates is the write path of the
 // subscription engine: one coalesced index mutation (one snapshot swap)
 // followed by one reconciliation pass over the subscriptions the router
-// admits, sharded across workers when a fan-out is installed. Every
-// subscription reconciles independently — its cached engines, candidate
-// cache and member set are private — so the pass parallelises without
-// locks; the router and the event log are only touched serially under the
-// engine mutex.
+// admits, sharded by subscription footprint across core-local workers.
+//
+// Sharding model. The affected subscriptions (ascending by id) are
+// partitioned across shardWidth() shards keyed by each subscription's
+// primary footprint unit (its first candidate UnitID, hashed), so
+// subscriptions anchored in the same region — whose cached engines walk
+// the same graph neighbourhood — tend to share a worker. Each shard owns a
+// core-local arena (reconShard): an event buffer segmented per
+// subscription, reused batch over batch. Workers never touch shared state;
+// every subscription reconciles against private cached engines, and the
+// router, stats and event log are only touched serially under the engine
+// mutex after the fan-out returns.
+//
+// Ordering contract. The serial reconciler sorted the whole pass's events
+// by (subscription, object, kind). The sharded pass reproduces that order
+// bit-for-bit on merge-on-drain: a pass emits at most one event per
+// (subscription, object) pair, each shard sorts every subscription's
+// segment by (object, kind) as it is produced, shard id-lists are
+// ascending, and the final merge walks the shards' segment queues picking
+// the smallest subscription id next. The merged stream is therefore
+// identical for every shard width, including width 1 (the serial oracle
+// the equivalence tests compare against).
 
-// subResult is one subscription's share of a reconciliation pass.
-type subResult struct {
-	evs []SubEvent
-	err error
-	// refreshed reports a wholesale refresh whose footprint change must be
-	// re-advertised in the router (done serially after the fan-out).
-	refreshed bool
-	oldUnits  []index.UnitID
+// reconLatWindow is the ring size of the per-batch reconciliation latency
+// window Stats aggregates over.
+const reconLatWindow = 512
+
+// reconShard is one reconciliation worker's core-local arena. The slices
+// are reset (not freed) between batches so the steady state recycles them.
+type reconShard struct {
+	// ids are the shard's affected subscriptions, ascending.
+	ids []int
+	// evs holds the shard's events, contiguous per subscription; segs
+	// delimits the per-subscription segments in ids order.
+	evs  []SubEvent
+	segs []reconSeg
+	// refreshed records wholesale refreshes whose footprint change must
+	// be re-advertised in the router (done serially after the fan-out).
+	refreshed []reconRefresh
+	// err is the shard's first error by subscription order (errSub is
+	// that subscription's id).
+	err    error
+	errSub int
+}
+
+type reconSeg struct {
+	sub        int
+	start, end int
+}
+
+type reconRefresh struct {
+	sub      int
+	oldUnits []index.UnitID
+}
+
+func (sh *reconShard) reset() {
+	sh.ids = sh.ids[:0]
+	sh.evs = sh.evs[:0]
+	sh.segs = sh.segs[:0]
+	sh.refreshed = sh.refreshed[:0]
+	sh.err = nil
+	sh.errSub = 0
 }
 
 // ApplyObjectUpdates applies a batch of object-layer mutations as ONE
@@ -66,6 +115,32 @@ func (e *Subscriptions) ApplyObjectUpdates(ups []index.ObjectUpdate) ([]SubEvent
 	return evs, err
 }
 
+// shardOf assigns a subscription to one of nsh shards by its primary
+// footprint unit (the first UnitID of its candidate footprint), Fibonacci-
+// hashed so the dense, spatially clustered unit ids spread evenly instead
+// of striping. Subscriptions without a footprint (a refresh-pending one)
+// key on their handle.
+func shardOf(s *standingQuery, nsh int) int {
+	u := uint64(s.id)
+	if len(s.units) > 0 {
+		u = uint64(s.units[0])
+	}
+	return int((u * 0x9E3779B97F4A7C15) % uint64(nsh))
+}
+
+// shardState sizes the engine's reusable shard arenas to nsh and resets
+// them for a fresh pass.
+func (e *Subscriptions) shardState(nsh int) []reconShard {
+	for len(e.shardBufs) < nsh {
+		e.shardBufs = append(e.shardBufs, reconShard{})
+	}
+	shards := e.shardBufs[:nsh]
+	for i := range shards {
+		shards[i].reset()
+	}
+	return shards
+}
+
 // reconcile runs one pass over the subscriptions an update batch can
 // affect: the router-admitted ones plus — only when the current snapshot's
 // topology epoch differs from the last one the engine reconciled against —
@@ -75,11 +150,14 @@ func (e *Subscriptions) ApplyObjectUpdates(ups []index.ObjectUpdate) ([]SubEvent
 // O(registered) scan happens at most once per out-of-band topology change.
 // A subscription whose refresh failed during such a scan stays stale but
 // remains advertised in the router under its old footprint, so a later
-// routed update (or the next topology operation) retries its refresh. The
-// pass fans out across subscriptions; events merge sorted by
-// (subscription, object) and the first error (by subscription order) is
-// reported alongside the events gathered so far.
+// routed update (or the next topology operation) retries its refresh.
+//
+// The pass shards the affected subscriptions across core-local workers
+// (see the package note on the sharding model and ordering contract); the
+// first error by subscription order is reported alongside the events
+// gathered so far, exactly as the serial reconciler did.
 func (e *Subscriptions) reconcile(cur *index.Snapshot, touched map[object.ID][]index.UnitID) ([]SubEvent, error) {
+	start := time.Now()
 	routed := e.route(touched)
 	ids := make([]int, 0, len(routed))
 	if cur.TopoEpoch() != e.lastTopoEpoch {
@@ -103,84 +181,179 @@ func (e *Subscriptions) reconcile(cur *index.Snapshot, touched map[object.ID][]i
 		e.stats.RoutedPairs += uint64(len(objs))
 	}
 	if len(ids) == 0 {
+		e.noteBatchLatency(time.Since(start))
 		return nil, nil
 	}
 
-	results := make([]subResult, len(ids))
+	nsh := e.shardWidth()
+	if nsh > len(ids) {
+		nsh = len(ids)
+	}
+	shards := e.shardState(nsh)
+	for _, id := range ids {
+		sh := &shards[shardOf(e.standing[id], nsh)]
+		sh.ids = append(sh.ids, id)
+	}
+
 	run := e.fan
-	if run == nil {
+	if run == nil || nsh == 1 {
 		run = func(n int, fn func(int)) {
 			for i := 0; i < n; i++ {
 				fn(i)
 			}
 		}
 	}
-	run(len(ids), func(i int) {
-		s := e.standing[ids[i]]
-		results[i] = e.reconcileSub(s, cur, routed[s.id])
+	run(nsh, func(si int) {
+		e.reconcileShard(&shards[si], cur, routed)
 	})
 
-	var evs []SubEvent
+	// Merge on drain, then the serial epilogue: router re-advertisement
+	// for refreshed footprints (ascending by subscription, like the serial
+	// pass) and the first error by subscription order.
+	evs := mergeShardEvents(shards)
 	var firstErr error
-	for i := range results {
-		evs = append(evs, results[i].evs...)
-		if results[i].err != nil && firstErr == nil {
-			firstErr = results[i].err
-		}
-		if results[i].refreshed {
-			e.stats.Refreshes++
-			e.routeUpdate(e.standing[ids[i]], results[i].oldUnits)
+	errSub := -1
+	for si := range shards {
+		sh := &shards[si]
+		if sh.err != nil && (errSub < 0 || sh.errSub < errSub) {
+			firstErr, errSub = sh.err, sh.errSub
 		}
 	}
-	sortEvents(evs)
+	nref := 0
+	for si := range shards {
+		nref += len(shards[si].refreshed)
+	}
+	if nref > 0 {
+		refreshed := make([]reconRefresh, 0, nref)
+		for si := range shards {
+			refreshed = append(refreshed, shards[si].refreshed...)
+		}
+		sort.Slice(refreshed, func(i, j int) bool { return refreshed[i].sub < refreshed[j].sub })
+		for _, r := range refreshed {
+			e.stats.Refreshes++
+			e.routeUpdate(e.standing[r.sub], r.oldUnits)
+		}
+	}
+	e.noteBatchLatency(time.Since(start))
 	return evs, firstErr
 }
 
-// reconcileSub re-evaluates the routed objects against one subscription.
-// A subscription whose cached engines cannot rebind (topology changed out
-// of band) refreshes wholesale; when even the refresh fails (e.g. the
-// query point's partition was removed) it keeps answering from its last
-// good snapshot — reconciliation must not crash the stream.
-func (e *Subscriptions) reconcileSub(s *standingQuery, cur *index.Snapshot, objs []object.ID) subResult {
+// noteBatchLatency records one pass's wall time in the latency ring.
+// Callers hold the writer mutex.
+func (e *Subscriptions) noteBatchLatency(d time.Duration) {
+	e.latWin[e.latCount%reconLatWindow] = d
+	e.latCount++
+}
+
+// reconcileShard processes one shard's subscriptions in ascending id
+// order, appending each subscription's events as a sorted segment of the
+// shard's core-local buffer. An error stops only the failing
+// subscription's evaluation; the rest of the shard still reconciles (the
+// serial pass behaved the same way, one independent run per subscription).
+func (e *Subscriptions) reconcileShard(sh *reconShard, cur *index.Snapshot, routed map[int][]object.ID) {
+	for _, id := range sh.ids {
+		s := e.standing[id]
+		start := len(sh.evs)
+		e.reconcileSubInto(sh, s, cur, routed[id])
+		seg := sh.evs[start:]
+		// All segment events share the subscription, so this orders by
+		// (object, kind) — the within-subscription order of the contract.
+		sortEvents(seg)
+		sh.segs = append(sh.segs, reconSeg{sub: id, start: start, end: len(sh.evs)})
+	}
+}
+
+// mergeShardEvents drains the shards' segment queues into one stream
+// ordered by (subscription, object, kind). Segments are per-subscription
+// sorted and each shard's queue is ascending by subscription id, so
+// repeatedly taking the queue head with the smallest id reproduces the
+// serial reconciler's global sort exactly.
+func mergeShardEvents(shards []reconShard) []SubEvent {
+	total := 0
+	for i := range shards {
+		total += len(shards[i].evs)
+	}
+	if total == 0 {
+		return nil
+	}
+	if len(shards) == 1 {
+		// Still copy out: the shard arena is reused next batch, while the
+		// merged stream escapes to the caller and the event log.
+		return append(make([]SubEvent, 0, total), shards[0].evs...)
+	}
+	evs := make([]SubEvent, 0, total)
+	pos := make([]int, len(shards))
+	for {
+		best, bestSub := -1, 0
+		for si := range shards {
+			if pos[si] >= len(shards[si].segs) {
+				continue
+			}
+			if sub := shards[si].segs[pos[si]].sub; best < 0 || sub < bestSub {
+				best, bestSub = si, sub
+			}
+		}
+		if best < 0 {
+			return evs
+		}
+		seg := shards[best].segs[pos[best]]
+		evs = append(evs, shards[best].evs[seg.start:seg.end]...)
+		pos[best]++
+	}
+}
+
+// reconcileSubInto re-evaluates the routed objects against one
+// subscription, appending events to the shard buffer. A subscription whose
+// cached engines cannot rebind (topology changed out of band) refreshes
+// wholesale; when even the refresh fails (e.g. the query point's partition
+// was removed) it keeps answering from its last good snapshot —
+// reconciliation must not crash the stream.
+func (e *Subscriptions) reconcileSubInto(sh *reconShard, s *standingQuery, cur *index.Snapshot, objs []object.ID) {
 	if !s.rebind(cur) {
-		return e.refreshDiffQuiet(s)
+		e.refreshDiffQuietInto(sh, s)
+		return
 	}
 	seq := cur.Seq()
 	switch s.kind {
 	case SubKNN:
-		return e.reconcileKNN(s, seq, objs)
+		e.reconcileKNNInto(sh, s, seq, objs)
 	default:
-		return e.reconcileRange(s, seq, objs)
+		e.reconcileRangeInto(sh, s, seq, objs)
 	}
 }
 
-func (e *Subscriptions) reconcileRange(s *standingQuery, seq uint64, objs []object.ID) subResult {
-	var res subResult
+// noteErr records a shard's first error by subscription order; shard ids
+// are processed ascending, so first-come wins.
+func (sh *reconShard) noteErr(sub int, err error) {
+	if sh.err == nil {
+		sh.err, sh.errSub = err, sub
+	}
+}
+
+func (e *Subscriptions) reconcileRangeInto(sh *reconShard, s *standingQuery, seq uint64, objs []object.ID) {
 	for _, oid := range objs {
 		in, err := evalRange(&s.phase, s.q, s.r, oid)
 		if err != nil {
-			res.err = err
-			return res
+			sh.noteErr(s.id, err)
+			return
 		}
 		was := s.members[oid]
 		switch {
 		case in && !was:
 			s.members[oid] = true
-			res.evs = append(res.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventEnter, Distance: math.NaN(), Seq: seq})
+			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventEnter, Distance: math.NaN(), Seq: seq})
 		case !in && was:
 			delete(s.members, oid)
-			res.evs = append(res.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventLeave, Distance: math.NaN(), Seq: seq})
+			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventLeave, Distance: math.NaN(), Seq: seq})
 		}
 	}
-	return res
 }
 
-func (e *Subscriptions) reconcileKNN(s *standingQuery, seq uint64, objs []object.ID) subResult {
-	var res subResult
+func (e *Subscriptions) reconcileKNNInto(sh *reconShard, s *standingQuery, seq uint64, objs []object.ID) {
 	for _, oid := range objs {
 		if err := evalKNNCand(&s.phase, s.q, s.r, oid, s.cand); err != nil {
-			res.err = err
-			return res
+			sh.noteErr(s.id, err)
+			return
 		}
 	}
 	// Safe-distance exhaustion: the footprint radius upper-bounds the k-th
@@ -188,50 +361,50 @@ func (e *Subscriptions) reconcileKNN(s *standingQuery, seq uint64, objs []object
 	// means the true top-k may reach beyond the footprint — refresh at a
 	// fresh radius. An infinite radius already covers everything.
 	if len(s.cand) < s.k && !math.IsInf(s.r, 1) {
-		return e.refreshDiffQuiet(s)
+		e.refreshDiffQuietInto(sh, s)
+		return
 	}
-	res.evs = e.rediffTopK(s, seq, objs)
-	return res
+	e.rediffTopKInto(sh, s, seq, objs)
 }
 
-// rediffTopK recomputes a kNN subscription's top-k from its candidate
-// cache and returns the delta against the previous result: enter/leave
-// for membership changes, update for routed members whose exact distance
+// rediffTopKInto recomputes a kNN subscription's top-k from its candidate
+// cache and appends the delta against the previous result: enter/leave for
+// membership changes, update for routed members whose exact distance
 // changed in place.
-func (e *Subscriptions) rediffTopK(s *standingQuery, seq uint64, routedObjs []object.ID) []SubEvent {
+func (e *Subscriptions) rediffTopKInto(sh *reconShard, s *standingQuery, seq uint64, routedObjs []object.ID) {
 	newMembers, newDist := topkOf(s)
-	var evs []SubEvent
 	for oid := range s.members {
 		if !newMembers[oid] {
-			evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventLeave, Distance: math.NaN(), Seq: seq})
+			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventLeave, Distance: math.NaN(), Seq: seq})
 		}
 	}
 	for oid := range newMembers {
 		if !s.members[oid] {
-			evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventEnter, Distance: newDist[oid], Seq: seq})
+			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventEnter, Distance: newDist[oid], Seq: seq})
 		}
 	}
 	// Distances only change for re-evaluated objects; surviving members
 	// outside the routed set kept theirs.
 	for _, oid := range routedObjs {
 		if s.members[oid] && newMembers[oid] && s.memberDist[oid] != newDist[oid] {
-			evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventUpdate, Distance: newDist[oid], Seq: seq})
+			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventUpdate, Distance: newDist[oid], Seq: seq})
 		}
 	}
 	s.members, s.memberDist = newMembers, newDist
-	return evs
 }
 
-// refreshDiffQuiet is refreshDiff for the reconcile path: a failed refresh
-// is swallowed (the subscription stays on its last good state and a later
-// operation repairs it).
-func (e *Subscriptions) refreshDiffQuiet(s *standingQuery) subResult {
+// refreshDiffQuietInto is refreshDiff for the reconcile path: a failed
+// refresh is swallowed (the subscription stays on its last good state and
+// a later operation repairs it), a successful one appends its delta and
+// queues the footprint re-advertisement for the serial epilogue.
+func (e *Subscriptions) refreshDiffQuietInto(sh *reconShard, s *standingQuery) {
 	old := s.units
 	evs, err := e.refreshDiff(s)
 	if err != nil {
-		return subResult{}
+		return
 	}
-	return subResult{evs: evs, refreshed: true, oldUnits: old}
+	sh.evs = append(sh.evs, evs...)
+	sh.refreshed = append(sh.refreshed, reconRefresh{sub: s.id, oldUnits: old})
 }
 
 // refreshDiff refreshes a subscription wholesale and returns the result
@@ -325,7 +498,7 @@ func (e *Subscriptions) invalidateTopology() ([]SubEvent, error) {
 	return events, firstErr
 }
 
-// sortEvents orders a pass's events by (subscription, object, kind) — the
+// sortEvents orders events by (subscription, object, kind) — the
 // deterministic stream order the engine guarantees per operation.
 func sortEvents(evs []SubEvent) {
 	sort.Slice(evs, func(i, j int) bool {

@@ -1,0 +1,296 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/index"
+	"repro/internal/indoor"
+	"repro/internal/object"
+)
+
+// goroutineFan is a test-local parallel runner with the FanFunc contract
+// (internal/serve owns the production one, but serve depends on query so
+// the test builds its own).
+func goroutineFan(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// shardWorkloadLog runs the deterministic churn workload (moves, inserts,
+// deletes, door toggles) against a fresh engine pinned to the given shard
+// width and returns the full drained event log, one slice per operation.
+func shardWorkloadLog(t *testing.T, seed int64, shards, subsN int) [][]SubEvent {
+	t.Helper()
+	b, err := gen.Mall(gen.MallSpec{Floors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := gen.Objects(b, gen.ObjectSpec{N: 140, Radius: 8, Instances: 8, Seed: 700 + seed})
+	idx, _, err := index.Build(b, objs, index.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewSubscriptions(idx, Options{})
+	e.SetShards(shards)
+	if shards > 1 {
+		e.SetFanOut(goroutineFan)
+	}
+
+	qs := gen.QueryPoints(b, subsN, 800+seed)
+	for i, q := range qs {
+		if i%2 == 0 {
+			if _, _, err := e.SubscribeRange(q, 60+float64(i%5)*25); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, _, err := e.SubscribeKNN(q, 3+i%8); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(900 + seed))
+	live := make(map[object.ID]*object.Object, len(objs))
+	for _, o := range objs {
+		live[o.ID] = o
+	}
+	nextID := object.ID(10_000)
+	doors := b.Doors()
+	var closedDoor indoor.DoorID = -1
+
+	var log [][]SubEvent
+	for step := 0; step < 10; step++ {
+		var ups []index.ObjectUpdate
+		for n := 0; n < 8; n++ {
+			switch op := rng.Intn(10); {
+			case op < 7:
+				o := randomLive(rng, live)
+				if o == nil {
+					continue
+				}
+				c := o.Center
+				next := indoor.Pos(c.Pt.X+rng.Float64()*120-60, c.Pt.Y+rng.Float64()*120-60, c.Floor)
+				if idx.LocatePartition(next) < 0 {
+					next = c
+				}
+				upd := object.SampleGaussian(rng, o.ID, next, o.Radius, 8)
+				live[o.ID] = upd
+				ups = append(ups, index.ObjectUpdate{Op: index.UpdateMove, Object: upd})
+			case op < 9:
+				q := gen.QueryPoints(b, 1, 1000*seed+int64(step*100+n))[0]
+				o := object.SampleGaussian(rng, nextID, q, 6, 8)
+				nextID++
+				live[o.ID] = o
+				ups = append(ups, index.ObjectUpdate{Op: index.UpdateInsert, Object: o})
+			default:
+				o := randomLive(rng, live)
+				if o == nil || len(live) < 10 {
+					continue
+				}
+				delete(live, o.ID)
+				ups = append(ups, index.ObjectUpdate{Op: index.UpdateDelete, ID: o.ID})
+			}
+		}
+		if len(ups) == 0 {
+			continue
+		}
+		evs, err := e.ApplyObjectUpdates(ups)
+		if err != nil {
+			t.Fatalf("shards=%d step %d: %v", shards, step, err)
+		}
+		log = append(log, evs)
+
+		if step%3 == 2 && len(doors) > 0 {
+			if closedDoor >= 0 {
+				evs, err = e.SetDoorClosed(closedDoor, false)
+				closedDoor = -1
+			} else {
+				closedDoor = doors[rng.Intn(len(doors))].ID
+				evs, err = e.SetDoorClosed(closedDoor, true)
+			}
+			if err != nil {
+				t.Fatalf("shards=%d step %d toggle: %v", shards, step, err)
+			}
+			log = append(log, evs)
+		}
+	}
+
+	if st := e.Stats(); shards > 1 {
+		if st.ReconcileShards != shards {
+			t.Fatalf("Stats().ReconcileShards = %d, want %d", st.ReconcileShards, shards)
+		}
+		if st.ReconcileBatchP99 <= 0 || st.ReconcileBatchP50 > st.ReconcileBatchP99 {
+			t.Fatalf("implausible latency window: %+v", st)
+		}
+	}
+	return log
+}
+
+// sameEvents is field-wise equality with NaN == NaN (leave events carry
+// NaN distances; bit-identical streams must still compare equal).
+func sameEvents(a, b []SubEvent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		sameDist := x.Distance == y.Distance ||
+			(math.IsNaN(x.Distance) && math.IsNaN(y.Distance))
+		if x.Sub != y.Sub || x.Object != y.Object || x.Kind != y.Kind ||
+			x.Seq != y.Seq || !sameDist {
+			return false
+		}
+	}
+	return true
+}
+
+// The sharded reconciler's ordering contract: for ANY shard width the
+// merged event stream of every operation is byte-identical to the serial
+// (width 1) reconciler's, across moves, inserts, deletes and door
+// toggles. Run with -cpu 1,4 to exercise both degenerate and parallel
+// merge paths under the race detector.
+func TestShardedReconcileByteIdentical(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			serial := shardWorkloadLog(t, seed, 1, 8)
+			for _, shards := range []int{2, 4, 7} {
+				sharded := shardWorkloadLog(t, seed, shards, 8)
+				if len(serial) != len(sharded) {
+					t.Fatalf("shards=%d: %d ops vs %d serial", shards, len(sharded), len(serial))
+				}
+				for i := range serial {
+					if !sameEvents(serial[i], sharded[i]) {
+						t.Fatalf("shards=%d op %d diverged:\n  serial  %v\n  sharded %v",
+							shards, i, serial[i], sharded[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// Churn hammer for the race detector: subscribe/unsubscribe churn racing
+// update batches and door toggles while readers poll results and stats.
+// The engine serializes mutators on its own mutex; what this guards is the
+// sharded fan-out — workers must never touch the router, stats, or each
+// other's arenas. Run with -cpu 1,4.
+func TestShardedChurnRace(t *testing.T) {
+	b, err := gen.Mall(gen.MallSpec{Floors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := gen.Objects(b, gen.ObjectSpec{N: 100, Radius: 8, Instances: 8, Seed: 42})
+	idx, _, err := index.Build(b, objs, index.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewSubscriptions(idx, Options{})
+	e.SetFanOut(goroutineFan) // width floats with GOMAXPROCS (-cpu)
+
+	qs := gen.QueryPoints(b, 16, 77)
+	ids := make([]int, 0, len(qs))
+	var idsMu sync.Mutex
+	for i, q := range qs[:8] {
+		id, _, err := e.SubscribeRange(q, 80+float64(i)*10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	iters := 40
+	if testing.Short() {
+		iters = 10
+	}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // writer: update batches + door toggles
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		doors := b.Doors()
+		for i := 0; i < iters; i++ {
+			var ups []index.ObjectUpdate
+			for n := 0; n < 6; n++ {
+				o := objs[rng.Intn(len(objs))]
+				c := o.Center
+				next := indoor.Pos(c.Pt.X+rng.Float64()*80-40, c.Pt.Y+rng.Float64()*80-40, c.Floor)
+				if idx.LocatePartition(next) < 0 {
+					next = c
+				}
+				ups = append(ups, index.ObjectUpdate{Op: index.UpdateMove, Object: object.SampleGaussian(rng, o.ID, next, o.Radius, 8)})
+			}
+			if _, err := e.ApplyObjectUpdates(ups); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%7 == 6 && len(doors) > 0 {
+				d := doors[rng.Intn(len(doors))].ID
+				if _, err := e.SetDoorClosed(d, true); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := e.SetDoorClosed(d, false); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	go func() { // churner: subscribe/unsubscribe racing the writer
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < iters; i++ {
+			q := qs[8+rng.Intn(8)]
+			var id int
+			var err error
+			if i%2 == 0 {
+				id, _, err = e.SubscribeKNN(q, 3+rng.Intn(6))
+			} else {
+				id, _, err = e.SubscribeRange(q, 60+rng.Float64()*60)
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			idsMu.Lock()
+			ids = append(ids, id)
+			if len(ids) > 12 {
+				victim := ids[rng.Intn(len(ids))]
+				e.Unsubscribe(victim)
+			}
+			idsMu.Unlock()
+		}
+	}()
+	go func() { // reader: results + stats + latency window
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < iters*2; i++ {
+			idsMu.Lock()
+			id := ids[rng.Intn(len(ids))]
+			idsMu.Unlock()
+			e.Results(id)
+			e.TopK(id)
+			_ = e.Stats()
+			runtime.Gosched()
+		}
+	}()
+	wg.Wait()
+
+	if st := e.Stats(); st.Batches == 0 {
+		t.Fatalf("hammer exercised no batches: %+v", st)
+	}
+}

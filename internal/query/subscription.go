@@ -3,9 +3,11 @@ package query
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/distance"
 	"repro/internal/index"
@@ -57,6 +59,18 @@ type Subscriptions struct {
 	// fan-out (serve.FanOut) here — the package split keeps internal/query
 	// free of a dependency cycle with internal/serve.
 	fan FanFunc
+
+	// shards is the reconciliation shard width; 0 (the default) resolves
+	// to runtime.GOMAXPROCS(0) at each pass. shardBufs holds the
+	// core-local per-shard arenas, reused across batches.
+	shards    int
+	shardBufs []reconShard
+
+	// latWin is a ring of recent per-batch reconciliation wall times;
+	// latCount is the total batches recorded. Stats derives the
+	// mean/p50/p99 latency over the window from it.
+	latWin   [reconLatWindow]time.Duration
+	latCount uint64
 
 	// log accumulates events for DrainEvents when logging is enabled (the
 	// facade's pull API); engines used through the Monitor wrapper return
@@ -164,6 +178,15 @@ type SubStats struct {
 	// EventsDropped counts events discarded by event-log overflow (the
 	// log's cap was hit before the consumer drained).
 	EventsDropped uint64
+	// ReconcileShards is the shard width reconciliation passes currently
+	// fan out over (GOMAXPROCS unless pinned with SetShards).
+	ReconcileShards int
+	// ReconcileBatchMean/P50/P99 are per-batch reconciliation wall-time
+	// aggregates over the most recent reconLatWindow batches; zero until
+	// the first batch.
+	ReconcileBatchMean time.Duration
+	ReconcileBatchP50  time.Duration
+	ReconcileBatchP99  time.Duration
 }
 
 // standingQuery is one subscription: the cached phase state of its last
@@ -251,6 +274,27 @@ func (e *Subscriptions) SetFanOut(f FanFunc) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.fan = f
+}
+
+// SetShards pins the reconciliation shard width. n <= 0 restores the
+// default (runtime.GOMAXPROCS(0) at each pass). The merged event stream is
+// identical for every width — sharding changes wall time, never output.
+func (e *Subscriptions) SetShards(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	e.shards = n
+}
+
+// shardWidth resolves the effective shard count of a pass. Callers hold
+// the engine mutex (any side).
+func (e *Subscriptions) shardWidth() int {
+	if e.shards > 0 {
+		return e.shards
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultEventLogCap is the event-log bound EnableEventLog installs: past
@@ -501,11 +545,31 @@ func (e *Subscriptions) NumSubscriptions() int {
 	return len(e.standing)
 }
 
-// Stats returns the cumulative reconciliation counters.
+// Stats returns the cumulative reconciliation counters plus the per-batch
+// latency aggregates over the recent window.
 func (e *Subscriptions) Stats() SubStats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.stats
+	st := e.stats
+	st.ReconcileShards = e.shardWidth()
+	n := int(e.latCount)
+	if n > reconLatWindow {
+		n = reconLatWindow
+	}
+	if n == 0 {
+		return st
+	}
+	window := make([]time.Duration, n)
+	copy(window, e.latWin[:n])
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	var sum time.Duration
+	for _, d := range window {
+		sum += d
+	}
+	st.ReconcileBatchMean = sum / time.Duration(n)
+	st.ReconcileBatchP50 = window[(n-1)*50/100]
+	st.ReconcileBatchP99 = window[(n-1)*99/100]
+	return st
 }
 
 // refresh re-runs the filtering and subgraph phases for a subscription
@@ -578,16 +642,15 @@ func (e *Subscriptions) refreshKNN(s *standingQuery) error {
 	if err != nil {
 		return err
 	}
+	ar := distance.AcquireArena()
+	defer ar.Release()
 	bound := math.Inf(1)
 	if len(seeds) >= s.k {
 		seedEng, err := distance.New(ex.s, s.q, seedUnits, math.Inf(1))
 		if err != nil {
 			return err
 		}
-		tlus := make([]float64, 0, len(seeds))
-		for _, oid := range seeds {
-			tlus = append(tlus, seedEng.TLU(ex.s.Objects().Get(oid)))
-		}
+		tlus := seedEng.TLUBatch(seeds, ar)
 		seedEng.Close()
 		sort.Float64s(tlus)
 		bound = tlus[s.k-1]
@@ -596,23 +659,29 @@ func (e *Subscriptions) refreshKNN(s *standingQuery) error {
 	if err != nil {
 		return err
 	}
-	cand := make(map[object.ID]float64)
-	for _, oid := range cands {
-		o := ex.s.Objects().Get(oid)
-		if o == nil {
+	// One batched bounds pass prunes the candidate list in place, then one
+	// batched bracket ladder resolves every survivor's exact distance —
+	// the same shared-engine amortisation the ikNN refine loop uses.
+	bounds := ph.eng.ObjectBoundsBatch(cands, bound, ar)
+	n := 0
+	for i, oid := range cands {
+		if bounds[i].Lower > bound {
 			continue
 		}
-		if b := ph.eng.ObjectBounds(o, bound); b.Lower > bound {
-			continue
-		}
-		d, err := ph.rf.exact(o)
-		if err != nil {
-			ph.release()
-			return err
-		}
-		if d <= bound || math.IsInf(bound, 1) {
+		cands[n] = oid
+		n++
+	}
+	cands = cands[:n]
+	cand := make(map[object.ID]float64, len(cands))
+	unbounded := math.IsInf(bound, 1)
+	err = ph.rf.exactBatch(cands, ar, func(oid object.ID, d float64) {
+		if d <= bound || unbounded {
 			cand[oid] = d
 		}
+	})
+	if err != nil {
+		ph.release()
+		return err
 	}
 	s.phase.release()
 	s.phase = ph

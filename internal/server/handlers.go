@@ -376,6 +376,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.NumObjects = s.db.NumObjects()
 		resp.SnapshotSwaps = s.db.SnapshotSwaps()
 		resp.Subscriptions = s.db.NumSubscriptions()
+		ss := s.db.SubscriptionStatsSnapshot()
+		resp.Reconcile = &wire.ReconcileStats{
+			Batches:         ss.Batches,
+			Updates:         ss.Updates,
+			RoutedPairs:     ss.RoutedPairs,
+			AffectedSubs:    ss.AffectedSubs,
+			Refreshes:       ss.Refreshes,
+			Shards:          ss.ReconcileShards,
+			BatchMeanMicros: ss.ReconcileBatchMean.Microseconds(),
+			BatchP50Micros:  ss.ReconcileBatchP50.Microseconds(),
+			BatchP99Micros:  ss.ReconcileBatchP99.Microseconds(),
+		}
 		if st := s.db.Store(); st != nil {
 			resp.WrittenLSN = st.WrittenLSN()
 			resp.DurableLSN = st.DurableLSN()

@@ -344,6 +344,9 @@ func TestReplicationOverWire(t *testing.T) {
 	if lstats.Endpoints[wire.PathUpdates].Count == 0 {
 		t.Fatal("updates endpoint counted no requests")
 	}
+	if lstats.Reconcile == nil {
+		t.Fatal("leader reports no reconciliation stats")
+	}
 	rstats, err := rc.Stats()
 	if err != nil {
 		t.Fatal(err)

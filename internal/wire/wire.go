@@ -440,4 +440,29 @@ type StatsResponse struct {
 	DegradedDetail string `json:"degradedDetail,omitempty"`
 	// Replica is set when this daemon is a read replica.
 	Replica *ReplicaStats `json:"replica,omitempty"`
+	// Reconcile is the subscription engine's reconciliation telemetry;
+	// absent until the daemon has a database attached.
+	Reconcile *ReconcileStats `json:"reconcile,omitempty"`
+}
+
+// ReconcileStats is the wire form of the subscription engine's
+// reconciliation counters and latency window.
+type ReconcileStats struct {
+	// Batches counts reconciled update batches; Updates the object
+	// updates inside them; RoutedPairs the (subscription, object)
+	// re-evaluations the inverted router admitted; AffectedSubs the
+	// subscriptions touched, cumulatively; Refreshes the wholesale
+	// subscription re-runs.
+	Batches      uint64 `json:"batches"`
+	Updates      uint64 `json:"updates"`
+	RoutedPairs  uint64 `json:"routedPairs"`
+	AffectedSubs uint64 `json:"affectedSubs"`
+	Refreshes    uint64 `json:"refreshes"`
+	// Shards is the shard width reconciliation passes fan out over.
+	Shards int `json:"shards"`
+	// BatchMeanMicros/P50/P99 aggregate per-batch reconciliation wall
+	// time (microseconds) over the engine's recent-batch window.
+	BatchMeanMicros int64 `json:"batchMeanMicros"`
+	BatchP50Micros  int64 `json:"batchP50Micros"`
+	BatchP99Micros  int64 `json:"batchP99Micros"`
 }
