@@ -40,9 +40,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	indoorq "repro"
 	"repro/internal/baseline"
 	"repro/internal/bench"
 	"repro/internal/gen"
+	"repro/internal/history"
 	"repro/internal/index"
 	"repro/internal/indoor"
 	"repro/internal/object"
@@ -77,7 +79,7 @@ func main() {
 		{"14a", fig14a}, {"14b", fig14b}, {"14c", fig14c}, {"14d", fig14d},
 		{"15a", fig15a}, {"15b", fig15b}, {"15c", fig15c}, {"15d", fig15d},
 		{"conc", figConc}, {"hotpath", figHotPath}, {"mvcc", figMVCC},
-		{"monitor", figMonitor}, {"city", figCity},
+		{"monitor", figMonitor}, {"city", figCity}, {"history", figHistory},
 	}
 	ran := 0
 	for _, p := range panels {
@@ -732,6 +734,82 @@ func figMVCC() error {
 		swapsPerSec := float64(f.Idx.SnapshotSwaps()-swapsBefore) / elapsed.Seconds()
 		fmt.Printf("%12d %12.0f %12.1f %12.0f %s %s\n",
 			offered, sustained, swapsPerSec, agg.Throughput, ms(agg.P50), ms(agg.P99))
+	}
+	return nil
+}
+
+// --- Time travel (not in the paper) ---
+
+// figHistory measures AsOf reconstruction cost as a function of replay
+// distance — the records folded forward from the nearest checkpoint —
+// in three regimes: cold (a fresh provider rebuilding from the
+// checkpoint), a nearest-ancestor advance of one record on the now-warm
+// materialized state, and an exact-LSN view-cache hit. The gap between
+// the cold column and the other two is what the provider's LRU buys a
+// replay tool walking forward through history.
+func figHistory() error {
+	header("Time travel — AsOf latency vs replay distance (cold vs cached)")
+	b, err := gen.Mall(gen.MallSpec{Floors: 2})
+	if err != nil {
+		return err
+	}
+	objs := gen.Objects(b, gen.ObjectSpec{N: 2000, Radius: 5, Instances: 4, Seed: 7})
+	db, _, err := indoorq.Open(b, objs, indoorq.Options{})
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "benchfig-history-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := db.Persist(dir, indoorq.DurabilityOptions{CompactBytes: -1}); err != nil {
+		return err
+	}
+	defer db.Close()
+
+	const total = 4096
+	for i := 0; i < total; i++ {
+		o := db.Object(indoorq.ObjectID(i % 2000))
+		p := o.Center
+		if i%2 == 0 {
+			p.Pt.X += 0.2
+		} else {
+			p.Pt.X -= 0.2
+		}
+		if err := db.MoveObject(object.PointObject(o.ID, p)); err != nil {
+			return err
+		}
+	}
+	if err := db.Sync(); err != nil {
+		return err
+	}
+
+	fmt.Printf("%10s %12s %14s %14s %14s\n",
+		"distance", "cold (ms)", "records/sec", "advance+1 (ms)", "view hit (ms)")
+	for _, d := range []int{1, 16, 256, 1024, 4096} {
+		// Cold: a fresh provider over the same store — nothing cached.
+		p := history.NewProvider(history.StoreSource{St: db.Store()}, history.Options{})
+		start := time.Now()
+		if _, err := p.AsOf(uint64(d)); err != nil {
+			return err
+		}
+		cold := time.Since(start)
+		adv := "             -"
+		if d+1 <= total {
+			start = time.Now()
+			if _, err := p.AsOf(uint64(d + 1)); err != nil {
+				return err
+			}
+			adv = ms(time.Since(start))
+		}
+		start = time.Now()
+		if _, err := p.AsOf(uint64(d)); err != nil {
+			return err
+		}
+		hit := time.Since(start)
+		fmt.Printf("%10d %s %14.0f %s %s\n",
+			d, ms(cold), float64(d)/cold.Seconds(), adv, ms(hit))
 	}
 	return nil
 }

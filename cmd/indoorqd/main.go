@@ -51,7 +51,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "serve-pool workers per batch (0 = GOMAXPROCS)")
 		hb       = flag.Duration("heartbeat", 200*time.Millisecond, "replication stream heartbeat")
 		readyLag = flag.Int64("ready-max-lag", 0, "replica /readyz lag bound in records (0 = default 4096, negative disables)")
-		chaos    = flag.Bool("chaos", false, "expose POST /v1/chaos/poison: fail-stop the store on demand (drills only)")
+		chaos    = flag.Bool("chaos", false, "expose POST /v1/chaos/{poison,compact}: fail-stop or compact the store on demand (drills only)")
 	)
 	flag.Parse()
 	log.SetPrefix("indoorqd: ")
@@ -149,21 +149,41 @@ func main() {
 // daemon's handler. POST /v1/chaos/poison fail-stops a durable leader's
 // store exactly as a log I/O failure would — the supervised way to
 // rehearse degraded read-only mode and the health/alerting around it
-// without breaking a real disk.
+// without breaking a real disk. POST /v1/chaos/compact folds the log
+// into a fresh checkpoint and prunes every older generation, which is
+// how a drill rehearses the "history pruned" refusal on the time-travel
+// endpoints.
 func withChaosEndpoints(h http.Handler, db *indoorq.DB) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", h)
-	mux.HandleFunc("/v1/chaos/poison", func(w http.ResponseWriter, r *http.Request) {
+	durable := func(w http.ResponseWriter, r *http.Request) bool {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
+			return false
 		}
 		if db == nil || db.Store() == nil {
-			http.Error(w, "no durable store to poison", http.StatusNotFound)
+			http.Error(w, "no durable store to drill against", http.StatusNotFound)
+			return false
+		}
+		return true
+	}
+	mux.HandleFunc("/v1/chaos/poison", func(w http.ResponseWriter, r *http.Request) {
+		if !durable(w, r) {
 			return
 		}
 		db.Store().Poison(nil)
 		log.Print("chaos: store poisoned; leader is degraded read-only")
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/v1/chaos/compact", func(w http.ResponseWriter, r *http.Request) {
+		if !durable(w, r) {
+			return
+		}
+		if err := db.Compact(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		log.Print("chaos: log compacted; history below the new checkpoint is pruned")
 		w.WriteHeader(http.StatusNoContent)
 	})
 	return mux

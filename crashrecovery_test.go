@@ -14,9 +14,11 @@ package indoorq
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/object"
@@ -352,6 +354,148 @@ func TestCrashRecoveryKillAtAnyOffset(t *testing.T) {
 			// And the full log recovers the final op.
 			ops[len(ops)-1].apply(oracle, ob)
 			compare(int64(len(full)), len(ops))
+		})
+	}
+}
+
+// normData canonicalizes checkpoint data for comparison: subscription
+// registration order is not part of the state.
+func normData(d store.Data) store.Data {
+	subs := append([]SubscriptionRec(nil), d.Subs...)
+	sort.Slice(subs, func(i, j int) bool { return subs[i].ID < subs[j].ID })
+	d.Subs = subs
+	return d
+}
+
+// TestCrashRecoveryAsOfOracle extends the kill-at-any-boundary sweep
+// into the time dimension: after truncating the WAL at EVERY record
+// boundary and recovering, AsOf must reconstruct — byte-for-byte — the
+// state after every LSN inside the durable prefix, and must refuse any
+// LSN past the durable tail with the clean ErrHistoryFuture bound
+// (never a stale or partial answer).
+func TestCrashRecoveryAsOfOracle(t *testing.T) {
+	for pi, prog := range crashPrograms {
+		prog := prog
+		t.Run("", func(t *testing.T) {
+			freshDB := func() (*DB, *Building) {
+				b, err := GenerateMall(MallSpec{Floors: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				objs := GenerateObjects(b, ObjectSpec{N: 40, Radius: 6, Instances: 6, Seed: 11})
+				db, _, err := Open(b, objs, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return db, b
+			}
+			db, b := freshDB()
+			dir := t.TempDir()
+			if err := db.Persist(dir, DurabilityOptions{CompactBytes: -1}); err != nil {
+				t.Fatal(err)
+			}
+			queries := GenerateQueryPoints(b, 2, 12)
+
+			// Same durable timeline shape as the byte-offset sweep:
+			// standing queries bracket the mutation program so history
+			// reconstruction covers subscription records too.
+			var ops []durableOp
+			spec := SubscriptionSpec{Q: queries[0], R: 120}
+			if _, _, err := db.Subscribe(spec); err != nil {
+				t.Fatal(err)
+			}
+			ops = append(ops, durableOp{desc: "Subscribe", apply: func(db *DB, b *Building) {
+				if _, _, err := db.Subscribe(spec); err != nil {
+					t.Fatal(err)
+				}
+			}})
+			ops = append(ops, runCrashProgram(t, db, b, prog)...)
+			if db.Unsubscribe(0) {
+				ops = append(ops, durableOp{desc: "Unsubscribe", apply: func(db *DB, b *Building) {
+					db.Unsubscribe(0)
+				}})
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			walPath := filepath.Join(dir, "wal-00000000000000000000.log")
+			full, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ends, err := store.RecordEnds(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ends) != len(ops) {
+				t.Fatalf("program %d: %d WAL records vs %d recorded operations", pi, len(ends), len(ops))
+			}
+			ckptRaw, err := os.ReadFile(filepath.Join(dir, "checkpoint-00000000000000000000.ckpt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The from-scratch oracle: an independent replay of the
+			// durable operations, captured after every step. oracleData[k]
+			// is the canonical state after LSN k (k ops applied).
+			oracle, ob := freshDB()
+			oracleData := make([]store.Data, len(ops)+1)
+			captureOracle := func(lsn uint64) store.Data {
+				d, err := store.Capture(oracle.idx, qflagsOf(oracle.qopts), oracle.subRecs(), lsn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return normData(d)
+			}
+			oracleData[0] = captureOracle(0)
+			for k, op := range ops {
+				op.apply(oracle, ob)
+				oracleData[k+1] = captureOracle(uint64(k + 1))
+			}
+
+			recoverAt := func(cut int64) *DB {
+				t.Helper()
+				cdir := t.TempDir()
+				if err := os.WriteFile(filepath.Join(cdir, "checkpoint-00000000000000000000.ckpt"), ckptRaw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(cdir, "wal-00000000000000000000.log"), full[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				rdb, err := OpenDir(cdir, DurabilityOptions{CompactBytes: -1})
+				if err != nil {
+					t.Fatalf("recovery at cut %d: %v", cut, err)
+				}
+				return rdb
+			}
+
+			sweep := func(cut int64, k int) {
+				t.Helper()
+				rdb := recoverAt(cut)
+				defer rdb.Close()
+				hp := rdb.History()
+				for lsn := 0; lsn <= k; lsn++ {
+					got, err := hp.CaptureAt(uint64(lsn))
+					if err != nil {
+						t.Fatalf("cut %d: CaptureAt(%d): %v", cut, lsn, err)
+					}
+					if !reflect.DeepEqual(normData(got), oracleData[lsn]) {
+						t.Fatalf("cut %d: AsOf state at lsn %d diverged from the from-scratch oracle (last durable op %q)",
+							cut, lsn, ops[max(lsn-1, 0)].desc)
+					}
+				}
+				// One past the durable tail: a clean bounds error, through
+				// the facade the way a caller would hit it.
+				if _, err := rdb.AsOf(uint64(k) + 1); !errors.Is(err, ErrHistoryFuture) {
+					t.Fatalf("cut %d: AsOf(%d) past the durable tail: got %v, want ErrHistoryFuture", cut, k+1, err)
+				}
+			}
+
+			sweep(0, 0)
+			for k, end := range ends {
+				sweep(end, k+1)
+			}
 		})
 	}
 }

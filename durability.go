@@ -20,6 +20,7 @@ package indoorq
 import (
 	"fmt"
 
+	"repro/internal/history"
 	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/serde"
@@ -224,6 +225,7 @@ func (db *DB) Close() error {
 // the automatic-compaction goroutine.
 func (db *DB) attachStore(st *store.Store) {
 	db.st = st
+	db.hist = history.NewProvider(history.StoreSource{St: st}, history.Options{})
 	db.closedC = make(chan struct{})
 	db.compactWG.Add(1)
 	go func() {

@@ -93,6 +93,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/geom"
+	"repro/internal/history"
 	"repro/internal/index"
 	"repro/internal/indoor"
 	"repro/internal/object"
@@ -198,6 +199,7 @@ type DB struct {
 	// the recovery statistics OpenDir produced, and the background
 	// compactor's lifecycle.
 	st        *store.Store
+	hist      *history.Provider
 	recovery  RecoveryStats
 	closedC   chan struct{}
 	closeOnce sync.Once

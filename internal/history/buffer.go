@@ -1,0 +1,145 @@
+package history
+
+// Buffer is the replica-side Source: replicas have no WAL files of
+// their own, so history is served from an in-memory window over the
+// record stream they applied. The window is generation-structured like
+// the store's log — a base checkpoint plus the contiguous records after
+// it — and bounded: when the open segment reaches capacity the feeder
+// captures its current state as a fresh base (Seal), the previous
+// segment is retained one generation back, and anything older ages out.
+// An AsOf below the retained window fails with the same pruned
+// semantics compaction produces on the leader.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// segment is one retained generation: a base state and the records
+// applied after it.
+type segment struct {
+	base store.Data
+	recs []store.Record
+}
+
+func (g *segment) end() uint64 { return g.base.LSN + uint64(len(g.recs)) }
+
+// Buffer holds a bounded, contiguous window of applied history. Safe
+// for concurrent use; the feeder appends while provider reads scan.
+type Buffer struct {
+	mu   sync.Mutex
+	segs []segment // ascending, contiguous; at most two
+	cap  int       // records per segment
+}
+
+// NewBuffer returns an empty buffer sealing segments every capRecords
+// records (8192 when <= 0). The retained window therefore spans between
+// capRecords and 2*capRecords of history.
+func NewBuffer(capRecords int) *Buffer {
+	if capRecords <= 0 {
+		capRecords = 8192
+	}
+	return &Buffer{cap: capRecords}
+}
+
+// Reset discards everything and starts a fresh window at base — the
+// bootstrap (and resync) entry point.
+func (b *Buffer) Reset(base store.Data) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.segs = []segment{{base: base}}
+}
+
+// Append adds one applied record (body copied). It returns true when
+// the open segment has reached capacity and the feeder should capture
+// its current state and Seal. A non-contiguous append (only possible if
+// the feeder's own contiguity check is bypassed) empties the buffer
+// rather than serving corrupt history.
+func (b *Buffer) Append(rec store.Record) (full bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.segs) == 0 {
+		return false // not bootstrapped; nothing to anchor the record to
+	}
+	g := &b.segs[len(b.segs)-1]
+	if rec.LSN != g.end()+1 {
+		b.segs = nil
+		return false
+	}
+	body := make([]byte, len(rec.Body))
+	copy(body, rec.Body)
+	g.recs = append(g.recs, store.Record{LSN: rec.LSN, Kind: rec.Kind, Body: body})
+	return len(g.recs) >= b.cap
+}
+
+// Seal starts a new segment at base (the feeder's state captured at the
+// buffer's current horizon), retaining the previous segment one
+// generation back and aging out anything older.
+func (b *Buffer) Seal(base store.Data) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.segs) == 0 || base.LSN != b.segs[len(b.segs)-1].end() {
+		// A capture that does not meet the window's end would leave a
+		// gap; start over from it instead.
+		b.segs = []segment{{base: base}}
+		return
+	}
+	b.segs = append(b.segs, segment{base: base})
+	if len(b.segs) > 2 {
+		b.segs = b.segs[len(b.segs)-2:]
+	}
+}
+
+// Horizon returns the newest LSN in the window (0 before bootstrap).
+func (b *Buffer) Horizon() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.segs) == 0 {
+		return 0
+	}
+	return b.segs[len(b.segs)-1].end()
+}
+
+// CheckpointAtOrBelow returns the newest retained base covering at most
+// lsn; history below the window reports the pruned condition
+// (store.ErrLogGap, as the leader's compaction does).
+func (b *Buffer) CheckpointAtOrBelow(lsn uint64) (store.Data, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := len(b.segs) - 1; i >= 0; i-- {
+		if b.segs[i].base.LSN <= lsn {
+			return b.segs[i].base, nil
+		}
+	}
+	return store.Data{}, fmt.Errorf("history: lsn %d below the replica's retained window: %w", lsn, store.ErrLogGap)
+}
+
+// Records calls fn for each buffered record in (after, to] in LSN
+// order. The callback runs under the buffer lock-free copy of the
+// window slice headers (bodies are never mutated after append).
+func (b *Buffer) Records(after, to uint64, fn func(store.Record) error) error {
+	b.mu.Lock()
+	var segs []segment
+	if len(b.segs) > 0 && after < b.segs[0].base.LSN {
+		b.mu.Unlock()
+		return fmt.Errorf("history: records before lsn %d aged out of the replica's window: %w", b.segs[0].base.LSN, store.ErrLogGap)
+	}
+	segs = append(segs, b.segs...)
+	b.mu.Unlock()
+	for _, g := range segs {
+		for _, rec := range g.recs {
+			if rec.LSN <= after {
+				continue
+			}
+			if rec.LSN > to {
+				return nil
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

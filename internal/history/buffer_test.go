@@ -1,0 +1,101 @@
+package history
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func rec(lsn uint64) store.Record {
+	return store.Record{LSN: lsn, Kind: 1, Body: []byte{byte(lsn)}}
+}
+
+func collect(t *testing.T, b *Buffer, after, to uint64) []uint64 {
+	t.Helper()
+	var got []uint64
+	if err := b.Records(after, to, func(r store.Record) error {
+		got = append(got, r.LSN)
+		return nil
+	}); err != nil {
+		t.Fatalf("Records(%d,%d): %v", after, to, err)
+	}
+	return got
+}
+
+func TestBufferWindowLifecycle(t *testing.T) {
+	b := NewBuffer(4)
+	if b.Horizon() != 0 {
+		t.Fatal("fresh buffer has a horizon")
+	}
+	// Appends before bootstrap have nothing to anchor to.
+	if full := b.Append(rec(1)); full {
+		t.Fatal("unanchored append reported a full segment")
+	}
+
+	b.Reset(store.Data{LSN: 0})
+	for lsn := uint64(1); lsn <= 4; lsn++ {
+		full := b.Append(rec(lsn))
+		if full != (lsn == 4) {
+			t.Fatalf("append %d: full=%v", lsn, full)
+		}
+	}
+	if got := b.Horizon(); got != 4 {
+		t.Fatalf("horizon %d, want 4", got)
+	}
+	b.Seal(store.Data{LSN: 4})
+	for lsn := uint64(5); lsn <= 8; lsn++ {
+		b.Append(rec(lsn))
+	}
+	b.Seal(store.Data{LSN: 8})
+	b.Append(rec(9))
+
+	// Two generations retained: bases 4 and 8; base 0 and records 1..4
+	// aged out.
+	if d, err := b.CheckpointAtOrBelow(9); err != nil || d.LSN != 8 {
+		t.Fatalf("CheckpointAtOrBelow(9) = %d, %v; want 8", d.LSN, err)
+	}
+	if d, err := b.CheckpointAtOrBelow(7); err != nil || d.LSN != 4 {
+		t.Fatalf("CheckpointAtOrBelow(7) = %d, %v; want 4", d.LSN, err)
+	}
+	if _, err := b.CheckpointAtOrBelow(3); !errors.Is(err, store.ErrLogGap) {
+		t.Fatalf("CheckpointAtOrBelow(3): %v, want ErrLogGap", err)
+	}
+	if got := collect(t, b, 4, 9); len(got) != 5 || got[0] != 5 || got[4] != 9 {
+		t.Fatalf("Records(4,9) = %v", got)
+	}
+	if got := collect(t, b, 6, 8); len(got) != 2 || got[0] != 7 {
+		t.Fatalf("Records(6,8) = %v", got)
+	}
+	if err := b.Records(2, 9, func(store.Record) error { return nil }); !errors.Is(err, store.ErrLogGap) {
+		t.Fatalf("Records below the window: %v, want ErrLogGap", err)
+	}
+}
+
+func TestBufferDefendsContiguity(t *testing.T) {
+	b := NewBuffer(8)
+	b.Reset(store.Data{LSN: 10})
+	b.Append(rec(11))
+	// A jump empties the window rather than serving corrupt history.
+	b.Append(rec(13))
+	if got := b.Horizon(); got != 0 {
+		t.Fatalf("horizon %d after a gap, want 0 (window dropped)", got)
+	}
+	if _, err := b.CheckpointAtOrBelow(11); !errors.Is(err, store.ErrLogGap) {
+		t.Fatalf("window survived a gap: %v", err)
+	}
+	// Reset re-arms it.
+	b.Reset(store.Data{LSN: 20})
+	b.Append(rec(21))
+	if got := b.Horizon(); got != 21 {
+		t.Fatalf("horizon %d after reset, want 21", got)
+	}
+	// A seal that does not meet the window's end restarts from its base.
+	b.Seal(store.Data{LSN: 30})
+	if d, err := b.CheckpointAtOrBelow(99); err != nil || d.LSN != 30 {
+		t.Fatalf("CheckpointAtOrBelow after mismatched seal = %d, %v; want 30", d.LSN, err)
+	}
+	if _, err := b.CheckpointAtOrBelow(21); !errors.Is(err, store.ErrLogGap) {
+		t.Fatalf("stale base survived a mismatched seal: %v", err)
+	}
+}

@@ -1,0 +1,206 @@
+package history
+
+// Log-scan analytics: trajectory and occupancy answers computed in one
+// pass over the WAL window, without materializing a full snapshot per
+// LSN. The scan decodes object batches directly from record bodies and
+// attributes each reported position to a partition through a pinned
+// view; the view is refreshed (a cheap nearest-ancestor advance through
+// the provider's cache) only when a record actually moves partition
+// boundaries, which is rare next to object churn. An object is
+// attributed to the partition containing its reported center — the
+// representative point of its uncertainty region (§II of the paper).
+
+import (
+	"fmt"
+
+	"repro/internal/indoor"
+	"repro/internal/object"
+	"repro/internal/store"
+)
+
+// Visit is one stay of an object inside a partition: entered at
+// EnterLSN (the record that put it there, or the window start for the
+// initial position), last confirmed there at LastLSN. Consecutive
+// sightings in the same partition coalesce into one visit.
+type Visit struct {
+	Partition indoor.PartitionID
+	EnterLSN  uint64
+	LastLSN   uint64
+}
+
+// Occupancy summarizes one partition over a window: how many objects
+// were inside at the window start, how many crossings happened, and the
+// resulting population at the window end (Initial + Enters - Leaves).
+type Occupancy struct {
+	Initial int
+	Enters  int
+	Leaves  int
+	Final   int
+}
+
+// checkWindow validates a scan window against the horizon.
+func (p *Provider) checkWindow(from, to uint64) error {
+	if from > to {
+		return fmt.Errorf("history: window [%d,%d] inverted", from, to)
+	}
+	if h := p.src.Horizon(); to > h {
+		return fmt.Errorf("history: window end %d, horizon %d: %w", to, h, ErrFuture)
+	}
+	return nil
+}
+
+// Trajectory returns the ordered list of partition visits object id
+// made over (from, to], seeded with its location as of from. Records
+// are scanned once; full states are only reconstructed at the window
+// start and after partition-boundary changes. An object positioned
+// outside every partition (or absent) simply has no visit for that
+// span.
+func (p *Provider) Trajectory(id object.ID, from, to uint64) ([]Visit, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Trajectories++
+	if err := p.checkWindow(from, to); err != nil {
+		return nil, err
+	}
+	loc, err := p.asOfLocked(from)
+	if err != nil {
+		return nil, err
+	}
+	visits := []Visit{}
+	cur := indoor.PartitionID(-1)
+	var pos indoor.Position
+	present := false
+	if o := loc.snap.Objects().Get(id); o != nil {
+		present, pos = true, o.Center
+		if pid := loc.LocatePartition(pos); pid >= 0 {
+			cur = pid
+			visits = append(visits, Visit{Partition: pid, EnterLSN: from, LastLSN: from})
+		}
+	}
+	sight := func(lsn uint64, pid indoor.PartitionID) {
+		if pid < 0 {
+			cur = -1
+			return
+		}
+		if pid == cur {
+			visits[len(visits)-1].LastLSN = lsn
+			return
+		}
+		cur = pid
+		visits = append(visits, Visit{Partition: pid, EnterLSN: lsn, LastLSN: lsn})
+	}
+	err = p.src.Records(from, to, func(rec store.Record) error {
+		p.stats.ScannedRecords++
+		if rec.PartitionChanging() {
+			loc, err = p.asOfLocked(rec.LSN)
+			if err != nil {
+				return err
+			}
+			if present {
+				sight(rec.LSN, loc.LocatePartition(pos))
+			}
+			return nil
+		}
+		ups, ok, err := rec.ObjectUpdates()
+		if err != nil || !ok {
+			return err
+		}
+		for _, up := range ups {
+			switch {
+			case up.Object != nil && up.Object.ID == id:
+				present, pos = true, up.Object.Center
+				sight(rec.LSN, loc.LocatePartition(pos))
+			case up.Object == nil && up.ID == id:
+				present, cur = false, -1
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return visits, nil
+}
+
+// OccupancyOf counts objects entering and leaving partition part over
+// (from, to], seeded with the population as of from, in one scan of the
+// window's records. Boundary changes (splits, merges, removals) count
+// as crossings for every object they reassign.
+func (p *Provider) OccupancyOf(part indoor.PartitionID, from, to uint64) (Occupancy, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Occupancies++
+	if err := p.checkWindow(from, to); err != nil {
+		return Occupancy{}, err
+	}
+	loc, err := p.asOfLocked(from)
+	if err != nil {
+		return Occupancy{}, err
+	}
+	where := map[object.ID]indoor.PartitionID{}
+	at := map[object.ID]indoor.Position{}
+	var occ Occupancy
+	objs := loc.snap.Objects()
+	for _, id := range objs.IDs() {
+		o := objs.Get(id)
+		pid := loc.LocatePartition(o.Center)
+		where[id], at[id] = pid, o.Center
+		if pid == part {
+			occ.Initial++
+		}
+	}
+	cross := func(old, new indoor.PartitionID) {
+		if old == new {
+			return
+		}
+		if old == part {
+			occ.Leaves++
+		}
+		if new == part {
+			occ.Enters++
+		}
+	}
+	err = p.src.Records(from, to, func(rec store.Record) error {
+		p.stats.ScannedRecords++
+		if rec.PartitionChanging() {
+			loc, err = p.asOfLocked(rec.LSN)
+			if err != nil {
+				return err
+			}
+			for id, pos := range at {
+				pid := loc.LocatePartition(pos)
+				cross(where[id], pid)
+				where[id] = pid
+			}
+			return nil
+		}
+		ups, ok, err := rec.ObjectUpdates()
+		if err != nil || !ok {
+			return err
+		}
+		for _, up := range ups {
+			if up.Object == nil {
+				if old, tracked := where[up.ID]; tracked {
+					cross(old, -1)
+					delete(where, up.ID)
+					delete(at, up.ID)
+				}
+				continue
+			}
+			id := up.Object.ID
+			pid := loc.LocatePartition(up.Object.Center)
+			old, tracked := where[id]
+			if !tracked {
+				old = -1
+			}
+			cross(old, pid)
+			where[id], at[id] = pid, up.Object.Center
+		}
+		return nil
+	})
+	if err != nil {
+		return Occupancy{}, err
+	}
+	occ.Final = occ.Initial + occ.Enters - occ.Leaves
+	return occ, nil
+}

@@ -72,16 +72,21 @@ type Mutation struct {
 	ResultA, ResultB indoor.PartitionID
 }
 
-// CommitHook observes one mutation pre-publish. Returning an error
-// aborts the mutation when the building is still untouched (object
-// batches, AddPartition, AttachDoor, SetDoorClosed, RemovePartition,
-// DetachDoor — their hooks run before the building changes); for Split
-// and Merge, whose payload includes result ids the building mutation
-// produced, an error still suppresses the publish but leaves the
-// building mutated — acceptable only because a failing hook means the
-// log is poisoned and the engine is in fail-stop mode (every subsequent
-// mutation will be refused too).
-type CommitHook func(m Mutation) error
+// CommitHook observes one mutation pre-publish and returns the WAL LSN
+// the mutation was logged under (0 if the hook does not log). The LSN is
+// stamped onto the successor snapshot so the MVCC timeline and the
+// durability timeline stay correlated — Snapshot.LSN addresses the same
+// state AsOf-style historical reads reconstruct.
+//
+// Returning an error aborts the mutation when the building is still
+// untouched (object batches, AddPartition, AttachDoor, SetDoorClosed,
+// RemovePartition, DetachDoor — their hooks run before the building
+// changes); for Split and Merge, whose payload includes result ids the
+// building mutation produced, an error still suppresses the publish but
+// leaves the building mutated — acceptable only because a failing hook
+// means the log is poisoned and the engine is in fail-stop mode (every
+// subsequent mutation will be refused too).
+type CommitHook func(m Mutation) (uint64, error)
 
 // SetCommitHook installs (or, with nil, removes) the durability hook.
 // It serialises against mutators, so a hook observes every mutation
@@ -92,11 +97,16 @@ func (idx *Index) SetCommitHook(h CommitHook) {
 	idx.commitHook = h
 }
 
-// hook runs the commit hook if one is installed. Callers hold the
-// writer mutex and call it immediately before publish.
+// hook runs the commit hook if one is installed, recording the LSN it
+// returns for the next publish. Callers hold the writer mutex and call
+// it immediately before publish.
 func (idx *Index) hook(m Mutation) error {
 	if idx.commitHook != nil {
-		return idx.commitHook(m)
+		lsn, err := idx.commitHook(m)
+		if err != nil {
+			return err
+		}
+		idx.lastLSN = lsn
 	}
 	return nil
 }

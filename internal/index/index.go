@@ -213,6 +213,11 @@ type Index struct {
 	// (the durable store's write-ahead hook). Guarded by mu.
 	commitHook CommitHook
 
+	// lastLSN is the WAL LSN the most recent hook call reported; the next
+	// publish stamps it onto the snapshot. Guarded by mu (hook and publish
+	// run under the writer mutex). Zero while no hook is installed.
+	lastLSN uint64
+
 	head  atomic.Pointer[Snapshot]
 	swaps atomic.Uint64
 }
@@ -284,6 +289,7 @@ func (idx *Index) Current() *Snapshot { return idx.head.Load() }
 // own the index exclusively, as Build does).
 func (idx *Index) publish(s *Snapshot) {
 	s.seq = idx.swaps.Add(1)
+	s.lsn = idx.lastLSN
 	idx.head.Store(s)
 }
 

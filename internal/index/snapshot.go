@@ -30,6 +30,7 @@ type Snapshot struct {
 	topo *topoLayer
 	objs *objLayer
 	seq  uint64
+	lsn  uint64
 }
 
 // topoLayer is the geometric + topological state of one snapshot. It is
@@ -86,6 +87,12 @@ type objLayer struct {
 // Seq returns the snapshot's publication sequence number (1 is the freshly
 // built index; every mutation publishes the next).
 func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// LSN returns the WAL LSN of the mutation that published this snapshot —
+// the correlation between the MVCC timeline (Seq) and the durability
+// timeline historical AsOf reads address. Zero on an ephemeral index (no
+// commit hook installed) and on the freshly built snapshot.
+func (s *Snapshot) LSN() uint64 { return s.lsn }
 
 // Building returns the indexed building. The building is owned by the
 // writer side: its partition and door structure may change after this

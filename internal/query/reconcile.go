@@ -313,12 +313,12 @@ func (e *Subscriptions) reconcileSubInto(sh *reconShard, s *standingQuery, cur *
 		e.refreshDiffQuietInto(sh, s)
 		return
 	}
-	seq := cur.Seq()
+	seq, lsn := cur.Seq(), cur.LSN()
 	switch s.kind {
 	case SubKNN:
-		e.reconcileKNNInto(sh, s, seq, objs)
+		e.reconcileKNNInto(sh, s, seq, lsn, objs)
 	default:
-		e.reconcileRangeInto(sh, s, seq, objs)
+		e.reconcileRangeInto(sh, s, seq, lsn, objs)
 	}
 }
 
@@ -330,7 +330,7 @@ func (sh *reconShard) noteErr(sub int, err error) {
 	}
 }
 
-func (e *Subscriptions) reconcileRangeInto(sh *reconShard, s *standingQuery, seq uint64, objs []object.ID) {
+func (e *Subscriptions) reconcileRangeInto(sh *reconShard, s *standingQuery, seq, lsn uint64, objs []object.ID) {
 	for _, oid := range objs {
 		in, err := evalRange(&s.phase, s.q, s.r, oid)
 		if err != nil {
@@ -341,15 +341,15 @@ func (e *Subscriptions) reconcileRangeInto(sh *reconShard, s *standingQuery, seq
 		switch {
 		case in && !was:
 			s.members[oid] = true
-			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventEnter, Distance: math.NaN(), Seq: seq})
+			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventEnter, Distance: math.NaN(), Seq: seq, LSN: lsn})
 		case !in && was:
 			delete(s.members, oid)
-			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventLeave, Distance: math.NaN(), Seq: seq})
+			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventLeave, Distance: math.NaN(), Seq: seq, LSN: lsn})
 		}
 	}
 }
 
-func (e *Subscriptions) reconcileKNNInto(sh *reconShard, s *standingQuery, seq uint64, objs []object.ID) {
+func (e *Subscriptions) reconcileKNNInto(sh *reconShard, s *standingQuery, seq, lsn uint64, objs []object.ID) {
 	for _, oid := range objs {
 		if err := evalKNNCand(&s.phase, s.q, s.r, oid, s.cand); err != nil {
 			sh.noteErr(s.id, err)
@@ -364,30 +364,30 @@ func (e *Subscriptions) reconcileKNNInto(sh *reconShard, s *standingQuery, seq u
 		e.refreshDiffQuietInto(sh, s)
 		return
 	}
-	e.rediffTopKInto(sh, s, seq, objs)
+	e.rediffTopKInto(sh, s, seq, lsn, objs)
 }
 
 // rediffTopKInto recomputes a kNN subscription's top-k from its candidate
 // cache and appends the delta against the previous result: enter/leave for
 // membership changes, update for routed members whose exact distance
 // changed in place.
-func (e *Subscriptions) rediffTopKInto(sh *reconShard, s *standingQuery, seq uint64, routedObjs []object.ID) {
+func (e *Subscriptions) rediffTopKInto(sh *reconShard, s *standingQuery, seq, lsn uint64, routedObjs []object.ID) {
 	newMembers, newDist := topkOf(s)
 	for oid := range s.members {
 		if !newMembers[oid] {
-			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventLeave, Distance: math.NaN(), Seq: seq})
+			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventLeave, Distance: math.NaN(), Seq: seq, LSN: lsn})
 		}
 	}
 	for oid := range newMembers {
 		if !s.members[oid] {
-			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventEnter, Distance: newDist[oid], Seq: seq})
+			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventEnter, Distance: newDist[oid], Seq: seq, LSN: lsn})
 		}
 	}
 	// Distances only change for re-evaluated objects; surviving members
 	// outside the routed set kept theirs.
 	for _, oid := range routedObjs {
 		if s.members[oid] && newMembers[oid] && s.memberDist[oid] != newDist[oid] {
-			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventUpdate, Distance: newDist[oid], Seq: seq})
+			sh.evs = append(sh.evs, SubEvent{Sub: s.id, Object: oid, Kind: EventUpdate, Distance: newDist[oid], Seq: seq, LSN: lsn})
 		}
 	}
 	s.members, s.memberDist = newMembers, newDist
@@ -420,7 +420,7 @@ func (e *Subscriptions) refreshDiff(s *standingQuery) ([]SubEvent, error) {
 	if err := e.refresh(s); err != nil {
 		return nil, err
 	}
-	seq := s.ex.s.Seq()
+	seq, lsn := s.ex.s.Seq(), s.ex.s.LSN()
 	var evs []SubEvent
 	for oid := range s.members {
 		if !before[oid] {
@@ -428,18 +428,18 @@ func (e *Subscriptions) refreshDiff(s *standingQuery) ([]SubEvent, error) {
 			if s.kind == SubKNN {
 				d = s.memberDist[oid]
 			}
-			evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventEnter, Distance: d, Seq: seq})
+			evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventEnter, Distance: d, Seq: seq, LSN: lsn})
 		}
 	}
 	for oid := range before {
 		if !s.members[oid] {
-			evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventLeave, Distance: math.NaN(), Seq: seq})
+			evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventLeave, Distance: math.NaN(), Seq: seq, LSN: lsn})
 		}
 	}
 	if s.kind == SubKNN {
 		for oid := range s.members {
 			if before[oid] && beforeDist != nil && beforeDist[oid] != s.memberDist[oid] {
-				evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventUpdate, Distance: s.memberDist[oid], Seq: seq})
+				evs = append(evs, SubEvent{Sub: s.id, Object: oid, Kind: EventUpdate, Distance: s.memberDist[oid], Seq: seq, LSN: lsn})
 			}
 		}
 	}

@@ -159,6 +159,12 @@ type SubEvent struct {
 	// Seq is the publication sequence of the snapshot the event was
 	// derived from.
 	Seq uint64
+	// LSN is the WAL position of the commit that produced the snapshot —
+	// the durability-timeline address of the same state Seq identifies on
+	// the MVCC timeline. Zero on an ephemeral (non-durable) engine.
+	// Feeding it to a historical AsOf read reconstructs exactly the
+	// membership state this event stream describes.
+	LSN uint64
 }
 
 // SubStats reports cumulative reconciliation counters: the observability

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/index"
 	"repro/internal/indoor"
 	"repro/internal/pipeline"
@@ -69,6 +70,12 @@ type Config struct {
 	ReconnectDelay time.Duration
 	// MaxReconnectDelay caps the exponential backoff; 5s when zero.
 	MaxReconnectDelay time.Duration
+	// HistoryRecords bounds the in-memory history window time-travel
+	// reads are served from: a fresh base state is captured every
+	// HistoryRecords applied records and one previous segment is
+	// retained, so the window spans 1-2x this many records. 8192 when
+	// zero or negative.
+	HistoryRecords int
 }
 
 // backoffDelay is the deterministic core of the reconnect ladder: the
@@ -123,6 +130,11 @@ type Replica struct {
 	reconnects    atomic.Uint64 // re-dials after stream failures
 	backoffMs     atomic.Int64  // pause currently being sat out; 0 while streaming
 
+	// hist is the bounded applied-record window historical reads are
+	// served from; histProv reconstructs and caches AsOf states over it.
+	hist     *history.Buffer
+	histProv *history.Provider
+
 	cancel context.CancelFunc
 	done   chan struct{}
 }
@@ -138,7 +150,10 @@ func New(src Source, cfg Config) *Replica {
 	if cfg.MaxReconnectDelay < cfg.ReconnectDelay {
 		cfg.MaxReconnectDelay = cfg.ReconnectDelay
 	}
-	return &Replica{src: src, cfg: cfg}
+	r := &Replica{src: src, cfg: cfg}
+	r.hist = history.NewBuffer(cfg.HistoryRecords)
+	r.histProv = history.NewProvider(r.hist, history.Options{})
+	return r
 }
 
 // Start bootstraps from the leader's newest checkpoint and launches the
@@ -194,6 +209,7 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 	r.qflags.Store(uint32(data.QueryFlags))
 	r.applied.Store(data.LSN)
 	r.st.Store(st)
+	r.hist.Reset(data)
 	return nil
 }
 
@@ -278,6 +294,14 @@ func (r *Replica) onFrame(f wire.Frame) error {
 		return fmt.Errorf("replica: apply lsn %d: %w", f.LSN, err)
 	}
 	r.applied.Store(f.LSN)
+	if r.hist.Append(store.Record{LSN: f.LSN, Kind: f.Kind, Body: f.Body}) {
+		// The open history segment is full: capture the state just
+		// applied as a fresh base so the window slides instead of
+		// growing. A capture failure only shortens retained history.
+		if data, cerr := store.Capture(st.idx, uint8(r.qflags.Load()), r.Subscriptions(), f.LSN); cerr == nil {
+			r.hist.Seal(data)
+		}
+	}
 	r.observeDurable(f.LSN) // a shipped record is on the leader's log file
 	return nil
 }
@@ -349,6 +373,14 @@ func (r *Replica) Stats() wire.ReplicaStats {
 		BackoffMillis:    r.backoffMs.Load(),
 	}
 }
+
+// History returns the replica's time-travel provider, serving AsOf
+// reconstructions and log-scan analytics from the bounded window of
+// records the replica itself applied — a replica answers historical
+// reads from its own applied prefix, without asking the leader. The
+// provider stays usable after Close and Promote (the window simply
+// stops growing).
+func (r *Replica) History() *history.Provider { return r.histProv }
 
 // QueryFlags returns the leader's query-processor flags (from the
 // bootstrap checkpoint) — needed to adopt the index on promotion.

@@ -8,11 +8,14 @@ package replica_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
 	indoorq "repro"
+	"repro/internal/history"
 	"repro/internal/object"
 	"repro/internal/replica"
 	"repro/internal/wire"
@@ -267,4 +270,119 @@ func TestReplicaResyncsAfterLogPruned(t *testing.T) {
 		t.Fatalf("replica converged without counting a resync (resyncs=%d)", got)
 	}
 	assertAnswersMatch(t, db, r, queries)
+}
+
+// TestReplicaHistoryServesAppliedWindow pins the replica half of time
+// travel: a replica answers AsOf from the in-memory window of records
+// it applied itself, byte-equal to the leader's reconstruction of the
+// same LSNs; history below the bounded window refuses with the pruned
+// error (mirroring leader compaction); and the window keeps serving
+// after the replica is closed and promoted.
+func TestReplicaHistoryServesAppliedWindow(t *testing.T) {
+	db, _, queries := leaderDB(t)
+	ctx := context.Background()
+
+	r := replica.New(
+		replica.NewLocalSource(db.Store(), 5*time.Millisecond),
+		replica.Config{ReconnectDelay: 5 * time.Millisecond, HistoryRecords: 16},
+	)
+	if err := r.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+
+	// One subscription plus enough single-record churn to age the first
+	// window generation out (> 2x the 16-record segment cap).
+	if _, _, err := db.Subscribe(indoorq.SubscriptionSpec{Q: queries[0], R: 60}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 44; i++ {
+		o := db.Object(indoorq.ObjectID(i % 20))
+		p := o.Center
+		p.Pt.X += 0.25
+		if err := db.MoveObject(object.PointObject(o.ID, p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	target := db.Store().DurableLSN()
+	waitApplied(t, r, target)
+
+	hp := r.History()
+	if got := hp.Horizon(); got != target {
+		t.Fatalf("replica history horizon %d, applied %d", got, target)
+	}
+
+	// Every LSN the window still covers must match the leader's
+	// reconstruction byte-for-byte; anything pruned must be old enough
+	// that the window guarantee (at least HistoryRecords retained) holds.
+	pruned := 0
+	for lsn := uint64(0); lsn <= target; lsn++ {
+		got, err := hp.CaptureAt(lsn)
+		if errors.Is(err, history.ErrPruned) {
+			if lsn+16 > target {
+				t.Fatalf("lsn %d pruned inside the guaranteed window (target %d)", lsn, target)
+			}
+			pruned++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("replica CaptureAt(%d): %v", lsn, err)
+		}
+		want, err := db.History().CaptureAt(lsn)
+		if err != nil {
+			t.Fatalf("leader CaptureAt(%d): %v", lsn, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("replica history at lsn %d diverged from the leader's", lsn)
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("window never aged out; the pruned path is untested")
+	}
+	if _, err := hp.AsOf(target + 1); !errors.Is(err, history.ErrFuture) {
+		t.Fatalf("AsOf past the applied horizon: got %v, want ErrFuture", err)
+	}
+
+	// A historical view answers like the leader's view of the same LSN.
+	rv, err := hp.AsOf(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := db.History().AsOf(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		got, _, err := rv.RangeQuery(q, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := lv.RangeQuery(q, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(got, want) {
+			t.Fatalf("query %d: historical range answers diverge", i)
+		}
+	}
+
+	// Promotion keeps the window readable: forensics on the old timeline
+	// survive the failover.
+	r.Close()
+	idx, qflags, subs := r.Promote()
+	_ = indoorq.AdoptIndex(idx, qflags, subs)
+	after, err := hp.CaptureAt(target)
+	if err != nil {
+		t.Fatalf("history after promotion: %v", err)
+	}
+	want, err := db.History().CaptureAt(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, want) {
+		t.Fatal("post-promotion history diverged from the leader's")
+	}
 }

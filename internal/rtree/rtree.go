@@ -216,8 +216,8 @@ func (t *Tree) chooseChild(n *node, box geom.Rect3, childrenAreLeaves bool) int 
 				overlap += enlarged.IntersectionVolume(other) - nb.IntersectionVolume(other)
 			}
 		}
-		if overlap < bestOverlap-1e-15 ||
-			(nearlyEq(overlap, bestOverlap) && enlarge < bestEnlarge-1e-15) ||
+		if definitelyLess(overlap, bestOverlap) ||
+			(nearlyEq(overlap, bestOverlap) && definitelyLess(enlarge, bestEnlarge)) ||
 			(nearlyEq(overlap, bestOverlap) && nearlyEq(enlarge, bestEnlarge) && vol < bestVolume) {
 			best, bestOverlap, bestEnlarge, bestVolume = i, overlap, enlarge, vol
 		}
@@ -225,7 +225,25 @@ func (t *Tree) chooseChild(n *node, box geom.Rect3, childrenAreLeaves bool) int 
 	return best
 }
 
-func nearlyEq(a, b float64) bool { return math.Abs(a-b) <= 1e-15 }
+// nearlyEq reports that two heuristic scores (overlap volumes, volume
+// enlargements) are equal up to floating-point noise, under a RELATIVE
+// tolerance. The tolerance must scale with the operands: city-scale
+// boxes produce volumes around 1e5-1e9 m^3, where one ULP is far larger
+// than any absolute epsilon — an absolute comparison would declare
+// every tie "distinct" and the R*-tie-breaks (volume enlargement, then
+// volume) would never engage, silently degrading split quality on large
+// coordinates. The max(1, ...) floor keeps the comparison absolute near
+// zero, where relative error is meaningless.
+func nearlyEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-12*scale
+}
+
+// definitelyLess reports a < b by more than the tie tolerance.
+func definitelyLess(a, b float64) bool { return a < b && !nearlyEq(a, b) }
 
 // refreshPath recomputes the stored MBRs along an ancestor path bottom-up.
 func (t *Tree) refreshPath(path []*node) {
@@ -349,7 +367,7 @@ func (t *Tree) chooseSplit(ss []slot) (g1, g2 []slot) {
 			b1, b2 := mbrOf(sorted[:k]), mbrOf(sorted[k:])
 			overlap := b1.IntersectionVolume(b2)
 			volume := b1.Volume() + b2.Volume()
-			if overlap < bestOverlap-1e-15 ||
+			if definitelyLess(overlap, bestOverlap) ||
 				(nearlyEq(overlap, bestOverlap) && volume < bestVolume) {
 				bestOverlap, bestVolume = overlap, volume
 				g1 = append([]slot(nil), sorted[:k]...)

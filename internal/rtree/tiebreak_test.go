@@ -1,0 +1,103 @@
+package rtree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// The R*-tree heuristic comparisons break ties on secondary keys
+// (volume enlargement, then volume) only when the primary keys are
+// "equal". Floating-point volume arithmetic at city scale produces
+// scores around 1e4-1e9 m^3, where mathematically equal quantities
+// computed along different arithmetic paths differ by 1e-12..1e-10 —
+// far more than the absolute 1e-15 epsilon the comparisons once used,
+// so the tie-breaks silently never engaged on large coordinates. These
+// tests pin the relative-epsilon behavior.
+
+func TestNearlyEqRelativeScale(t *testing.T) {
+	big := 600.0 * 600 * 4 * 800 // ~1.15e9: city-scale volume
+	if !nearlyEq(big, math.Nextafter(big, math.Inf(1))) {
+		t.Fatalf("one-ULP difference at %g must compare equal", big)
+	}
+	if nearlyEq(big, big*(1+1e-9)) {
+		t.Fatalf("a real 1e-9 relative difference at %g must stay distinct", big)
+	}
+	if !nearlyEq(0, 1e-13) {
+		t.Fatalf("near zero the comparison must stay absolute")
+	}
+	if nearlyEq(1.0, 1.5) {
+		t.Fatalf("clearly distinct small scores compared equal")
+	}
+	if definitelyLess(big, math.Nextafter(big, math.Inf(1))) {
+		t.Fatalf("definitelyLess must not fire inside the tie tolerance")
+	}
+	if !definitelyLess(1.0, 1.5) {
+		t.Fatalf("definitelyLess must fire outside the tie tolerance")
+	}
+}
+
+// TestChooseChildVolumeTieBreakCityScale pins the regression: two
+// disjoint city-scale children whose volume enlargements for an
+// incoming box are mathematically EQUAL but differ by ~2e-11 from
+// floating-point rounding. The R* tie-break must fall through to
+// volume and pick the small child; under the old absolute epsilon the
+// rounding noise read as a strict enlargement win for the big child
+// and the volume key was never consulted.
+func TestChooseChildVolumeTieBreakCityScale(t *testing.T) {
+	big := geom.R3(geom.R(0, 0, 300.3, 100.6), 0, 4)      // volume ~1.2e5
+	small := geom.R3(geom.R(400.5, 0, 410.6, 50.3), 0, 4) // volume ~2.0e3
+	x := geom.R3(geom.R(310.7, 0, 345.2, 50.3), 0, 4)     // between them
+	eBig, eSmall := big.EnlargementVolume(x), small.EnlargementVolume(x)
+	// Preconditions that make this a regression guard: the enlargements
+	// are bitwise distinct (the old absolute epsilon saw a strict win
+	// for the big child) yet relatively equal, and the big child is
+	// strictly the worse choice by volume.
+	if eBig == eSmall {
+		t.Fatalf("fixture lost its floating-point noise: eBig == eSmall == %.17g", eBig)
+	}
+	if eBig >= eSmall {
+		t.Fatalf("fixture inverted: want eBig bitwise below eSmall, got %.17g >= %.17g", eBig, eSmall)
+	}
+	if !nearlyEq(eBig, eSmall) {
+		t.Fatalf("enlargements not relatively equal: %.17g vs %.17g", eBig, eSmall)
+	}
+	if big.Volume() <= small.Volume() {
+		t.Fatalf("fixture inverted: want big.Volume > small.Volume")
+	}
+
+	tr := New(8)
+	n := &node{boxes: []geom.Rect3{big, small}}
+	if got := tr.chooseChild(n, x, true); got != 1 {
+		t.Fatalf("chooseChild picked child %d (the big box): enlargement tie must break on volume", got)
+	}
+	// Same decision at the internal level, where overlap is not
+	// computed and enlargement is the primary key.
+	if got := tr.chooseChild(n, x, false); got != 1 {
+		t.Fatalf("internal-level chooseChild picked child %d: enlargement tie must break on volume", got)
+	}
+}
+
+// TestCityScaleInsertInvariants drives ordinary one-at-a-time inserts
+// at 600 m coordinates through the repaired comparisons and checks the
+// structural invariants still hold.
+func TestCityScaleInsertInvariants(t *testing.T) {
+	tr := New(8)
+	entries := 0
+	for fl := 0; fl < 5; fl++ {
+		z := float64(fl) * 4
+		for i := 0; i < 40; i++ {
+			x := float64(i%8) * 75.03
+			y := float64(i/8) * 120.07
+			tr.Insert(geom.R3(geom.R(x, y, x+60.05, y+90.11), z, z+0.01), entries)
+			entries++
+		}
+	}
+	if tr.Len() != entries {
+		t.Fatalf("tree holds %d of %d entries", tr.Len(), entries)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

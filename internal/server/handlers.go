@@ -28,6 +28,13 @@ func (s *Server) routes() {
 	s.handle(wire.PathSubscribe, s.leaderOnly(s.handleSubscribe))
 	s.handle(wire.PathUnsubscribe, s.leaderOnly(s.handleUnsubscribe))
 	s.handle(wire.PathStats, s.handleStats)
+	// History endpoints serve both roles and deliberately skip the
+	// degradation gate: a fail-stopped leader's log is still fully
+	// reconstructable, and that is exactly when forensics wants it.
+	s.handle(wire.PathHistoryRange, s.handleHistoryRange)
+	s.handle(wire.PathHistoryKNN, s.handleHistoryKNN)
+	s.handle(wire.PathHistoryTrajectory, s.handleHistoryTrajectory)
+	s.handle(wire.PathHistoryOccupancy, s.handleHistoryOccupancy)
 	s.stream(wire.PathEvents, s.leaderOnly(s.handleEvents))
 	s.stream(wire.PathReplCheckpoint, s.leaderOnly(s.handleReplCheckpoint))
 	s.stream(wire.PathReplWAL, s.leaderOnly(s.handleReplWAL))
@@ -403,6 +410,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.SnapshotSwaps = s.rep.Index().SnapshotSwaps()
 		rs := s.rep.Stats()
 		resp.Replica = &rs
+	}
+	if hp := s.historyProvider(); hp != nil {
+		hs := hp.Stats()
+		resp.History = &wire.HistoryStats{
+			AsOf:             hs.AsOf,
+			ViewHits:         hs.ViewHits,
+			Materializations: hs.Materializations,
+			Advances:         hs.Advances,
+			ReplayedRecords:  hs.ReplayedRecords,
+			Trajectories:     hs.Trajectories,
+			Occupancies:      hs.Occupancies,
+			ScannedRecords:   hs.ScannedRecords,
+		}
 	}
 	writeJSON(w, resp)
 }

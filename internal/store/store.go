@@ -317,17 +317,20 @@ func newStore(dir string, opts Options, w *wal) *Store {
 // onCommit is the index commit hook: encode the mutation, append it to
 // the group-commit buffer (or durably, under SyncAlways) and signal
 // compaction when the log outgrew its threshold. It runs inside the
-// index writer mutex, strictly before the snapshot publish.
-func (s *Store) onCommit(m index.Mutation) error {
+// index writer mutex, strictly before the snapshot publish, and returns
+// the LSN the record was logged under so the publish stamps it onto the
+// successor snapshot (Snapshot.LSN — the Seq↔LSN correlation).
+func (s *Store) onCommit(m index.Mutation) (uint64, error) {
 	kind, body, err := encodeMutation(m)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if _, err := s.w.Append(kind, body); err != nil {
-		return err
+	lsn, err := s.w.Append(kind, body)
+	if err != nil {
+		return 0, err
 	}
 	s.maybeSignalCompact()
-	return nil
+	return lsn, nil
 }
 
 // LogSubscribe appends a subscription registration. Call it after the
@@ -629,38 +632,9 @@ func ApplyRecord(a Applier, b *indoor.Building, subs map[int64]serde.Subscriptio
 	r := &reader{data: rec.Body}
 	switch rec.Kind {
 	case recObjects:
-		n, err := r.u64()
+		ups, err := decodeObjectBatch(rec.Body)
 		if err != nil {
 			return err
-		}
-		// Every update needs at least an op byte and an 8-byte id, so a
-		// count beyond len/9 is corrupt — reject before the allocation,
-		// not after (a CRC-colliding record must not OOM recovery).
-		if n > uint64(len(r.data))/9+1 {
-			return fmt.Errorf("implausible batch size %d for %d-byte body", n, len(r.data))
-		}
-		ups := make([]index.ObjectUpdate, 0, n)
-		for i := uint64(0); i < n; i++ {
-			op, err := r.u8()
-			if err != nil {
-				return err
-			}
-			up := index.ObjectUpdate{Op: index.UpdateOp(op)}
-			if up.Op == index.UpdateDelete {
-				id, err := r.i64()
-				if err != nil {
-					return err
-				}
-				up.ID = object.ID(id)
-			} else {
-				o, rest, err := serde.DecodeObject(r.data)
-				if err != nil {
-					return err
-				}
-				r.data = rest
-				up.Object = o
-			}
-			ups = append(ups, up)
 		}
 		return a.ApplyObjectUpdates(ups)
 	case recSetDoorClosed:
@@ -852,6 +826,70 @@ func ApplyRecord(a Applier, b *indoor.Building, subs map[int64]serde.Subscriptio
 		return nil
 	}
 	return fmt.Errorf("unknown record kind %d", rec.Kind)
+}
+
+// decodeObjectBatch parses a recObjects body into the update batch it
+// logged, without applying it.
+func decodeObjectBatch(body []byte) ([]index.ObjectUpdate, error) {
+	r := &reader{data: body}
+	n, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	// Every update needs at least an op byte and an 8-byte id, so a
+	// count beyond len/9 is corrupt — reject before the allocation,
+	// not after (a CRC-colliding record must not OOM recovery).
+	if n > uint64(len(r.data))/9+1 {
+		return nil, fmt.Errorf("implausible batch size %d for %d-byte body", n, len(r.data))
+	}
+	ups := make([]index.ObjectUpdate, 0, n)
+	for i := uint64(0); i < n; i++ {
+		op, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		up := index.ObjectUpdate{Op: index.UpdateOp(op)}
+		if up.Op == index.UpdateDelete {
+			id, err := r.i64()
+			if err != nil {
+				return nil, err
+			}
+			up.ID = object.ID(id)
+		} else {
+			o, rest, err := serde.DecodeObject(r.data)
+			if err != nil {
+				return nil, err
+			}
+			r.data = rest
+			up.Object = o
+		}
+		ups = append(ups, up)
+	}
+	return ups, nil
+}
+
+// ObjectUpdates decodes the record's object batch when it is one
+// (kind recObjects). ok is false for every other record kind, letting a
+// log scanner pick out object movement without applying anything.
+func (rec Record) ObjectUpdates() (ups []index.ObjectUpdate, ok bool, err error) {
+	if rec.Kind != recObjects {
+		return nil, false, nil
+	}
+	ups, err = decodeObjectBatch(rec.Body)
+	return ups, true, err
+}
+
+// PartitionChanging reports whether replaying the record can move
+// partition boundaries (add/remove/split/merge) — the signal a log
+// scanner uses to refresh the snapshot it locates positions against.
+// Door records and skeleton rebuilds alter routing, not the partition
+// a position falls in.
+func (rec Record) PartitionChanging() bool {
+	switch rec.Kind {
+	case recAddPartition, recRemovePartition, recSplit, recMerge:
+		return true
+	}
+	return false
 }
 
 func sortSubs(subs []serde.SubscriptionRec) {

@@ -84,6 +84,39 @@ func (s *Store) NewestCheckpoint() ([]byte, uint64, error) {
 // transfer).
 func DecodeSnapshot(raw []byte) (Data, error) { return decodeSnapshot(raw) }
 
+// CheckpointAtOrBelow returns the newest validating checkpoint covering
+// at most lsn — the base state a historical AsOf(lsn) read replays
+// forward from. When every retained checkpoint is newer than lsn the
+// history below it has been compacted away and the read must fail
+// (ErrLogGap), mirroring the replica-resync contract: the caller can
+// never catch a pruned past by replay.
+func (s *Store) CheckpointAtOrBelow(lsn uint64) (Data, error) {
+	ckpts, _, err := generations(s.fs, s.dir)
+	if err != nil {
+		return Data{}, err
+	}
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		if ckpts[i] > lsn {
+			continue
+		}
+		d, derr := readSnapshotFS(s.fs, ckptPath(s.dir, ckpts[i]))
+		if derr != nil {
+			continue
+		}
+		if d.LSN > lsn {
+			// A checkpoint's generation number is its cut LSN, so this
+			// should not happen; skip defensively rather than hand back a
+			// base state ahead of the requested point.
+			continue
+		}
+		return d, nil
+	}
+	if len(ckpts) > 0 {
+		return Data{}, fmt.Errorf("store: no checkpoint at or below lsn %d: %w", lsn, ErrLogGap)
+	}
+	return Data{}, fmt.Errorf("store: no valid checkpoint in %s", s.dir)
+}
+
 // Tailer reads committed WAL records in LSN order from the store's
 // directory, following generation rotations. It holds its own file
 // descriptors, so a generation pruned while being read is still readable

@@ -134,6 +134,37 @@ func (c *Client) Unsubscribe(id int) (bool, error) {
 	return out.Existed, err
 }
 
+// HistoryRange evaluates a range query against the state as of a past
+// LSN.
+func (c *Client) HistoryRange(req HistoryRangeRequest) (HistoryQueryResponse, error) {
+	var out HistoryQueryResponse
+	err := c.post(PathHistoryRange, req, &out)
+	return out, err
+}
+
+// HistoryKNN evaluates a kNN query against the state as of a past LSN.
+func (c *Client) HistoryKNN(req HistoryKNNRequest) (HistoryQueryResponse, error) {
+	var out HistoryQueryResponse
+	err := c.post(PathHistoryKNN, req, &out)
+	return out, err
+}
+
+// HistoryTrajectory fetches one object's partition visits over an LSN
+// window.
+func (c *Client) HistoryTrajectory(req HistoryTrajectoryRequest) (HistoryTrajectoryResponse, error) {
+	var out HistoryTrajectoryResponse
+	err := c.post(PathHistoryTrajectory, req, &out)
+	return out, err
+}
+
+// HistoryOccupancy fetches a partition's enter/leave accounting over an
+// LSN window.
+func (c *Client) HistoryOccupancy(req HistoryOccupancyRequest) (HistoryOccupancyResponse, error) {
+	var out HistoryOccupancyResponse
+	err := c.post(PathHistoryOccupancy, req, &out)
+	return out, err
+}
+
 // Stats fetches the daemon's observability snapshot.
 func (c *Client) Stats() (StatsResponse, error) {
 	var out StatsResponse

@@ -18,6 +18,10 @@
 //	POST /v1/unsubscribe     UnsubscribeRequest -> UnsubscribeResponse
 //	GET  /v1/events          (NDJSON stream of EventChunk)
 //	GET  /v1/stats           -> StatsResponse
+//	POST /v1/history/range      HistoryRangeRequest -> HistoryQueryResponse
+//	POST /v1/history/knn        HistoryKNNRequest -> HistoryQueryResponse
+//	POST /v1/history/trajectory HistoryTrajectoryRequest -> HistoryTrajectoryResponse
+//	POST /v1/history/occupancy  HistoryOccupancyRequest -> HistoryOccupancyResponse
 //	GET  /v1/repl/checkpoint (binary checkpoint; X-Indoorq-Lsn header)
 //	GET  /v1/repl/wal?after=N (binary frame stream + heartbeats)
 //	GET  /healthz            -> HealthResponse (liveness: 200 while serving)
@@ -42,16 +46,23 @@ import (
 
 // Endpoint paths. The client and the server both refer to these.
 const (
-	PathRangeQuery     = "/v1/query/range"
-	PathKNNQuery       = "/v1/query/knn"
-	PathUpdates        = "/v1/updates"
-	PathTopology       = "/v1/topology"
-	PathSubscribe      = "/v1/subscribe"
-	PathUnsubscribe    = "/v1/unsubscribe"
-	PathEvents         = "/v1/events"
-	PathStats          = "/v1/stats"
-	PathReplCheckpoint = "/v1/repl/checkpoint"
-	PathReplWAL        = "/v1/repl/wal"
+	PathRangeQuery  = "/v1/query/range"
+	PathKNNQuery    = "/v1/query/knn"
+	PathUpdates     = "/v1/updates"
+	PathTopology    = "/v1/topology"
+	PathSubscribe   = "/v1/subscribe"
+	PathUnsubscribe = "/v1/unsubscribe"
+	PathEvents      = "/v1/events"
+	PathStats       = "/v1/stats"
+	// History endpoints: time-travel reads addressed by WAL LSN, served
+	// by leaders (from the log) and replicas (from their applied
+	// window) alike, including on a degraded read-only leader.
+	PathHistoryRange      = "/v1/history/range"
+	PathHistoryKNN        = "/v1/history/knn"
+	PathHistoryTrajectory = "/v1/history/trajectory"
+	PathHistoryOccupancy  = "/v1/history/occupancy"
+	PathReplCheckpoint    = "/v1/repl/checkpoint"
+	PathReplWAL           = "/v1/repl/wal"
 	// PathHealthz is liveness: 200 whenever the process serves HTTP at
 	// all, regardless of durability or replication state.
 	PathHealthz = "/healthz"
@@ -82,6 +93,16 @@ const (
 	// ReasonReplicaLagging: the replica trails the leader's durable
 	// horizon by more than the configured readiness bound.
 	ReasonReplicaLagging = "replica_lagging"
+	// ReasonHistoryPruned: the requested LSN predates the oldest
+	// retained checkpoint (leader) or the replica's applied window —
+	// compaction made that state unreconstructable.
+	ReasonHistoryPruned = "history_pruned"
+	// ReasonHistoryFuture: the requested LSN is beyond the written
+	// horizon.
+	ReasonHistoryFuture = "history_future"
+	// ReasonHistoryUnavailable: the daemon has no history source (an
+	// ephemeral leader with no WAL).
+	ReasonHistoryUnavailable = "history_unavailable"
 )
 
 // HealthResponse is the /healthz and /readyz body. Status is "ok" on
@@ -362,13 +383,17 @@ type Event struct {
 	// does not re-evaluate it (range events and leaves).
 	Dist *float64 `json:"dist,omitempty"`
 	Seq  uint64   `json:"seq"`
+	// Lsn is the WAL position of the commit that produced the event —
+	// pass it to the /v1/history endpoints to reconstruct the exact
+	// state the event describes. Zero on a non-durable server.
+	Lsn uint64 `json:"lsn,omitempty"`
 }
 
 // EventOf converts a domain subscription event to wire form. NaN
 // distances (range events, leaves) become an absent field — JSON has no
 // NaN.
 func EventOf(e query.SubEvent) Event {
-	out := Event{Sub: e.Sub, Object: int64(e.Object), Seq: e.Seq}
+	out := Event{Sub: e.Sub, Object: int64(e.Object), Seq: e.Seq, Lsn: e.LSN}
 	switch e.Kind {
 	case query.EventEnter:
 		out.Kind = EventEnter
@@ -382,6 +407,84 @@ func EventOf(e query.SubEvent) Event {
 		out.Dist = &d
 	}
 	return out
+}
+
+// HistoryRangeRequest asks for an iRQ answer as of a past LSN.
+type HistoryRangeRequest struct {
+	Lsn uint64   `json:"lsn"`
+	Q   Position `json:"q"`
+	R   float64  `json:"r"`
+}
+
+// HistoryKNNRequest asks for an ikNNQ answer as of a past LSN.
+type HistoryKNNRequest struct {
+	Lsn uint64   `json:"lsn"`
+	Q   Position `json:"q"`
+	K   int      `json:"k"`
+}
+
+// HistoryQueryResponse answers a historical range or kNN query. Lsn
+// echoes the state the answer was computed against.
+type HistoryQueryResponse struct {
+	Lsn     uint64   `json:"lsn"`
+	Results []Result `json:"results"`
+}
+
+// HistoryTrajectoryRequest asks for one object's partition visits over
+// the LSN window (from, to].
+type HistoryTrajectoryRequest struct {
+	Object int64  `json:"object"`
+	From   uint64 `json:"from"`
+	To     uint64 `json:"to"`
+}
+
+// HistoryVisit is one partition stay: entered at EnterLsn, last
+// confirmed at LastLsn.
+type HistoryVisit struct {
+	Partition int64  `json:"partition"`
+	EnterLsn  uint64 `json:"enterLsn"`
+	LastLsn   uint64 `json:"lastLsn"`
+}
+
+// HistoryTrajectoryResponse lists the visits in order.
+type HistoryTrajectoryResponse struct {
+	Visits []HistoryVisit `json:"visits"`
+}
+
+// HistoryOccupancyRequest asks how a partition's population evolved
+// over the LSN window (from, to].
+type HistoryOccupancyRequest struct {
+	Partition int64  `json:"partition"`
+	From      uint64 `json:"from"`
+	To        uint64 `json:"to"`
+}
+
+// HistoryOccupancyResponse reports the window's population arithmetic:
+// Final = Initial + Enters - Leaves.
+type HistoryOccupancyResponse struct {
+	Initial int `json:"initial"`
+	Enters  int `json:"enters"`
+	Leaves  int `json:"leaves"`
+	Final   int `json:"final"`
+}
+
+// HistoryStats is the wire form of the time-travel provider's counters.
+type HistoryStats struct {
+	// AsOf counts AsOf reconstructions requested; ViewHits the ones
+	// served from the exact-LSN view cache; Materializations the
+	// from-checkpoint rebuilds; Advances the nearest-ancestor reuses
+	// (a cached state replayed forward instead of rebuilt);
+	// ReplayedRecords the records folded doing either.
+	AsOf             uint64 `json:"asOf"`
+	ViewHits         uint64 `json:"viewHits"`
+	Materializations uint64 `json:"materializations"`
+	Advances         uint64 `json:"advances"`
+	ReplayedRecords  uint64 `json:"replayedRecords"`
+	// Trajectories, Occupancies and ScannedRecords count the log-scan
+	// analytics served and the records they decoded.
+	Trajectories   uint64 `json:"trajectories"`
+	Occupancies    uint64 `json:"occupancies"`
+	ScannedRecords uint64 `json:"scannedRecords"`
 }
 
 // EventChunk is one message of the event stream. Overflow signals that
@@ -443,6 +546,9 @@ type StatsResponse struct {
 	// Reconcile is the subscription engine's reconciliation telemetry;
 	// absent until the daemon has a database attached.
 	Reconcile *ReconcileStats `json:"reconcile,omitempty"`
+	// History is the time-travel provider's telemetry; absent when the
+	// daemon has no history source.
+	History *HistoryStats `json:"history,omitempty"`
 }
 
 // ReconcileStats is the wire form of the subscription engine's

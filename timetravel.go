@@ -1,0 +1,76 @@
+package indoorq
+
+// Time travel: historical reads addressed by WAL LSN. A durable DB can
+// answer the paper's distance-aware queries against any past state the
+// log still covers — AsOf(lsn) reconstructs the exact state the engine
+// held after committing LSN (newest checkpoint at or below it plus a
+// deterministic replay of the WAL prefix, the same fold crash recovery
+// and replication run) — and two single-pass log-scan analytics,
+// Trajectory and Occupancy, that read the record stream directly
+// without materializing per-LSN states.
+//
+// LSNs to ask about come from the system itself: DrainEvents stamps
+// every subscription event with the LSN of the commit that produced it,
+// and Store().WrittenLSN() is the current horizon. Compaction prunes
+// history — an AsOf below the oldest retained checkpoint fails with
+// history.ErrPruned (a clean refusal, never a wrong answer), exactly as
+// a lagging replica is refused replay and told to resync.
+
+import (
+	"errors"
+
+	"repro/internal/history"
+	"repro/internal/object"
+)
+
+// HistoryView is a pinned read-only handle on a past state, answering
+// range, kNN and partition-location queries as of one LSN.
+type HistoryView = history.View
+
+// HistoryVisit is one partition stay in a Trajectory answer.
+type HistoryVisit = history.Visit
+
+// HistoryOccupancy is an Occupancy answer.
+type HistoryOccupancy = history.Occupancy
+
+// ErrHistoryPruned reports that the requested point of history was
+// compacted away and cannot be reconstructed.
+var ErrHistoryPruned = history.ErrPruned
+
+// ErrHistoryFuture reports an AsOf target beyond the written horizon.
+var ErrHistoryFuture = history.ErrFuture
+
+// ErrNotDurable reports a time-travel call on an ephemeral DB (no
+// attached store: there is no log to travel through).
+var ErrNotDurable = errors.New("indoorq: time travel needs a durable DB (Persist or OpenDir)")
+
+// History returns the DB's time-travel provider (nil for an ephemeral
+// DB). The provider caches materialized states, so walking forward
+// through nearby LSNs replays only the gaps.
+func (db *DB) History() *history.Provider { return db.hist }
+
+// AsOf returns a pinned view of the state after committing lsn.
+func (db *DB) AsOf(lsn uint64) (*HistoryView, error) {
+	if db.hist == nil {
+		return nil, ErrNotDurable
+	}
+	return db.hist.AsOf(lsn)
+}
+
+// Trajectory returns the ordered partition visits object id made over
+// the LSN window (from, to], seeded with its location as of from.
+func (db *DB) Trajectory(id object.ID, from, to uint64) ([]HistoryVisit, error) {
+	if db.hist == nil {
+		return nil, ErrNotDurable
+	}
+	return db.hist.Trajectory(id, from, to)
+}
+
+// Occupancy counts objects entering and leaving partition part over the
+// LSN window (from, to].
+func (db *DB) Occupancy(part PartitionID, from, to uint64) (HistoryOccupancy, error) {
+	if db.hist == nil {
+		return HistoryOccupancy{}, ErrNotDurable
+	}
+	return db.hist.OccupancyOf(part, from, to)
+}
